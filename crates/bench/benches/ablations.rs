@@ -1,0 +1,7 @@
+//! `cargo bench -p simt-omp-bench --bench ablations` — design-choice
+//! ablation tables (paper §5.3.1, §5.5, §5.1, §6.5, §7, §5.4.1).
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::ablations::run_all(quick);
+    simt_omp_bench::ablations::report(&rows);
+}

@@ -1,0 +1,6 @@
+//! `cargo bench -p simt-omp-bench --bench fig10` — regenerates Fig 10.
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::fig10::run(quick);
+    simt_omp_bench::fig10::report(&rows);
+}

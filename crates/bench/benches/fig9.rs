@@ -1,0 +1,6 @@
+//! `cargo bench -p simt-omp-bench --bench fig9` — regenerates Fig 9.
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::fig9::run(quick);
+    simt_omp_bench::fig9::report(&rows);
+}

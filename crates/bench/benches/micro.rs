@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the simulator itself (host wall-time, not
+//! simulated cycles): how fast the SIMT engine executes lane programs, and
+//! the relative host cost of the runtime paths. Useful for keeping the
+//! simulator fast enough that the figure harnesses stay interactive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{Device, DeviceArch, LaunchConfig, Slot};
+use omp_codegen::builder::{Schedule, TargetBuilder};
+use omp_core::config::ExecMode;
+
+fn bench_lane_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-engine");
+    g.bench_function("run_lanes 32x64 coalesced loads", |b| {
+        let mut dev = Device::new(DeviceArch::tiny());
+        let p = dev.global.alloc_zeroed::<f64>(64 * 32);
+        let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 0 };
+        b.iter(|| {
+            dev.launch(&cfg, |team| {
+                let lanes: Vec<u32> = (0..32).collect();
+                team.run_lanes(0, &lanes, |lane, id| {
+                    for k in 0..64u64 {
+                        let v = lane.read(p, k * 32 + id as u64);
+                        lane.work(1);
+                        lane.write(p, k * 32 + id as u64, v + 1.0);
+                    }
+                });
+            })
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_runtime_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-paths");
+    for (name, mode) in [("spmd", ExecMode::Spmd), ("generic", ExecMode::Generic)] {
+        g.bench_with_input(BenchmarkId::new("parallel-for-simd", name), &mode, |b, &mode| {
+            let mut dev = Device::a100();
+            let data = dev.global.alloc_zeroed::<f64>(256 * 32);
+            let mut bld = TargetBuilder::new().num_teams(4).threads(64);
+            let rows = bld.trip_const(256);
+            let inner = bld.trip_const(32);
+            let k = bld.build(|t| {
+                t.parallel_with_mode(8, mode, |p| {
+                    p.for_loop(rows, Schedule::Cyclic(1), |p, row| {
+                        p.simd(inner, move |lane, iv, v| {
+                            let d = v.args[0].as_ptr::<f64>();
+                            let i = v.regs[row.0].as_u64() * 32 + iv;
+                            let x = lane.read(d, i);
+                            lane.work(2);
+                            lane.write(d, i, x + 1.0);
+                        });
+                    });
+                });
+            });
+            b.iter(|| k.run(&mut dev, &[Slot::from_ptr(data)]).cycles);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lane_engine, bench_runtime_paths);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! Ablation experiments for the design choices the paper calls out.
+//!
+//! | Ablation | Paper hook |
+//! |---|---|
+//! | sharing-space size (1024 vs 2048 B) | §5.3.1 "We have increased this to 2,048 bytes" |
+//! | if-cascade vs indirect dispatch | §5.5 "Indirect calls … normally costly" |
+//! | generic-teams extra warp | §5.1 / Fig 2 "One additional warp is included" |
+//! | trip-count divisibility | §6.5 "choosing sizes that best evenly divide our loop trip count" |
+//! | reductions vs atomics | §6.3 atomic substitution, §7 reduction plans |
+//! | AMD sequential fallback | §5.4.1 "all simd loops will run sequentially" |
+
+use gpu_sim::{Device, DeviceArch, Slot};
+use omp_codegen::builder::{Schedule, TargetBuilder};
+use omp_core::config::ExecMode;
+use omp_kernels::matrix::{CsrMatrix, RowProfile};
+use omp_kernels::{laplace3d, spmv};
+use serde::Serialize;
+
+use crate::report::{print_table, save_json};
+
+/// Generic result row for ablation tables.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblRow {
+    /// Experiment id.
+    pub experiment: &'static str,
+    /// Configuration label.
+    pub config: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Experiment-specific observable (fallback count, occupancy, …).
+    pub observable: u64,
+}
+
+fn spmv_workload(rows: usize) -> (CsrMatrix, Vec<f64>) {
+    let mat = CsrMatrix::generate(rows, rows, RowProfile::Banded { min: 4, max: 44 }, 42);
+    let x: Vec<f64> = (0..rows).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
+    (mat, x)
+}
+
+/// §5.3.1 — sharing-space size: small SIMD groups (many groups per team)
+/// overflow the legacy 1024 B space and fall back to global memory.
+pub fn sharing_space(rows: usize) -> Vec<AblRow> {
+    let (mat, x) = spmv_workload(rows);
+    let mut out = Vec::new();
+    for (label, bytes) in [("legacy 1024 B", 1024u32), ("paper 2048 B", 2048)] {
+        let mut dev = Device::a100();
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        // simdlen 4 → 32 groups/team; each simd post stages 4 slots
+        // (fn + trip + 2 registers). The 2048 B space gives each group 7
+        // slots (fits); the legacy 1024 B gives 3 (global fallback).
+        let mut k = spmv::build_three_level(108, 128, 4);
+        k.config.sharing_space_bytes = bytes;
+        let (_, stats) = spmv::run(&mut dev, &k, &ops);
+        out.push(AblRow {
+            experiment: "sharing_space",
+            config: format!("{label}, simdlen 4 (32 groups)"),
+            cycles: stats.cycles,
+            observable: stats.counters.sharing_global_fallbacks,
+        });
+    }
+    out
+}
+
+/// §5.5 — outlined-function dispatch through the if-cascade vs the
+/// indirect-call fallback, on a post-heavy kernel.
+pub fn dispatch(n: u64) -> Vec<AblRow> {
+    let run = |extern_body: bool| {
+        let mut dev = Device::a100();
+        let data = dev.global.alloc_zeroed::<f64>((n * 32) as usize);
+        let mut b = TargetBuilder::new().num_teams(108).threads(128);
+        let outer = b.trip_const(n);
+        let inner = b.trip_const(32);
+        let k = b.build(|t| {
+            t.distribute_parallel_for(outer, Schedule::Cyclic(1), 8, |p, row| {
+                // A seq breaks tight nesting → generic mode → one dispatch
+                // per posted simd loop.
+                let base = p.alloc_reg();
+                p.seq(move |lane, v| {
+                    lane.work(2);
+                    v.regs[base.0] = Slot::from_u64(v.regs[row.0].as_u64() * 32);
+                });
+                let body = move |lane: &mut gpu_sim::Lane<'_>,
+                                 iv: u64,
+                                 v: &omp_core::plan::Vars<'_>| {
+                    let d = v.args[0].as_ptr::<f64>();
+                    let i = v.regs[base.0].as_u64() + iv;
+                    let x = lane.read(d, i);
+                    lane.work(4);
+                    lane.write(d, i, x + 1.0);
+                };
+                if extern_body {
+                    p.simd_extern(inner, body);
+                } else {
+                    p.simd(inner, body);
+                }
+            });
+        });
+        let stats = k.run(&mut dev, &[Slot::from_ptr(data)]);
+        (stats.cycles, stats.counters.cascade_dispatches, stats.counters.indirect_calls)
+    };
+    let (c_cyc, c_n, _) = run(false);
+    let (i_cyc, _, i_n) = run(true);
+    vec![
+        AblRow {
+            experiment: "dispatch",
+            config: "if-cascade (known region)".into(),
+            cycles: c_cyc,
+            observable: c_n,
+        },
+        AblRow {
+            experiment: "dispatch",
+            config: "indirect call (extern region)".into(),
+            cycles: i_cyc,
+            observable: i_n,
+        },
+    ]
+}
+
+/// §5.1 / Fig 2 — the extra team-main warp of generic teams mode reduces
+/// occupancy at full block sizes. Same kernel, teams mode forced.
+pub fn extra_warp(n: usize) -> Vec<AblRow> {
+    let w = laplace3d::Laplace3dWorkload::generate(n);
+    let mut out = Vec::new();
+    for (label, mode) in
+        [("teams SPMD", ExecMode::Spmd), ("teams generic (+1 warp)", ExecMode::Generic)]
+    {
+        let mut dev = Device::a100();
+        let ops = laplace3d::Laplace3dDev::upload(&mut dev, &w);
+        // 672 worker threads sit on an occupancy boundary: 2048/672 = 3
+        // blocks/SM in SPMD mode, but the generic extra warp (704 threads)
+        // drops that to 2.
+        let mut k =
+            laplace3d::build(216, 672, omp_kernels::harness::Fig10Variant::SpmdSimd);
+        k.config.teams_mode = mode;
+        let (_, stats) = laplace3d::run(&mut dev, &k, &ops);
+        out.push(AblRow {
+            experiment: "extra_warp",
+            config: format!("{label}, 672 threads/team"),
+            cycles: stats.cycles,
+            observable: stats.blocks_per_sm as u64,
+        });
+    }
+    out
+}
+
+/// §6.5 — trip-count divisibility: a fixed 36-iteration inner loop (like
+/// SU3) across group sizes; efficiency = trip / (ceil(trip/gs)·gs).
+pub fn divisibility(outer: u64, trip: u64) -> Vec<AblRow> {
+    let mut out = Vec::new();
+    for gs in [2u32, 4, 8, 16, 32] {
+        let mut dev = Device::a100();
+        let data = dev.global.alloc_zeroed::<f64>((outer * trip) as usize);
+        let mut b = TargetBuilder::new().num_teams(108).threads(128);
+        let outer_t = b.trip_const(outer);
+        let inner_t = b.trip_const(trip);
+        let k = b.build(|t| {
+            t.distribute_parallel_for(outer_t, Schedule::Cyclic(1), gs, |p, row| {
+                p.simd(inner_t, move |lane, iv, v| {
+                    let d = v.args[0].as_ptr::<f64>();
+                    let i = v.regs[row.0].as_u64() * trip + iv;
+                    let x = lane.read(d, i);
+                    lane.work(8);
+                    lane.write(d, i, x * 1.5 + 1.0);
+                });
+            });
+        });
+        let stats = k.run(&mut dev, &[Slot::from_ptr(data)]);
+        let eff =
+            (trip as f64 / ((trip.div_ceil(gs as u64)) * gs as u64) as f64 * 100.0) as u64;
+        out.push(AblRow {
+            experiment: "divisibility",
+            config: format!("trip {trip}, simdlen {gs} (lane efficiency {eff}%)"),
+            cycles: stats.cycles,
+            observable: eff,
+        });
+    }
+    out
+}
+
+/// §6.3/§7 — atomic accumulation vs the simd-reduction extension on spmv.
+pub fn reduction(rows: usize) -> Vec<AblRow> {
+    let (mat, x) = spmv_workload(rows);
+    let mut out = Vec::new();
+    let mut dev = Device::a100();
+    let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+    let k = spmv::build_three_level(108, 128, 8);
+    let (_, s) = spmv::run(&mut dev, &k, &ops);
+    out.push(AblRow {
+        experiment: "reduction",
+        config: "atomic update (paper's substitution)".into(),
+        cycles: s.cycles,
+        observable: 0,
+    });
+    let mut dev = Device::a100();
+    let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+    let k = spmv::build_three_level_reduce(108, 128, 8);
+    let (_, s) = spmv::run(&mut dev, &k, &ops);
+    out.push(AblRow {
+        experiment: "reduction",
+        config: "simd reduction(+) extension (§7)".into(),
+        cycles: s.cycles,
+        observable: 0,
+    });
+    out
+}
+
+/// §5.4.1 — AMD-like device: generic-mode simd loops run sequentially on
+/// the SIMD main; SPMD mode is unaffected.
+pub fn amd_fallback(rows: usize) -> Vec<AblRow> {
+    let (mat, x) = spmv_workload(rows);
+    let want = mat.spmv_ref(&x);
+    let mut out = Vec::new();
+    for (label, arch) in [
+        ("NVIDIA-like (warp sync)", DeviceArch::a100()),
+        ("AMD-like (no wave sync)", DeviceArch::mi100()),
+    ] {
+        let mut dev = Device::new(arch);
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        let k = spmv::build_three_level(108, 128, 8);
+        let (y, stats) = spmv::run(&mut dev, &k, &ops);
+        let err = omp_kernels::harness::max_abs_err(&y, &want);
+        assert!(err < 1e-9, "{label}: wrong result");
+        out.push(AblRow {
+            experiment: "amd_fallback",
+            config: format!("{label}, generic simd, gs 8"),
+            cycles: stats.cycles,
+            observable: stats.counters.sequential_simd_fallbacks,
+        });
+    }
+    out
+}
+
+/// §6.5 — sparsity sensitivity: the best SIMD group size tracks the mean
+/// row length ("codes that cannot express efficient vector parallelism …
+/// It is likely best to experiment with the different options").
+pub fn sparsity(rows: usize) -> Vec<AblRow> {
+    let mut out = Vec::new();
+    for mean in [8usize, 16, 24, 40] {
+        let profile = RowProfile::Banded { min: (mean / 4).max(1), max: mean * 7 / 4 };
+        let mat = CsrMatrix::generate(rows, rows, profile, 42);
+        let x: Vec<f64> = (0..rows).map(|i| (i % 13) as f64 * 0.5).collect();
+        let mut best = (0u32, u64::MAX);
+        let mut by_gs = std::collections::BTreeMap::new();
+        for gs in [2u32, 4, 8, 16, 32] {
+            let mut dev = Device::a100();
+            let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+            let k = spmv::build_three_level(108, 128, gs);
+            let (_, stats) = spmv::run(&mut dev, &k, &ops);
+            by_gs.insert(gs, stats.cycles);
+            if stats.cycles < best.1 {
+                best = (gs, stats.cycles);
+            }
+        }
+        // Observable: gs-8 cycles as a percentage of gs-4 cycles — longer
+        // rows narrow the gap toward (and past) wider groups.
+        let rel8 = by_gs[&8] * 100 / by_gs[&4];
+        out.push(AblRow {
+            experiment: "sparsity",
+            config: format!(
+                "mean {:.1} nnz/row → best simdlen {} (gs8/gs4 = {rel8}%)",
+                mat.mean_row_len(),
+                best.0
+            ),
+            cycles: best.1,
+            observable: rel8,
+        });
+    }
+    out
+}
+
+/// Run all ablations.
+pub fn run_all(quick: bool) -> Vec<AblRow> {
+    let (rows, outer, grid) = if quick { (8_192, 8_192, 64) } else { (32_768, 27_648, 96) };
+    let mut all = Vec::new();
+    all.extend(sharing_space(rows));
+    all.extend(dispatch(outer));
+    all.extend(extra_warp(grid));
+    all.extend(divisibility(outer, 36));
+    all.extend(reduction(rows));
+    all.extend(amd_fallback(rows));
+    all.extend(sparsity(rows / 2));
+    all
+}
+
+/// Print the tables and persist JSON.
+pub fn report(rows: &[AblRow]) {
+    for exp in
+        ["sharing_space", "dispatch", "extra_warp", "divisibility", "reduction", "amd_fallback", "sparsity"]
+    {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.experiment == exp)
+            .map(|r| vec![r.config.clone(), r.cycles.to_string(), r.observable.to_string()])
+            .collect();
+        print_table(&format!("Ablation: {exp}"), &["config", "cycles", "observable"], &table);
+    }
+    save_json("ablations", &rows);
+}

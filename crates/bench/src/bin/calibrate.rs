@@ -1,0 +1,198 @@
+//! Cost-model calibration sweep: evaluates candidate constant sets against
+//! the paper's target shapes and prints the ones that satisfy every range.
+//!
+//! Targets (paper §6.3/§6.4):
+//! * spmv: best speedup at group 8, value 2.5–4.5, gs2 and gs32 below peak
+//! * su3: best value 1.1–1.7 at group 2..=8, gs32 not the max
+//! * ideal: best at group 16/32, value 1.7–2.6, gs2 below peak
+//! * laplace3d: SPMD/NoSimd in 0.97–1.12; Generic/NoSimd in 0.78–0.95
+
+use gpu_sim::cost::CostModel;
+use gpu_sim::Device;
+use omp_kernels::harness::Fig10Variant;
+use omp_kernels::matrix::{CsrMatrix, RowProfile};
+use omp_kernels::{ideal, laplace3d, spmv, su3};
+
+struct Workloads {
+    mat: CsrMatrix,
+    x: Vec<f64>,
+    su3w: su3::Su3Workload,
+    idealw: ideal::IdealWorkload,
+    lapw: laplace3d::Laplace3dWorkload,
+}
+
+fn cycles_with(cost: &CostModel, f: impl FnOnce(&mut Device) -> gpu_sim::LaunchStats) -> u64 {
+    let mut dev = Device::a100();
+    dev.cost = cost.clone();
+    f(&mut dev).cycles
+}
+
+struct Shape {
+    spmv: Vec<(u32, f64)>,
+    su3: Vec<(u32, f64)>,
+    ideal: Vec<(u32, f64)>,
+    lap_spmd: f64,
+    lap_gen: f64,
+}
+
+fn eval(cost: &CostModel, w: &Workloads) -> Shape {
+    let teams = 108;
+    let threads = 128;
+    let gss = [2u32, 4, 8, 16, 32];
+
+    let spmv_base = cycles_with(cost, |d| {
+        let ops = spmv::SpmvDev::upload(d, &w.mat, &w.x);
+        let k = spmv::build_two_level(1728);
+        spmv::run(d, &k, &ops).1
+    });
+    let spmv_s: Vec<(u32, f64)> = gss
+        .iter()
+        .map(|&gs| {
+            let c = cycles_with(cost, |d| {
+                let ops = spmv::SpmvDev::upload(d, &w.mat, &w.x);
+                let k = spmv::build_three_level(teams, threads, gs);
+                spmv::run(d, &k, &ops).1
+            });
+            (gs, spmv_base as f64 / c as f64)
+        })
+        .collect();
+
+    let su3_base = cycles_with(cost, |d| {
+        let ops = su3::Su3Dev::upload(d, &w.su3w);
+        let k = su3::build(teams, threads, 1);
+        su3::run(d, &k, &ops).1
+    });
+    let su3_s: Vec<(u32, f64)> = gss
+        .iter()
+        .map(|&gs| {
+            let c = cycles_with(cost, |d| {
+                let ops = su3::Su3Dev::upload(d, &w.su3w);
+                let k = su3::build(teams, threads, gs);
+                su3::run(d, &k, &ops).1
+            });
+            (gs, su3_base as f64 / c as f64)
+        })
+        .collect();
+
+    let ideal_base = cycles_with(cost, |d| {
+        let ops = ideal::IdealDev::upload(d, &w.idealw);
+        let k = ideal::build(teams, threads, 1);
+        ideal::run(d, &k, &ops).1
+    });
+    let ideal_s: Vec<(u32, f64)> = gss
+        .iter()
+        .map(|&gs| {
+            let c = cycles_with(cost, |d| {
+                let ops = ideal::IdealDev::upload(d, &w.idealw);
+                let k = ideal::build(teams, threads, gs);
+                ideal::run(d, &k, &ops).1
+            });
+            (gs, ideal_base as f64 / c as f64)
+        })
+        .collect();
+
+    let lap = |v: Fig10Variant| {
+        cycles_with(cost, |d| {
+            let ops = laplace3d::Laplace3dDev::upload(d, &w.lapw);
+            let k = laplace3d::build(teams, threads, v);
+            laplace3d::run(d, &k, &ops).1
+        })
+    };
+    let lap_no = lap(Fig10Variant::NoSimd) as f64;
+    let lap_spmd = lap_no / lap(Fig10Variant::SpmdSimd) as f64;
+    let lap_gen = lap_no / lap(Fig10Variant::GenericSimd) as f64;
+
+    Shape { spmv: spmv_s, su3: su3_s, ideal: ideal_s, lap_spmd, lap_gen }
+}
+
+fn best(v: &[(u32, f64)]) -> (u32, f64) {
+    *v.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap()
+}
+
+fn get(v: &[(u32, f64)], gs: u32) -> f64 {
+    v.iter().find(|(g, _)| *g == gs).unwrap().1
+}
+
+fn score(s: &Shape) -> (bool, String) {
+    let (spmv_peak_gs, spmv_peak) = best(&s.spmv);
+    let (su3_peak_gs, su3_peak) = best(&s.su3);
+    let (ideal_peak_gs, ideal_peak) = best(&s.ideal);
+    let checks = [
+        ("spmv peak at 8", spmv_peak_gs == 8),
+        ("spmv 2.5-4.5", (2.5..=4.5).contains(&spmv_peak)),
+        ("spmv gs2 below", get(&s.spmv, 2) < spmv_peak * 0.9),
+        ("spmv gs32 below", get(&s.spmv, 32) < spmv_peak * 0.85),
+        ("su3 1.1-1.7", (1.1..=1.7).contains(&su3_peak)),
+        ("su3 peak 2-8", (2..=8).contains(&su3_peak_gs)),
+        ("ideal peak 16/32", ideal_peak_gs >= 16),
+        ("ideal 1.7-2.6", (1.7..=2.6).contains(&ideal_peak)),
+        ("ideal gs2 below", get(&s.ideal, 2) < ideal_peak * 0.9),
+        ("lap spmd ~1.0", (0.97..=1.12).contains(&s.lap_spmd)),
+        ("lap generic 15%", (0.78..=0.95).contains(&s.lap_gen)),
+    ];
+    let pass = checks.iter().filter(|(_, ok)| *ok).count();
+    let fails: Vec<&str> =
+        checks.iter().filter(|(_, ok)| !ok).map(|(n, _)| *n).collect();
+    (pass == checks.len(), format!("{pass}/11 fails={fails:?}"))
+}
+
+fn main() {
+    let rows = 32_768;
+    let w = Workloads {
+        mat: CsrMatrix::generate(rows, rows, RowProfile::Banded { min: 4, max: 44 }, 42),
+        x: (0..rows).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect(),
+        su3w: su3::Su3Workload::generate(27_648, 7),
+        idealw: ideal::IdealWorkload::generate(27_648, 3),
+        lapw: laplace3d::Laplace3dWorkload::generate(64),
+    };
+
+    let args: Vec<String> = std::env::args().collect();
+    let fine = args.iter().any(|a| a == "--fine");
+
+    // (line_cycles, dram, warp_sync, smem, l1_lines)
+    let mut candidates = vec![
+        (4u64, 16u64, 4u64, 1u64, 512u32),
+        (6, 16, 4, 1, 512),
+        (4, 12, 4, 1, 512),
+        (6, 12, 2, 1, 512),
+        (4, 16, 2, 1, 1024),
+        (6, 16, 2, 1, 1024),
+        (6, 20, 4, 1, 512),
+        (8, 16, 4, 1, 512),
+    ];
+    if fine {
+        candidates.extend([(4u64, 14u64, 4u64, 2u64, 512u32), (6, 14, 4, 2, 512)]);
+    }
+
+    for (line, dram, sync, smem, l1) in candidates {
+        let cost = CostModel {
+            line_cycles: line,
+            dram_sectors_per_cycle: dram,
+            warp_sync_cycles: sync,
+            smem_cycles: smem,
+            l1_lines: l1,
+            cascade_dispatch_cycles: 4,
+            ..CostModel::default()
+        };
+        let s = eval(&cost, &w);
+        let (ok, summary) = score(&s);
+        println!(
+            "line={line} dram={dram} sync={sync} smem={smem} l1={l1} {} {summary}",
+            if ok { "PASS" } else { "    " },
+        );
+        println!(
+            "    spmv={:?}",
+            s.spmv.iter().map(|(g, v)| format!("{g}:{v:.2}")).collect::<Vec<_>>()
+        );
+        println!(
+            "    su3 ={:?}",
+            s.su3.iter().map(|(g, v)| format!("{g}:{v:.2}")).collect::<Vec<_>>()
+        );
+        println!(
+            "    idea={:?} lap_spmd={:.3} lap_gen={:.3}",
+            s.ideal.iter().map(|(g, v)| format!("{g}:{v:.2}")).collect::<Vec<_>>(),
+            s.lap_spmd,
+            s.lap_gen
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Diagnostic breakdowns for cost-model calibration: prints per-config
+//! issue/sector/hit/counter totals for the Fig 9 and Fig 10 kernels.
+
+use gpu_sim::Device;
+use omp_kernels::harness::Fig10Variant;
+use omp_kernels::matrix::{CsrMatrix, RowProfile};
+use omp_kernels::{ideal, laplace3d, spmv, su3};
+
+fn show(tag: &str, stats: &gpu_sim::LaunchStats) {
+    println!(
+        "{tag:<28} cycles={:>9} blk/sm={} issue={:>10} sectors={:>9} l1hit={:>9} smem={:>8} posts={} syncs={} barriers={}",
+        stats.cycles,
+        stats.blocks_per_sm,
+        stats.total_issue,
+        stats.total_sectors,
+        stats.total_l1_hits,
+        stats.total_smem_ops,
+        stats.counters.state_machine_posts,
+        stats.counters.warp_syncs,
+        stats.counters.block_barriers,
+    );
+}
+
+fn main() {
+    let teams = 108;
+    let threads = 128;
+
+    // --- spmv ---
+    let rows = 32_768;
+    let mat = CsrMatrix::generate(rows, rows, RowProfile::Banded { min: 4, max: 44 }, 42);
+    let x: Vec<f64> = (0..rows).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
+    {
+        let mut dev = Device::a100();
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        let k = spmv::build_two_level(1728);
+        let (_, stats) = spmv::run(&mut dev, &k, &ops);
+        show("spmv 2-level", &stats);
+    }
+    for gs in [2u32, 8, 32] {
+        let mut dev = Device::a100();
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        let k = spmv::build_three_level(teams, threads, gs);
+        let (_, stats) = spmv::run(&mut dev, &k, &ops);
+        show(&format!("spmv 3-level gs{gs}"), &stats);
+    }
+
+    // --- su3 ---
+    let w = su3::Su3Workload::generate(27_648, 7);
+    for gs in [1u32, 2, 4, 8, 32] {
+        let mut dev = Device::a100();
+        let ops = su3::Su3Dev::upload(&mut dev, &w);
+        let k = su3::build(teams, threads, gs);
+        let (_, stats) = su3::run(&mut dev, &k, &ops);
+        show(&format!("su3 gs{gs}"), &stats);
+    }
+
+    // --- ideal ---
+    let w = ideal::IdealWorkload::generate(27_648, 3);
+    for gs in [1u32, 4, 16, 32] {
+        let mut dev = Device::a100();
+        let ops = ideal::IdealDev::upload(&mut dev, &w);
+        let k = ideal::build(teams, threads, gs);
+        let (_, stats) = ideal::run(&mut dev, &k, &ops);
+        show(&format!("ideal gs{gs}"), &stats);
+    }
+
+    // --- laplace3d fig10 ---
+    let w = laplace3d::Laplace3dWorkload::generate(64);
+    for v in Fig10Variant::ALL {
+        let mut dev = Device::a100();
+        let ops = laplace3d::Laplace3dDev::upload(&mut dev, &w);
+        let k = laplace3d::build(teams, threads, v);
+        let (_, stats) = laplace3d::run(&mut dev, &k, &ops);
+        show(&format!("laplace3d {}", v.label()), &stats);
+    }
+}

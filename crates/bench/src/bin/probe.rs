@@ -1,0 +1,37 @@
+//! One-off probe: per-group-size breakdown for the ideal kernel.
+
+use gpu_sim::cost::CostModel;
+use gpu_sim::Device;
+use omp_kernels::ideal;
+
+fn main() {
+    let cost = CostModel {
+        line_cycles: 6,
+        dram_sectors_per_cycle: 20,
+        warp_sync_cycles: 4,
+        smem_cycles: 1,
+        cascade_dispatch_cycles: 4,
+        l1_lines: 512,
+        ..CostModel::default()
+    };
+    let w = ideal::IdealWorkload::generate(27_648, 3);
+    for gs in [1u32, 4, 8, 16, 32] {
+        let mut dev = Device::a100();
+        dev.cost = cost.clone();
+        let ops = ideal::IdealDev::upload(&mut dev, &w);
+        let k = ideal::build(108, 128, gs);
+        let (_, s) = ideal::run(&mut dev, &k, &ops);
+        println!(
+            "gs{gs:<3} cycles={:>7} issue={:>9} issue/sm={:>6} sectors={:>7} dram={:>6} l1hit={:>8} smem={:>7} syncs={:>6} posts={:>6}",
+            s.cycles,
+            s.total_issue,
+            s.total_issue / 216,
+            s.total_sectors,
+            s.total_sectors / 20,
+            s.total_l1_hits,
+            s.total_smem_ops,
+            s.counters.warp_syncs,
+            s.counters.state_machine_posts,
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig 10 — performance cost of the implementation: relative speedup of
+//! {No SIMD, SPMD SIMD, Generic SIMD} for `laplace3d`, `muram_transpose`
+//! and `muram_interpol` (paper §6.4).
+//!
+//! Paper shapes to reproduce: SPMD SIMD performs like No SIMD (laplace3d
+//! and interpol marginally better); Generic SIMD pays roughly a 15 %
+//! state-machine penalty. Teams are always SPMD; teams/threads constant;
+//! SIMD group size 32.
+
+use gpu_sim::Device;
+use omp_kernels::harness::{max_abs_err, speedup, Fig10Variant};
+use omp_kernels::laplace3d;
+use omp_kernels::muram::{self, MuramKernel};
+use serde::Serialize;
+
+use crate::report::{print_table, save_json};
+
+/// One bar of Fig 10.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Execution-mode variant.
+    pub variant: &'static str,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Speedup relative to the kernel's "No SIMD" bar (1.0 for the bar
+    /// itself).
+    pub relative: f64,
+    /// Max abs error against the host reference.
+    pub max_err: f64,
+}
+
+fn grid_n(quick: bool) -> usize {
+    // 112³ keeps the kernels in the issue-bound regime where the generic
+    // state machine's overhead is visible (very large grids become purely
+    // DRAM-bound and hide it; the paper's kernels show the overhead).
+    if quick {
+        64
+    } else {
+        112
+    }
+}
+
+/// Run the full figure sweep.
+pub fn run(quick: bool) -> Vec<Fig10Row> {
+    let n = grid_n(quick);
+    let (teams, threads) = (108, 128);
+    let mut rows = Vec::new();
+
+    // laplace3d
+    {
+        let w = laplace3d::Laplace3dWorkload::generate(n);
+        let want = w.reference();
+        let mut cycles = [0u64; 3];
+        let mut errs = [0f64; 3];
+        for (i, variant) in Fig10Variant::ALL.iter().enumerate() {
+            let mut dev = Device::a100();
+            let ops = laplace3d::Laplace3dDev::upload(&mut dev, &w);
+            let k = laplace3d::build(teams, threads, *variant);
+            let (out, stats) = laplace3d::run(&mut dev, &k, &ops);
+            cycles[i] = stats.cycles;
+            errs[i] = max_abs_err(&out, &want);
+        }
+        for (i, variant) in Fig10Variant::ALL.iter().enumerate() {
+            rows.push(Fig10Row {
+                kernel: "laplace3d",
+                variant: variant.label(),
+                cycles: cycles[i],
+                relative: speedup(cycles[0], cycles[i]),
+                max_err: errs[i],
+            });
+        }
+    }
+
+    // muram kernels
+    for (name, which) in [
+        ("muram_transpose", MuramKernel::Transpose),
+        ("muram_interpol", MuramKernel::Interpol),
+    ] {
+        let w = muram::MuramWorkload::generate(n);
+        let want = w.reference(which);
+        let mut cycles = [0u64; 3];
+        let mut errs = [0f64; 3];
+        for (i, variant) in Fig10Variant::ALL.iter().enumerate() {
+            let mut dev = Device::a100();
+            let ops = muram::MuramDev::upload(&mut dev, &w);
+            let k = muram::build(which, teams, threads, *variant);
+            let (out, stats) = muram::run(&mut dev, &k, &ops);
+            cycles[i] = stats.cycles;
+            errs[i] = max_abs_err(&out, &want);
+        }
+        for (i, variant) in Fig10Variant::ALL.iter().enumerate() {
+            rows.push(Fig10Row {
+                kernel: name,
+                variant: variant.label(),
+                cycles: cycles[i],
+                relative: speedup(cycles[0], cycles[i]),
+                max_err: errs[i],
+            });
+        }
+    }
+
+    rows
+}
+
+/// Print the paper-style table and persist JSON.
+pub fn report(rows: &[Fig10Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                r.variant.to_string(),
+                r.cycles.to_string(),
+                format!("{:.3}x", r.relative),
+                format!("{:.1e}", r.max_err),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10: relative speedup of SIMD execution modes (vs No SIMD)",
+        &["kernel", "variant", "cycles", "relative", "max_err"],
+        &table,
+    );
+    save_json("fig10", &rows);
+}

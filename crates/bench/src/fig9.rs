@@ -1,0 +1,202 @@
+//! Fig 9 — SIMD benefit: speedup of the 3-level (`simd`) versions over the
+//! 2-level baselines for `sparse_matvec`, `SU3_bench` and the ideal
+//! kernel, across all SIMD group sizes (paper §6.3).
+//!
+//! Paper shapes to reproduce:
+//! * sparse_matvec peaks around **3.5×**, best at group size **8**;
+//! * SU3_bench peaks around **1.3×**, best at group size **4** (2 and 8
+//!   close behind — 36 iterations divide evenly by 2 and 4, not by 8+);
+//! * the ideal kernel reaches about **2.15×** at group size **32**, with
+//!   16 very close.
+
+use gpu_sim::Device;
+use omp_kernels::harness::{max_abs_err, speedup};
+use omp_kernels::matrix::{CsrMatrix, RowProfile};
+use omp_kernels::{ideal, spmv, su3};
+use serde::Serialize;
+
+use crate::report::{print_table, save_json};
+
+/// SIMD group sizes swept by the figure.
+pub const GROUP_SIZES: [u32; 5] = [2, 4, 8, 16, 32];
+
+/// One bar of Fig 9.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// SIMD group size of the 3-level version.
+    pub group_size: u32,
+    /// Simulated cycles of the 2-level baseline.
+    pub base_cycles: u64,
+    /// Simulated cycles of the 3-level version.
+    pub simd_cycles: u64,
+    /// `base_cycles / simd_cycles`.
+    pub speedup: f64,
+    /// Max abs error of the simd version against the host reference.
+    pub max_err: f64,
+}
+
+/// Problem sizes (quick mode shrinks everything for CI-style runs).
+struct Sizes {
+    spmv_rows: usize,
+    su3_sites: usize,
+    ideal_outer: usize,
+    teams: u32,
+    threads: u32,
+    base_teams_spmv: u32,
+}
+
+fn sizes(quick: bool) -> Sizes {
+    // Iteration counts are kept well above the worker counts of every
+    // configuration so all variants saturate the device (as the paper's
+    // full-size runs do): smallest group size 2 with 256 threads × 108
+    // teams gives 13 824 workers.
+    if quick {
+        Sizes {
+            spmv_rows: 32_768,
+            su3_sites: 27_648,
+            ideal_outer: 27_648,
+            teams: 108,
+            threads: 128,
+            base_teams_spmv: 1_728,
+        }
+    } else {
+        Sizes {
+            spmv_rows: 65_536,
+            su3_sites: 55_296,
+            ideal_outer: 55_296,
+            teams: 108,
+            threads: 128,
+            base_teams_spmv: 3_456,
+        }
+    }
+}
+
+/// Run the full figure sweep.
+pub fn run(quick: bool) -> Vec<Fig9Row> {
+    let sz = sizes(quick);
+    let mut rows = Vec::new();
+
+    // --- sparse_matvec -------------------------------------------------
+    let mat = CsrMatrix::generate(
+        sz.spmv_rows,
+        sz.spmv_rows,
+        RowProfile::Banded { min: 4, max: 44 },
+        42,
+    );
+    let x: Vec<f64> = (0..mat.ncols).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
+    let want = mat.spmv_ref(&x);
+
+    let base_cycles = {
+        let mut dev = Device::a100();
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        let k = spmv::build_two_level(sz.base_teams_spmv);
+        let (y, stats) = spmv::run(&mut dev, &k, &ops);
+        assert!(max_abs_err(&y, &want) < 1e-9, "spmv baseline wrong");
+        stats.cycles
+    };
+    for gs in GROUP_SIZES {
+        let mut dev = Device::a100();
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        let k = spmv::build_three_level(sz.teams, sz.threads, gs);
+        let (y, stats) = spmv::run(&mut dev, &k, &ops);
+        rows.push(Fig9Row {
+            kernel: "sparse_matvec",
+            group_size: gs,
+            base_cycles,
+            simd_cycles: stats.cycles,
+            speedup: speedup(base_cycles, stats.cycles),
+            max_err: max_abs_err(&y, &want),
+        });
+    }
+
+    // --- SU3_bench ------------------------------------------------------
+    let w = su3::Su3Workload::generate(sz.su3_sites, 7);
+    let want = w.reference();
+    let base_cycles = {
+        let mut dev = Device::a100();
+        let ops = su3::Su3Dev::upload(&mut dev, &w);
+        let k = su3::build(sz.teams, sz.threads, 1);
+        let (c, stats) = su3::run(&mut dev, &k, &ops);
+        assert!(max_abs_err(&c, &want) < 1e-9, "su3 baseline wrong");
+        stats.cycles
+    };
+    for gs in GROUP_SIZES {
+        let mut dev = Device::a100();
+        let ops = su3::Su3Dev::upload(&mut dev, &w);
+        let k = su3::build(sz.teams, sz.threads, gs);
+        let (c, stats) = su3::run(&mut dev, &k, &ops);
+        rows.push(Fig9Row {
+            kernel: "su3_bench",
+            group_size: gs,
+            base_cycles,
+            simd_cycles: stats.cycles,
+            speedup: speedup(base_cycles, stats.cycles),
+            max_err: max_abs_err(&c, &want),
+        });
+    }
+
+    // --- ideal kernel -----------------------------------------------------
+    let w = ideal::IdealWorkload::generate(sz.ideal_outer, 3);
+    let want = w.reference();
+    let base_cycles = {
+        let mut dev = Device::a100();
+        let ops = ideal::IdealDev::upload(&mut dev, &w);
+        let k = ideal::build(sz.teams, sz.threads, 1);
+        let (o, stats) = ideal::run(&mut dev, &k, &ops);
+        assert!(max_abs_err(&o, &want) == 0.0, "ideal baseline wrong");
+        stats.cycles
+    };
+    for gs in GROUP_SIZES {
+        let mut dev = Device::a100();
+        let ops = ideal::IdealDev::upload(&mut dev, &w);
+        let k = ideal::build(sz.teams, sz.threads, gs);
+        let (o, stats) = ideal::run(&mut dev, &k, &ops);
+        rows.push(Fig9Row {
+            kernel: "ideal",
+            group_size: gs,
+            base_cycles,
+            simd_cycles: stats.cycles,
+            speedup: speedup(base_cycles, stats.cycles),
+            max_err: max_abs_err(&o, &want),
+        });
+    }
+
+    rows
+}
+
+/// Print the paper-style table and persist JSON.
+pub fn report(rows: &[Fig9Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                r.group_size.to_string(),
+                r.base_cycles.to_string(),
+                r.simd_cycles.to_string(),
+                format!("{:.2}x", r.speedup),
+                format!("{:.1e}", r.max_err),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9: speedup of 3-level simd over the 2-level baseline",
+        &["kernel", "group", "base_cycles", "simd_cycles", "speedup", "max_err"],
+        &table,
+    );
+    for kernel in ["sparse_matvec", "su3_bench", "ideal"] {
+        if let Some(best) = rows
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        {
+            println!(
+                "best {kernel}: {:.2}x at group size {}",
+                best.speedup, best.group_size
+            );
+        }
+    }
+    save_json("fig9", &rows);
+}

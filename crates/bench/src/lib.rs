@@ -1,0 +1,28 @@
+//! # simt-omp-bench — figure and ablation harnesses
+//!
+//! One module per evaluation artifact of the paper:
+//!
+//! * [`fig9`] — "Results for various kernels comparing our simd
+//!   implementation to the original two levels of parallelism.
+//!   Experiments with all possible SIMD group sizes."
+//! * [`fig10`] — "Relative speedup of the different SIMD execution modes.
+//!   All teams regions are executed in SPMD mode."
+//! * [`ablations`] — design-choice experiments DESIGN.md calls out
+//!   (sharing-space size, dispatch strategy, extra team-main warp,
+//!   trip-count divisibility, reductions vs atomics, AMD fallback).
+//! * [`report`] — table printing + JSON persistence so EXPERIMENTS.md
+//!   numbers are regenerable.
+//!
+//! Run them with `cargo bench -p simt-omp-bench` (each bench target is a
+//! plain harness that prints the paper-style table and writes JSON under
+//! `target/figures/`). Pass `--quick` after `--` for reduced problem sizes.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig9;
+pub mod report;
+
+/// Parse the common `--quick` flag from bench argv.
+pub fn quick_from_args() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

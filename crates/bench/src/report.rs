@@ -1,0 +1,97 @@
+//! Table printing and JSON persistence for figure harnesses.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory where figure harnesses persist machine-readable results:
+/// `<workspace target dir>/figures`.
+pub fn figures_dir() -> PathBuf {
+    if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(t).join("figures");
+    }
+    // Walk up from this crate's manifest to the workspace root (the
+    // directory holding Cargo.lock) so benches write one shared location
+    // regardless of their working directory.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            return PathBuf::from("target/figures");
+        }
+    }
+    dir.join("target").join("figures")
+}
+
+/// Persist rows as JSON under `target/figures/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = figures_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            } else {
+                println!("(json saved to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialize failed: {e}"),
+    }
+}
+
+/// Print a fixed-width table: `header` then rows of equal arity.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["kernel", "gs", "speedup"],
+            &[
+                vec!["spmv".into(), "8".into(), "3.50x".into()],
+                vec!["su3".into(), "4".into(), "1.30x".into()],
+            ],
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize)]
+        struct Row {
+            a: u32,
+        }
+        // Write into a temp target dir to avoid polluting real figures.
+        std::env::set_var("CARGO_TARGET_DIR", std::env::temp_dir().join("simt-omp-test"));
+        save_json("unit_test_rows", &vec![Row { a: 1 }]);
+        let p = figures_dir().join("unit_test_rows.json");
+        let s = std::fs::read_to_string(p).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        std::env::remove_var("CARGO_TARGET_DIR");
+    }
+}

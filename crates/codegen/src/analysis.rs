@@ -1,0 +1,153 @@
+//! Execution-mode analysis and staging reports.
+//!
+//! The real system decides between the generic and SPMD models with an
+//! inter-procedural IR analysis (reference \[16\] in the paper; §3.2): a region is SPMD
+//! when every thread can execute all of it — i.e. the parallel/simd loops
+//! are tightly nested and sequential code has no side effects. Our
+//! directive trees carry the same information structurally, so the analysis
+//! is exact rather than conservative:
+//!
+//! * **teams**: SPMD unless there is team-level sequential code, or a
+//!   `distribute` loop whose body contains `parallel` regions (the team
+//!   main then runs sequential iterations between regions — the paper's
+//!   2-level sparse_matvec baseline);
+//! * **parallel**: SPMD unless there is thread-level sequential code or a
+//!   worksharing trip count that varies per worker (e.g. CSR row lengths),
+//!   either of which breaks the "all threads reach the same loops with the
+//!   same bounds" requirement.
+
+use omp_core::config::{ExecMode, KernelConfig, ParallelDesc};
+use omp_core::mapping::SimdMapping;
+use omp_core::sharing::SharingSpace;
+
+/// Infer the teams-region mode from structural facts.
+pub fn infer_teams_mode(saw_team_seq: bool, distribute_contains_parallel: bool) -> ExecMode {
+    if saw_team_seq || distribute_contains_parallel {
+        ExecMode::Generic
+    } else {
+        ExecMode::Spmd
+    }
+}
+
+/// Per-`parallel`-region analysis record.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelInfo {
+    /// The mode and group size the region will run with.
+    pub desc: ParallelDesc,
+    /// What the structural analysis inferred (may differ when forced).
+    pub inferred: ExecMode,
+    /// Whether an explicit override was applied.
+    pub forced: bool,
+    /// Thread-scope registers (the values staged per simd loop in generic
+    /// mode).
+    pub nregs: usize,
+}
+
+/// Result of compiling a target region.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Teams-region execution mode.
+    pub teams_mode: ExecMode,
+    /// One record per `parallel` region, in program order.
+    pub parallels: Vec<ParallelInfo>,
+}
+
+impl Analysis {
+    /// Staging report for parallel region `i` under a given kernel config
+    /// and warp size: how many slots each SIMD main must stage per simd
+    /// loop, how many its sharing-space slice holds, and whether the global
+    /// fallback will trigger (§5.3.1).
+    pub fn staging_report(&self, cfg: &KernelConfig, warp_size: u32, i: usize) -> StagingReport {
+        let info = &self.parallels[i];
+        let m = SimdMapping::new(cfg.threads_per_team, info.desc.simdlen, warp_size);
+        // Mirror the runtime's layout computation without touching real
+        // shared memory.
+        let mut smem = gpu_sim::SharedMem::new(cfg.sharing_space_bytes);
+        let mut space = SharingSpace::reserve(&mut smem, cfg.sharing_space_bytes);
+        space.configure_groups(m.num_groups());
+        let stage_slots = 2 + info.nregs as u32;
+        StagingReport {
+            simdlen: info.desc.simdlen,
+            num_groups: m.num_groups(),
+            slice_slots: space.group_slots(),
+            stage_slots,
+            falls_back: info.desc.mode == ExecMode::Generic
+                && !space.group_fits(stage_slots),
+        }
+    }
+}
+
+/// How a parallel region's generic-mode staging maps onto the sharing
+/// space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StagingReport {
+    /// SIMD group size.
+    pub simdlen: u32,
+    /// SIMD groups per team.
+    pub num_groups: u32,
+    /// Slots available per group in the sharing space.
+    pub slice_slots: u32,
+    /// Slots the SIMD main stages per simd loop (fn + trip + registers).
+    pub stage_slots: u32,
+    /// Whether generic-mode staging overflows into global memory.
+    pub falls_back: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teams_mode_rules() {
+        assert_eq!(infer_teams_mode(false, false), ExecMode::Spmd);
+        assert_eq!(infer_teams_mode(true, false), ExecMode::Generic);
+        assert_eq!(infer_teams_mode(false, true), ExecMode::Generic);
+    }
+
+    #[test]
+    fn staging_report_matches_paper_arithmetic() {
+        // 128 threads, simdlen 2 → 64 groups; 2048 B = 256 slots, 224 after
+        // the team slice → 3 slots per group; staging fn+trip+1 reg = 3
+        // slots: just fits. With 2 registers it falls back.
+        let cfg = KernelConfig {
+            threads_per_team: 128,
+            sharing_space_bytes: 2048,
+            ..Default::default()
+        };
+        let mk = |nregs| Analysis {
+            teams_mode: ExecMode::Spmd,
+            parallels: vec![ParallelInfo {
+                desc: ParallelDesc::generic(2),
+                inferred: ExecMode::Generic,
+                forced: false,
+                nregs,
+            }],
+        };
+        let r1 = mk(1).staging_report(&cfg, 32, 0);
+        assert_eq!(r1.num_groups, 64);
+        assert_eq!(r1.slice_slots, 3);
+        assert_eq!(r1.stage_slots, 3);
+        assert!(!r1.falls_back);
+        let r2 = mk(2).staging_report(&cfg, 32, 0);
+        assert!(r2.falls_back);
+    }
+
+    #[test]
+    fn spmd_regions_never_fall_back() {
+        let cfg = KernelConfig {
+            threads_per_team: 128,
+            sharing_space_bytes: 1024,
+            ..Default::default()
+        };
+        let a = Analysis {
+            teams_mode: ExecMode::Spmd,
+            parallels: vec![ParallelInfo {
+                desc: ParallelDesc::spmd(2),
+                inferred: ExecMode::Spmd,
+                forced: false,
+                nregs: 8,
+            }],
+        };
+        assert!(!a.staging_report(&cfg, 32, 0).falls_back);
+    }
+}

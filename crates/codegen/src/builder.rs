@@ -1,0 +1,492 @@
+//! The directive-tree builder — our analog of the OpenMP IR Builder (§4.1).
+//!
+//! A kernel author describes a target region with nested directive scopes
+//! (`teams` → `distribute` / `parallel` → `for` / `simd`), supplying exactly
+//! the two callbacks the paper's interface requires per worksharing loop:
+//! a **trip-count** generator and a **loop body** (§4.1–4.2). The builder
+//! performs the compiler-side work:
+//!
+//! * **outlining** — loop bodies and sequential chunks become registered
+//!   functions in the module [`Registry`] (dispatched through the
+//!   if-cascade, or as indirect calls for "extern" bodies, §5.5);
+//! * **payload packing** — scope-private values get register slots assigned
+//!   (the 8-byte [`gpu_sim::Slot`]s the runtime stages through the sharing
+//!   space in generic mode, §5.3.1);
+//! * **execution-mode analysis** — SPMD-ness is inferred from tight nesting
+//!   and trip-count uniformity (see [`crate::analysis`]), with explicit
+//!   overrides for experiments.
+
+use gpu_sim::{Device, LaunchError, LaunchStats, Slot};
+use omp_core::config::{ExecMode, KernelConfig, ParallelDesc};
+use omp_core::dispatch::Registry;
+use omp_core::exec::launch_target;
+use omp_core::plan::{ParallelOp, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
+pub use omp_core::plan::Schedule;
+
+use crate::analysis::{infer_teams_mode, Analysis, ParallelInfo};
+
+/// Handle to a trip-count callback plus its uniformity classification
+/// (uniform trip counts keep a region SPMD-eligible; varying ones — e.g.
+/// per-row lengths — force the generic model, §3.2/§5.4).
+#[derive(Clone, Copy, Debug)]
+pub struct TripH {
+    pub(crate) id: TripId,
+    pub(crate) uniform: bool,
+}
+
+/// Handle to a scope-private register slot (read back as `v.regs[h.0]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegH(pub usize);
+
+/// Launch-geometry parameters chosen by the kernel author.
+#[derive(Clone, Debug)]
+pub struct KernelParams {
+    /// Number of teams (thread blocks).
+    pub num_teams: u32,
+    /// Worker threads per team.
+    pub threads_per_team: u32,
+    /// Variable sharing space size, bytes (paper default 2048, §5.3.1).
+    pub sharing_space_bytes: u32,
+    /// Additional static shared memory, bytes.
+    pub extra_smem_bytes: u32,
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        KernelParams {
+            num_teams: 108,
+            threads_per_team: 128,
+            sharing_space_bytes: KernelConfig::SHARING_SPACE_DEFAULT,
+            extra_smem_bytes: 0,
+        }
+    }
+}
+
+/// Builder for one `target` region.
+pub struct TargetBuilder {
+    reg: Registry,
+    params: KernelParams,
+    teams_override: Option<ExecMode>,
+}
+
+impl Default for TargetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TargetBuilder {
+    /// Fresh builder with default launch parameters.
+    pub fn new() -> TargetBuilder {
+        TargetBuilder {
+            reg: Registry::new(),
+            params: KernelParams::default(),
+            teams_override: None,
+        }
+    }
+
+    /// Set the number of teams.
+    pub fn num_teams(mut self, n: u32) -> Self {
+        self.params.num_teams = n;
+        self
+    }
+
+    /// Set worker threads per team.
+    pub fn threads(mut self, n: u32) -> Self {
+        self.params.threads_per_team = n;
+        self
+    }
+
+    /// Set the sharing-space size in bytes (2048 = paper default, 1024 =
+    /// pre-paper legacy; both are exercised by the ablation benches).
+    pub fn sharing_space(mut self, bytes: u32) -> Self {
+        self.params.sharing_space_bytes = bytes;
+        self
+    }
+
+    /// Reserve additional static shared memory (globalized user arrays).
+    pub fn extra_smem(mut self, bytes: u32) -> Self {
+        self.params.extra_smem_bytes = bytes;
+        self
+    }
+
+    /// Force the teams execution mode instead of inferring it.
+    pub fn force_teams_mode(mut self, mode: ExecMode) -> Self {
+        self.teams_override = Some(mode);
+        self
+    }
+
+    /// Register a constant trip count (uniform).
+    pub fn trip_const(&mut self, n: u64) -> TripH {
+        TripH { id: self.reg.trip_const(n), uniform: true }
+    }
+
+    /// Register a trip count that is the same for every worker (keeps the
+    /// region SPMD-eligible), e.g. a loop bound read from the kernel args.
+    pub fn trip_uniform(
+        &mut self,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+    ) -> TripH {
+        TripH { id: self.reg.trip(f), uniform: true }
+    }
+
+    /// Register a trip count that varies per worker (e.g. CSR row lengths);
+    /// forces the enclosing parallel region into generic mode.
+    pub fn trip_varying(
+        &mut self,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+    ) -> TripH {
+        TripH { id: self.reg.trip(f), uniform: false }
+    }
+
+    /// Build the target region: `f` populates the teams scope. Returns the
+    /// compiled kernel (plan + registry + config + analysis).
+    pub fn build(mut self, f: impl FnOnce(&mut TeamsScope<'_>)) -> CompiledKernel {
+        let mut scope = TeamsScope {
+            reg: &mut self.reg,
+            ops: Vec::new(),
+            nregs: 0,
+            saw_seq: false,
+            dist_with_parallel: false,
+            parallels: Vec::new(),
+        };
+        f(&mut scope);
+        let teams_mode = self.teams_override.unwrap_or_else(|| {
+            infer_teams_mode(scope.saw_seq, scope.dist_with_parallel)
+        });
+        let plan = TargetPlan { ops: scope.ops, team_regs: scope.nregs };
+        let analysis = Analysis { teams_mode, parallels: scope.parallels };
+        let config = KernelConfig {
+            teams_mode,
+            num_teams: self.params.num_teams,
+            threads_per_team: self.params.threads_per_team,
+            sharing_space_bytes: self.params.sharing_space_bytes,
+            extra_smem_bytes: self.params.extra_smem_bytes,
+        };
+        CompiledKernel { plan, registry: self.reg, config, analysis }
+    }
+}
+
+/// The `teams` scope: team-level directives.
+pub struct TeamsScope<'b> {
+    reg: &'b mut Registry,
+    ops: Vec<TeamOp>,
+    nregs: usize,
+    saw_seq: bool,
+    dist_with_parallel: bool,
+    parallels: Vec<ParallelInfo>,
+}
+
+impl<'b> TeamsScope<'b> {
+    /// Allocate a team-scope register.
+    pub fn alloc_reg(&mut self) -> RegH {
+        let h = RegH(self.nregs);
+        self.nregs += 1;
+        h
+    }
+
+    /// Team-level sequential code. Its presence makes the teams region
+    /// generic (side effects cannot be executed redundantly, §3.1).
+    pub fn seq(
+        &mut self,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) {
+        self.saw_seq = true;
+        let id = self.reg.seq(f);
+        self.ops.push(TeamOp::Seq(id));
+    }
+
+    /// `distribute`: split iterations across teams. The body closure
+    /// receives the register holding the current iteration.
+    pub fn distribute(
+        &mut self,
+        trip: TripH,
+        sched: Schedule,
+        f: impl FnOnce(&mut TeamsScope<'_>, RegH),
+    ) {
+        let iv = self.alloc_reg();
+        let saved = std::mem::take(&mut self.ops);
+        let had_parallel = self.parallels.len();
+        f(self, iv);
+        let body = std::mem::replace(&mut self.ops, saved);
+        if self.parallels.len() > had_parallel {
+            // `teams distribute { ... parallel ... }`: the team main runs
+            // sequential distribute iterations between parallel regions —
+            // the classic generic-teams pattern (the paper's 2-level
+            // sparse_matvec baseline runs this way, §6.3).
+            self.dist_with_parallel = true;
+        }
+        self.ops.push(TeamOp::Distribute { trip: trip.id, sched, iv_reg: iv.0, ops: body });
+    }
+
+    /// A `parallel` region with the given SIMD group size; the mode is
+    /// inferred from the body structure.
+    pub fn parallel(&mut self, simdlen: u32, f: impl FnOnce(&mut ParScope<'_>)) {
+        self.parallel_inner(simdlen, None, true, false, None, f);
+    }
+
+    /// A `parallel` region with an explicit mode override.
+    pub fn parallel_with_mode(
+        &mut self,
+        simdlen: u32,
+        mode: ExecMode,
+        f: impl FnOnce(&mut ParScope<'_>),
+    ) {
+        self.parallel_inner(simdlen, Some(mode), true, false, None, f);
+    }
+
+    /// Combined `teams distribute parallel for [simd]` (the paper's 3-level
+    /// pattern): the `for` iterations are shared across *all* teams'
+    /// groups, and no team-level sequential code is generated — which is
+    /// what keeps the teams region SPMD (§6.3).
+    pub fn distribute_parallel_for(
+        &mut self,
+        trip: TripH,
+        sched: Schedule,
+        simdlen: u32,
+        f: impl FnOnce(&mut ParScope<'_>, RegH),
+    ) {
+        self.parallel_inner(simdlen, None, true, true, Some((trip, sched)), |p| {
+            // The iv register is allocated by parallel_inner's For wrapper;
+            // recover it: it is always register 0 of the parallel scope.
+            f(p, RegH(0));
+        });
+    }
+
+    /// Combined `teams distribute parallel for collapse(2)` (§7 extension:
+    /// "loop collapsing"): the `n1 × n2` iteration space is fused and
+    /// shared across all teams' groups; the two original induction
+    /// variables are recovered into registers by a pure index decode, so
+    /// tight nesting — and SPMD eligibility — is preserved.
+    pub fn distribute_parallel_for_collapse2(
+        &mut self,
+        n1: u64,
+        n2: u64,
+        sched: Schedule,
+        simdlen: u32,
+        f: impl FnOnce(&mut ParScope<'_>, RegH, RegH),
+    ) {
+        let fused = TripH { id: self.reg.trip_const(n1 * n2), uniform: true };
+        self.parallel_inner(simdlen, None, true, true, Some((fused, sched)), |p| {
+            // Register 0 is the fused induction variable.
+            let i = p.alloc_reg();
+            let j = p.alloc_reg();
+            p.seq_pure(move |lane, v| {
+                let fv = v.regs[0].as_u64();
+                lane.work(4); // div/mod index decomposition
+                v.regs[i.0] = gpu_sim::Slot::from_u64(fv / n2);
+                v.regs[j.0] = gpu_sim::Slot::from_u64(fv % n2);
+            });
+            f(p, i, j);
+        });
+    }
+
+    fn parallel_inner(
+        &mut self,
+        simdlen: u32,
+        mode_override: Option<ExecMode>,
+        known: bool,
+        across_teams: bool,
+        wrap_for: Option<(TripH, Schedule)>,
+        f: impl FnOnce(&mut ParScope<'_>),
+    ) {
+        let mut p = ParScope {
+            reg: self.reg,
+            ops: Vec::new(),
+            nregs: 0,
+            saw_seq: false,
+            nonuniform_trip: false,
+        };
+        let body_ops = if let Some((trip, sched)) = wrap_for {
+            let iv = p.alloc_reg();
+            debug_assert_eq!(iv, RegH(0));
+            if !trip.uniform {
+                p.nonuniform_trip = true;
+            }
+            f(&mut p);
+            let inner = std::mem::take(&mut p.ops);
+            vec![ThreadOp::For {
+                trip: trip.id,
+                sched,
+                iv_reg: iv.0,
+                across_teams,
+                ops: inner,
+            }]
+        } else {
+            f(&mut p);
+            std::mem::take(&mut p.ops)
+        };
+        let inferred = if simdlen == 1 {
+            // §5.4: group size 1 always runs SPMD — the pre-existing
+            // two-level behavior, no SIMD machinery.
+            ExecMode::Spmd
+        } else if p.saw_seq || p.nonuniform_trip {
+            ExecMode::Generic
+        } else {
+            ExecMode::Spmd
+        };
+        let mode = if simdlen == 1 { inferred } else { mode_override.unwrap_or(inferred) };
+        let desc = ParallelDesc { mode, simdlen };
+        self.parallels.push(ParallelInfo {
+            desc,
+            inferred,
+            forced: mode_override.is_some(),
+            nregs: p.nregs,
+        });
+        self.ops.push(TeamOp::Parallel(ParallelOp {
+            desc,
+            known,
+            nregs: p.nregs,
+            ops: body_ops,
+        }));
+    }
+}
+
+/// The `parallel` scope: thread-level directives.
+pub struct ParScope<'b> {
+    reg: &'b mut Registry,
+    ops: Vec<ThreadOp>,
+    nregs: usize,
+    saw_seq: bool,
+    nonuniform_trip: bool,
+}
+
+impl<'b> ParScope<'b> {
+    /// Allocate a thread-scope register (a payload slot the runtime stages
+    /// through the sharing space in generic mode).
+    pub fn alloc_reg(&mut self) -> RegH {
+        let h = RegH(self.nregs);
+        self.nregs += 1;
+        h
+    }
+
+    /// Thread-sequential code between worksharing loops. Its presence
+    /// breaks tight nesting, so the parallel region becomes generic
+    /// (§5.4: SPMD requires no sequential side effects).
+    pub fn seq(
+        &mut self,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) {
+        self.saw_seq = true;
+        let id = self.reg.seq(f);
+        self.ops.push(ThreadOp::Seq(id));
+    }
+
+    /// Thread-sequential *pure* code: side-effect-free address or index
+    /// computation that every thread may safely execute redundantly. Does
+    /// NOT break tight nesting (the \[16\]-style SPMDization analysis the
+    /// paper builds on treats guarded pure code as SPMD-compatible), so the
+    /// region can stay SPMD.
+    pub fn seq_pure(
+        &mut self,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) {
+        let id = self.reg.seq(f);
+        self.ops.push(ThreadOp::Seq(id));
+    }
+
+    /// `parallel for reduction(+)` finalization (§7 extension): combine the
+    /// per-group partial held in `src` across the team and atomically add
+    /// the team total into element `dst_idx` of the `DPtr<f64>` stored in
+    /// kernel-arg slot `dst_arg`.
+    pub fn reduce_across(&mut self, src: RegH, dst_arg: usize, dst_idx: u64) {
+        self.saw_seq = true; // the combining phase is sequential-ish code
+        self.ops.push(ThreadOp::ReduceAcross { src_reg: src.0, dst_arg, dst_idx });
+    }
+
+    /// `for`: split iterations across this team's SIMD groups.
+    pub fn for_loop(
+        &mut self,
+        trip: TripH,
+        sched: Schedule,
+        f: impl FnOnce(&mut ParScope<'_>, RegH),
+    ) {
+        let iv = self.alloc_reg();
+        if !trip.uniform {
+            self.nonuniform_trip = true;
+        }
+        let saved = std::mem::take(&mut self.ops);
+        f(self, iv);
+        let body = std::mem::replace(&mut self.ops, saved);
+        self.ops.push(ThreadOp::For {
+            trip: trip.id,
+            sched,
+            iv_reg: iv.0,
+            across_teams: false,
+            ops: body,
+        });
+    }
+
+    /// `simd`: split iterations across the lanes of each SIMD group.
+    pub fn simd(
+        &mut self,
+        trip: TripH,
+        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+    ) {
+        if !trip.uniform {
+            self.nonuniform_trip = true;
+        }
+        let id = self.reg.body(body);
+        self.ops.push(ThreadOp::Simd { trip: trip.id, body: id, known: true });
+    }
+
+    /// `simd` whose body lives in another translation unit: dispatched via
+    /// indirect call instead of the if-cascade (§5.5).
+    pub fn simd_extern(
+        &mut self,
+        trip: TripH,
+        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+    ) {
+        if !trip.uniform {
+            self.nonuniform_trip = true;
+        }
+        let id = self.reg.body_extern(body);
+        self.ops.push(ThreadOp::Simd { trip: trip.id, body: id, known: false });
+    }
+
+    /// `simd reduction(+)`: the paper's §7 extension. Returns the register
+    /// that receives the group-reduced value.
+    pub fn simd_reduce(
+        &mut self,
+        trip: TripH,
+        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+    ) -> RegH {
+        if !trip.uniform {
+            self.nonuniform_trip = true;
+        }
+        let dst = self.alloc_reg();
+        let id = self.reg.red(body);
+        self.ops.push(ThreadOp::SimdReduce {
+            trip: trip.id,
+            body: id,
+            known: true,
+            dst_reg: dst.0,
+        });
+        dst
+    }
+}
+
+/// A compiled target region, ready to launch.
+pub struct CompiledKernel {
+    /// The lowered execution plan.
+    pub plan: TargetPlan,
+    /// The outlined-function table.
+    pub registry: Registry,
+    /// Launch configuration (mode, teams, threads, shared memory).
+    pub config: KernelConfig,
+    /// What the mode analysis decided and why.
+    pub analysis: Analysis,
+}
+
+impl CompiledKernel {
+    /// Launch on a device with the given argument payload.
+    pub fn launch(&self, dev: &mut Device, args: &[Slot]) -> Result<LaunchStats, LaunchError> {
+        launch_target(dev, &self.config, &self.plan, &self.registry, args)
+    }
+
+    /// Launch and panic on configuration errors (convenience for examples
+    /// and benches).
+    pub fn run(&self, dev: &mut Device, args: &[Slot]) -> LaunchStats {
+        self.launch(dev, args).expect("kernel launch failed")
+    }
+}

@@ -1,0 +1,135 @@
+//! Outlined-function registry and dispatch accounting.
+//!
+//! Outlined regions are passed to the runtime *by function pointer*. The
+//! paper (§5.5) explains that LLVM/Clang avoids the cost of the resulting
+//! indirect calls with a front-end static analysis that builds an
+//! **if-cascade** over the known outlined regions — like a C `switch` over
+//! function pointers — falling back to a true indirect call for regions the
+//! translation unit cannot see.
+//!
+//! The [`Registry`] is our module table of outlined functions. Each entry
+//! records whether it is *known* (reachable through the cascade). The
+//! runtime interpreter charges [`gpu_sim::cost::CostModel::cascade_dispatch_cycles`] or
+//! [`gpu_sim::cost::CostModel::indirect_call_cycles`] accordingly on every dispatch.
+
+use gpu_sim::Lane;
+
+use crate::plan::{BodyId, RedId, SeqId, TripId, Vars, VarsMut};
+
+/// Thread-sequential chunk: arbitrary lane work plus register updates.
+pub type SeqFn = Box<dyn Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync>;
+/// Trip-count callback (§4.1: "1) to generate the trip count of the loop").
+pub type TripFn = Box<dyn Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync>;
+/// Outlined loop body (§4.1: "2) to generate the body of the loop"); invoked
+/// once per iteration with the iteration number, like Fig 8's
+/// `WorkFn(omp_iv, Args)`.
+pub type BodyFn = Box<dyn Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync>;
+/// Reducing loop body: returns the iteration's additive contribution.
+pub type RedFn = Box<dyn Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync>;
+
+/// Module-level table of outlined functions.
+#[derive(Default)]
+pub struct Registry {
+    seqs: Vec<SeqFn>,
+    trips: Vec<TripFn>,
+    bodies: Vec<(BodyFn, bool)>,
+    reds: Vec<(RedFn, bool)>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a thread-sequential chunk.
+    pub fn seq(&mut self, f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static) -> SeqId {
+        self.seqs.push(Box::new(f));
+        SeqId(self.seqs.len() as u32 - 1)
+    }
+
+    /// Register a trip-count callback.
+    pub fn trip(&mut self, f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static) -> TripId {
+        self.trips.push(Box::new(f));
+        TripId(self.trips.len() as u32 - 1)
+    }
+
+    /// Register a constant trip count.
+    pub fn trip_const(&mut self, n: u64) -> TripId {
+        self.trip(move |_, _| n)
+    }
+
+    /// Register an outlined loop body reachable through the if-cascade.
+    pub fn body(&mut self, f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static) -> BodyId {
+        self.bodies.push((Box::new(f), true));
+        BodyId(self.bodies.len() as u32 - 1)
+    }
+
+    /// Register an outlined loop body that is *not* in the cascade (e.g.
+    /// defined in another translation unit, §5.5) — dispatches pay the
+    /// indirect-call cost.
+    pub fn body_extern(
+        &mut self,
+        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+    ) -> BodyId {
+        self.bodies.push((Box::new(f), false));
+        BodyId(self.bodies.len() as u32 - 1)
+    }
+
+    /// Register a reducing loop body (cascade-known).
+    pub fn red(
+        &mut self,
+        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+    ) -> RedId {
+        self.reds.push((Box::new(f), true));
+        RedId(self.reds.len() as u32 - 1)
+    }
+
+    /// Look up a sequential chunk.
+    pub fn get_seq(&self, id: SeqId) -> &SeqFn {
+        &self.seqs[id.0 as usize]
+    }
+
+    /// Look up a trip-count callback.
+    pub fn get_trip(&self, id: TripId) -> &TripFn {
+        &self.trips[id.0 as usize]
+    }
+
+    /// Look up a loop body and whether it is cascade-known.
+    pub fn get_body(&self, id: BodyId) -> (&BodyFn, bool) {
+        let (f, known) = &self.bodies[id.0 as usize];
+        (f, *known)
+    }
+
+    /// Look up a reducing body and whether it is cascade-known.
+    pub fn get_red(&self, id: RedId) -> (&RedFn, bool) {
+        let (f, known) = &self.reds[id.0 as usize];
+        (f, *known)
+    }
+
+    /// Number of registered loop bodies (diagnostics).
+    pub fn num_bodies(&self) -> usize {
+        self.bodies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_sequential_ids() {
+        let mut r = Registry::new();
+        let t0 = r.trip_const(10);
+        let t1 = r.trip_const(20);
+        assert_eq!(t0, TripId(0));
+        assert_eq!(t1, TripId(1));
+        let b0 = r.body(|_, _, _| {});
+        let b1 = r.body_extern(|_, _, _| {});
+        assert_eq!(b0, BodyId(0));
+        assert_eq!(b1, BodyId(1));
+        assert_eq!(r.num_bodies(), 2);
+        assert!(r.get_body(b0).1, "body() entries are cascade-known");
+        assert!(!r.get_body(b1).1, "body_extern() entries are not");
+    }
+}

@@ -1,0 +1,192 @@
+//! SIMD group mapping functions (paper §5.1).
+//!
+//! The paper adds five runtime functions that map a hardware thread to its
+//! SIMD group:
+//!
+//! * `getSimdGroup` — which group the thread belongs to,
+//! * `getSimdGroupId` — the thread's id within its group (mains are 0),
+//! * `getSimdGroupSize` — the (uniform) group size,
+//! * `isSimdGroupLeader` — whether the thread is its group's main thread,
+//! * `simdmask` — the bit-mask of warp lanes sharing the thread's group.
+//!
+//! All of them are pure functions of the thread id and the region's group
+//! size; [`SimdMapping`] packages them. Groups are contiguous runs of
+//! adjacent lanes and never span warps (§5.1: "Our implementation does not
+//! allow for SIMD groups to encompass multiple warps as it extensively
+//! utilizes warp-level thread barriers").
+
+use gpu_sim::LaneMask;
+
+/// The SIMD-group geometry of one `parallel` region: `threads` worker
+/// threads split into groups of `group_size`, `warp_size` lanes per warp.
+#[derive(Clone, Copy, Debug)]
+pub struct SimdMapping {
+    threads: u32,
+    group_size: u32,
+    warp_size: u32,
+}
+
+impl SimdMapping {
+    /// Create a mapping. `group_size` must divide both `warp_size` and
+    /// `threads`; `threads` must be a whole number of warps.
+    pub fn new(threads: u32, group_size: u32, warp_size: u32) -> SimdMapping {
+        assert!(group_size >= 1);
+        assert!(
+            warp_size.is_multiple_of(group_size),
+            "SIMD groups cannot span warps: group size {group_size} must \
+             divide warp size {warp_size}"
+        );
+        assert!(
+            threads.is_multiple_of(warp_size),
+            "threads {threads} must be a whole number of warps"
+        );
+        SimdMapping { threads, group_size, warp_size }
+    }
+
+    /// Total number of SIMD groups in the team
+    /// (`4 <= NumGroups <= 64` in the paper's 128-thread example, §5.3.1).
+    #[inline]
+    pub fn num_groups(&self) -> u32 {
+        self.threads / self.group_size
+    }
+
+    /// `getSimdGroup`: which group thread `tid` belongs to.
+    #[inline]
+    pub fn simd_group(&self, tid: u32) -> u32 {
+        debug_assert!(tid < self.threads);
+        tid / self.group_size
+    }
+
+    /// `getSimdGroupId`: the thread's id within its group. SIMD main
+    /// threads always have id 0.
+    #[inline]
+    pub fn simd_group_id(&self, tid: u32) -> u32 {
+        tid % self.group_size
+    }
+
+    /// `getSimdGroupSize`: the size of every SIMD group in this region.
+    #[inline]
+    pub fn simd_group_size(&self) -> u32 {
+        self.group_size
+    }
+
+    /// `isSimdGroupLeader`: true if `tid` is the SIMD main thread of its
+    /// group.
+    #[inline]
+    pub fn is_simd_group_leader(&self, tid: u32) -> bool {
+        self.simd_group_id(tid) == 0
+    }
+
+    /// `simdmask`: the bit-mask identifying which lanes of `tid`'s warp
+    /// share its SIMD group.
+    #[inline]
+    pub fn simdmask(&self, tid: u32) -> LaneMask {
+        let lane = tid % self.warp_size;
+        let group_in_warp = lane / self.group_size;
+        LaneMask::contiguous(group_in_warp * self.group_size, self.group_size)
+    }
+
+    /// Warp index of thread `tid` within the team.
+    #[inline]
+    pub fn warp_of(&self, tid: u32) -> u32 {
+        tid / self.warp_size
+    }
+
+    /// Lane index of thread `tid` within its warp.
+    #[inline]
+    pub fn lane_of(&self, tid: u32) -> u32 {
+        tid % self.warp_size
+    }
+
+    /// Number of groups per warp.
+    #[inline]
+    pub fn groups_per_warp(&self) -> u32 {
+        self.warp_size / self.group_size
+    }
+
+    /// Number of worker warps.
+    #[inline]
+    pub fn num_warps(&self) -> u32 {
+        self.threads / self.warp_size
+    }
+
+    /// Global thread id of group `g`'s leader.
+    #[inline]
+    pub fn leader_tid(&self, g: u32) -> u32 {
+        g * self.group_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_group_counts() {
+        // §5.3.1: 128 threads over 4 warps, group sizes 2..=32 give
+        // 64 down to 4 groups.
+        assert_eq!(SimdMapping::new(128, 2, 32).num_groups(), 64);
+        assert_eq!(SimdMapping::new(128, 32, 32).num_groups(), 4);
+        assert_eq!(SimdMapping::new(128, 8, 32).num_groups(), 16);
+    }
+
+    #[test]
+    fn leaders_have_group_id_zero() {
+        let m = SimdMapping::new(64, 8, 32);
+        for g in 0..m.num_groups() {
+            let tid = m.leader_tid(g);
+            assert!(m.is_simd_group_leader(tid));
+            assert_eq!(m.simd_group_id(tid), 0);
+            assert_eq!(m.simd_group(tid), g);
+        }
+    }
+
+    #[test]
+    fn group_membership_is_contiguous() {
+        let m = SimdMapping::new(64, 8, 32);
+        for tid in 0..64 {
+            assert_eq!(m.simd_group(tid), tid / 8);
+            assert_eq!(m.simd_group_id(tid), tid % 8);
+            assert_eq!(m.is_simd_group_leader(tid), tid % 8 == 0);
+        }
+    }
+
+    #[test]
+    fn simdmask_covers_exactly_the_group() {
+        let m = SimdMapping::new(128, 8, 32);
+        // Thread 42: warp 1, lane 10, group-in-warp 1, lanes 8..16.
+        let mask = m.simdmask(42);
+        assert_eq!(mask, LaneMask::contiguous(8, 8));
+        // All threads of one group share the same mask.
+        for tid in 40..48 {
+            assert_eq!(m.simdmask(tid), mask);
+        }
+        // The next group has a disjoint mask.
+        assert!(m.simdmask(48).and(mask).is_empty());
+    }
+
+    #[test]
+    fn group_size_one_degenerates_to_threads() {
+        let m = SimdMapping::new(64, 1, 32);
+        assert_eq!(m.num_groups(), 64);
+        for tid in 0..64 {
+            assert!(m.is_simd_group_leader(tid));
+            assert_eq!(m.simdmask(tid).count(), 1);
+        }
+    }
+
+    #[test]
+    fn full_warp_groups() {
+        let m = SimdMapping::new(128, 32, 32);
+        assert_eq!(m.groups_per_warp(), 1);
+        assert_eq!(m.simdmask(37), LaneMask::full(32));
+        assert_eq!(m.warp_of(37), 1);
+        assert_eq!(m.lane_of(37), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot span warps")]
+    fn rejects_groups_spanning_warps() {
+        SimdMapping::new(128, 48, 32);
+    }
+}

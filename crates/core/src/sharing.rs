@@ -1,0 +1,160 @@
+//! The variable sharing space (paper §5.3.1).
+//!
+//! Generic-mode execution communicates variables from main threads to
+//! worker threads through a static shared-memory area. Before the paper's
+//! work only the single team main thread wrote to it (1024 bytes); with
+//! SIMD groups every SIMD main writes too, so the paper doubled it to 2048
+//! bytes and divides the available space **evenly among the SIMD groups**.
+//! A group whose slice cannot hold its variables falls back to a fresh
+//! **global-memory allocation**, freed at the end of the parallel region.
+//!
+//! This module computes the layout; the runtime interpreter performs (and
+//! charges) the actual staging traffic.
+
+use gpu_sim::mem::shared::{SharedMem, SmOff};
+
+/// Slots reserved at the front of the space for the *team* main thread's
+/// posts (the pre-existing single-writer use of the space).
+const TEAM_SLICE_SLOTS: u32 = 32;
+
+/// Layout of the variable sharing space for one team.
+#[derive(Clone, Copy, Debug)]
+pub struct SharingSpace {
+    base: SmOff,
+    total_slots: u32,
+    /// Slots per SIMD group for the current parallel region (0 until
+    /// [`Self::configure_groups`] runs, or when groups outnumber slots).
+    group_slots: u32,
+    num_groups: u32,
+}
+
+impl SharingSpace {
+    /// Reserve `bytes` of shared memory for the sharing space. Panics if
+    /// the block's shared memory cannot hold it (launch sizing bug).
+    pub fn reserve(smem: &mut SharedMem, bytes: u32) -> SharingSpace {
+        let base = smem
+            .alloc(bytes)
+            .expect("shared memory too small for the variable sharing space");
+        SharingSpace {
+            base,
+            total_slots: bytes / 8,
+            group_slots: 0,
+            num_groups: 0,
+        }
+    }
+
+    /// Slice layout for a `parallel` region with `num_groups` SIMD groups:
+    /// the space after the team slice is divided evenly (§5.3.1).
+    pub fn configure_groups(&mut self, num_groups: u32) {
+        assert!(num_groups >= 1);
+        self.num_groups = num_groups;
+        let avail = self.total_slots.saturating_sub(TEAM_SLICE_SLOTS);
+        self.group_slots = avail / num_groups;
+    }
+
+    /// The team main thread's slice (offset, slots).
+    pub fn team_slice(&self) -> (SmOff, u32) {
+        (self.base, TEAM_SLICE_SLOTS.min(self.total_slots))
+    }
+
+    /// Group `g`'s slice (offset, slots). Slots may be 0 when many groups
+    /// share a small space — every use then needs the global fallback.
+    pub fn group_slice(&self, g: u32) -> (SmOff, u32) {
+        assert!(g < self.num_groups, "group {g} out of range");
+        let start = TEAM_SLICE_SLOTS.min(self.total_slots) + g * self.group_slots;
+        (SmOff(self.base.0 + start), self.group_slots)
+    }
+
+    /// Whether a group slice can hold `slots` slots; `false` means the
+    /// runtime must allocate the global fallback (§5.3.1).
+    pub fn group_fits(&self, slots: u32) -> bool {
+        slots <= self.group_slots
+    }
+
+    /// Whether the team slice can hold `slots` slots.
+    pub fn team_fits(&self, slots: u32) -> bool {
+        slots <= self.team_slice().1
+    }
+
+    /// Slots per group under the current configuration.
+    pub fn group_slots(&self) -> u32 {
+        self.group_slots
+    }
+
+    /// Total capacity in slots.
+    pub fn total_slots(&self) -> u32 {
+        self.total_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(bytes: u32) -> (SharedMem, SharingSpace) {
+        let mut smem = SharedMem::new(bytes + 64);
+        let s = SharingSpace::reserve(&mut smem, bytes);
+        (smem, s)
+    }
+
+    #[test]
+    fn paper_default_layout() {
+        // 2048 B = 256 slots; 32 reserved for the team, 224 for groups.
+        let (_m, mut s) = space(2048);
+        assert_eq!(s.total_slots(), 256);
+        s.configure_groups(4); // e.g. 128 threads, simdlen 32
+        assert_eq!(s.group_slots(), 56);
+        assert!(s.group_fits(10));
+    }
+
+    #[test]
+    fn many_groups_get_starved() {
+        // §5.3.1: "In a case where a large number of SIMD groups are used
+        // the variable sharing space is less likely to be able to fit all
+        // variables."
+        let (_m, mut s) = space(2048);
+        s.configure_groups(64); // 128 threads, simdlen 2
+        assert_eq!(s.group_slots(), 3);
+        assert!(s.group_fits(3));
+        assert!(!s.group_fits(4));
+    }
+
+    #[test]
+    fn legacy_1024_starves_sooner() {
+        let (_m, mut s1) = space(1024);
+        let (_m2, mut s2) = space(2048);
+        s1.configure_groups(32);
+        s2.configure_groups(32);
+        assert!(s1.group_slots() < s2.group_slots());
+    }
+
+    #[test]
+    fn slices_are_disjoint_and_in_bounds() {
+        let (_m, mut s) = space(2048);
+        s.configure_groups(16);
+        let mut prev_end = s.team_slice().0 .0 + s.team_slice().1;
+        for g in 0..16 {
+            let (off, n) = s.group_slice(g);
+            assert!(off.0 >= prev_end, "slice {g} overlaps previous");
+            prev_end = off.0 + n;
+        }
+        assert!(prev_end <= s.total_slots() + s.team_slice().0 .0);
+    }
+
+    #[test]
+    fn zero_slot_groups_force_fallback() {
+        let (_m, mut s) = space(1024); // 128 slots, 96 after team slice
+        s.configure_groups(128);
+        assert_eq!(s.group_slots(), 0);
+        assert!(!s.group_fits(1));
+        assert!(s.group_fits(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_slice_bounds_checked() {
+        let (_m, mut s) = space(2048);
+        s.configure_groups(4);
+        s.group_slice(4);
+    }
+}

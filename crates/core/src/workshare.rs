@@ -1,0 +1,162 @@
+//! Worksharing iteration assignment for `distribute` and `for` loops.
+//!
+//! A single function, [`assign`], answers: *which iteration does worker
+//! `who` (of `n_who`) execute in its `r`-th turn, under schedule `sched`,
+//! for a loop of `trip` iterations?* The runtime interpreter drives loops in
+//! lockstep **rounds** — in round `r` every SIMD group executes its `r`-th
+//! assigned iteration together — which is how the max-combining cost
+//! semantics of SIMT execution falls out naturally.
+//!
+//! `Dynamic` scheduling is modeled deterministically as chunk-cyclic
+//! assignment plus the atomic cost of each chunk grab; real dynamic
+//! assignment order depends on timing the simulator resolves round-robin,
+//! so coverage (each iteration exactly once) is identical.
+
+use crate::plan::Schedule;
+
+/// The iteration executed by worker `who` (0-based, of `n_who` workers) in
+/// its `r`-th turn, or `None` when that worker has no more iterations.
+///
+/// Invariant (property-tested): over all `who` and `r`, every iteration in
+/// `0..trip` is produced exactly once.
+pub fn assign(sched: Schedule, trip: u64, who: u64, n_who: u64, r: u64) -> Option<u64> {
+    debug_assert!(who < n_who);
+    if trip == 0 {
+        return None;
+    }
+    match sched {
+        Schedule::Static => {
+            // Blocked: contiguous chunks of ceil(trip / n_who).
+            let chunk = trip.div_ceil(n_who);
+            let idx = who * chunk + r;
+            if r < chunk && idx < trip {
+                Some(idx)
+            } else {
+                None
+            }
+        }
+        Schedule::Cyclic(c) => {
+            let c = c.max(1) as u64;
+            // Turn r = chunk r/c, position r%c within it.
+            let idx = (r / c) * (n_who * c) + who * c + (r % c);
+            if idx < trip {
+                Some(idx)
+            } else {
+                None
+            }
+        }
+        Schedule::Dynamic(c) => {
+            // Deterministic surrogate: same coverage as Cyclic(c); the
+            // interpreter charges the atomic chunk-grab separately.
+            assign(Schedule::Cyclic(c), trip, who, n_who, r)
+        }
+    }
+}
+
+/// Number of rounds worker `who` participates in (i.e. smallest `r` with
+/// `assign(..) == None` is `rounds`).
+pub fn rounds_for(sched: Schedule, trip: u64, who: u64, n_who: u64) -> u64 {
+    let mut r = 0;
+    while assign(sched, trip, who, n_who, r).is_some() {
+        r += 1;
+    }
+    r
+}
+
+/// Whether round `r` starts a new chunk for `Dynamic` scheduling (used to
+/// charge one atomic grab per chunk, not per iteration).
+pub fn is_chunk_start(sched: Schedule, r: u64) -> bool {
+    match sched {
+        Schedule::Dynamic(c) => r.is_multiple_of(c.max(1) as u64),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coverage(sched: Schedule, trip: u64, n_who: u64) -> Vec<u64> {
+        let mut seen = Vec::new();
+        for who in 0..n_who {
+            for r in 0.. {
+                match assign(sched, trip, who, n_who, r) {
+                    Some(i) => seen.push(i),
+                    None => break,
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen
+    }
+
+    #[test]
+    fn static_is_blocked_and_complete() {
+        let all = coverage(Schedule::Static, 10, 3);
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Blocked: worker 0 gets 0..4 (chunk = ceil(10/3) = 4).
+        assert_eq!(assign(Schedule::Static, 10, 0, 3, 0), Some(0));
+        assert_eq!(assign(Schedule::Static, 10, 0, 3, 3), Some(3));
+        assert_eq!(assign(Schedule::Static, 10, 0, 3, 4), None);
+        assert_eq!(assign(Schedule::Static, 10, 2, 3, 0), Some(8));
+        assert_eq!(assign(Schedule::Static, 10, 2, 3, 1), Some(9));
+        assert_eq!(assign(Schedule::Static, 10, 2, 3, 2), None);
+    }
+
+    #[test]
+    fn cyclic_interleaves() {
+        // Cyclic(1) over 7 iters, 3 workers: w0: 0,3,6; w1: 1,4; w2: 2,5.
+        assert_eq!(assign(Schedule::Cyclic(1), 7, 0, 3, 1), Some(3));
+        assert_eq!(assign(Schedule::Cyclic(1), 7, 1, 3, 1), Some(4));
+        assert_eq!(assign(Schedule::Cyclic(1), 7, 1, 3, 2), None);
+        assert_eq!(coverage(Schedule::Cyclic(1), 7, 3), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cyclic_chunked() {
+        // Cyclic(2), 2 workers, 8 iters: w0: 0,1,4,5; w1: 2,3,6,7.
+        let w0: Vec<_> = (0..4).map(|r| assign(Schedule::Cyclic(2), 8, 0, 2, r).unwrap()).collect();
+        let w1: Vec<_> = (0..4).map(|r| assign(Schedule::Cyclic(2), 8, 1, 2, r).unwrap()).collect();
+        assert_eq!(w0, vec![0, 1, 4, 5]);
+        assert_eq!(w1, vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn zero_trip_assigns_nothing() {
+        for sched in [Schedule::Static, Schedule::Cyclic(4), Schedule::Dynamic(2)] {
+            assert_eq!(assign(sched, 0, 0, 4, 0), None);
+        }
+    }
+
+    #[test]
+    fn single_worker_gets_everything_in_order() {
+        for sched in [Schedule::Static, Schedule::Cyclic(3), Schedule::Dynamic(1)] {
+            let v: Vec<_> = (0..5).map(|r| assign(sched, 5, 0, 1, r).unwrap()).collect();
+            assert_eq!(v, vec![0, 1, 2, 3, 4], "schedule {sched:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_for_counts_turns() {
+        assert_eq!(rounds_for(Schedule::Static, 10, 0, 3), 4);
+        assert_eq!(rounds_for(Schedule::Static, 10, 2, 3), 2);
+        assert_eq!(rounds_for(Schedule::Cyclic(1), 7, 0, 3), 3);
+        assert_eq!(rounds_for(Schedule::Cyclic(1), 0, 0, 3), 0);
+    }
+
+    #[test]
+    fn chunk_start_marks_dynamic_grabs() {
+        assert!(is_chunk_start(Schedule::Dynamic(2), 0));
+        assert!(!is_chunk_start(Schedule::Dynamic(2), 1));
+        assert!(is_chunk_start(Schedule::Dynamic(2), 2));
+        assert!(!is_chunk_start(Schedule::Static, 0));
+    }
+
+    #[test]
+    fn more_workers_than_iterations() {
+        let all = coverage(Schedule::Static, 3, 8);
+        assert_eq!(all, vec![0, 1, 2]);
+        // Workers beyond the trip count simply idle.
+        assert_eq!(assign(Schedule::Static, 3, 7, 8, 0), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the runtime's scheduling and mapping invariants.
+
+use gpu_sim::{Device, DeviceArch, Slot};
+use omp_core::config::{ExecMode, KernelConfig, ParallelDesc};
+use omp_core::dispatch::Registry;
+use omp_core::exec::launch_target;
+use omp_core::mapping::SimdMapping;
+use omp_core::plan::{ParallelOp, Schedule, TargetPlan, TeamOp, ThreadOp};
+use omp_core::workshare::{assign, rounds_for};
+use proptest::prelude::*;
+
+fn any_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1u32..8).prop_map(Schedule::Cyclic),
+        (1u32..8).prop_map(Schedule::Dynamic),
+    ]
+}
+
+proptest! {
+    /// Every worksharing schedule covers each iteration exactly once.
+    #[test]
+    fn schedules_cover_exactly_once(
+        sched in any_schedule(),
+        trip in 0u64..500,
+        n_who in 1u64..64,
+    ) {
+        let mut seen = vec![0u32; trip as usize];
+        for who in 0..n_who {
+            let rounds = rounds_for(sched, trip, who, n_who);
+            for r in 0..rounds {
+                let iv = assign(sched, trip, who, n_who, r).unwrap();
+                prop_assert!(iv < trip);
+                seen[iv as usize] += 1;
+            }
+            // After the rounds end, assignment stays None.
+            prop_assert!(assign(sched, trip, who, n_who, rounds).is_none());
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "coverage {seen:?}");
+    }
+
+    /// SIMD-group mapping invariants for every legal geometry (§5.1).
+    #[test]
+    fn simd_mapping_invariants(
+        warps in 1u32..8,
+        gs_pow in 0u32..6,
+    ) {
+        let threads = warps * 32;
+        let gs = 1u32 << gs_pow;
+        let m = SimdMapping::new(threads, gs, 32);
+        prop_assert_eq!(m.num_groups() * gs, threads);
+        let mut leaders = 0;
+        for tid in 0..threads {
+            let g = m.simd_group(tid);
+            prop_assert!(g < m.num_groups());
+            prop_assert_eq!(g * gs + m.simd_group_id(tid), tid);
+            if m.is_simd_group_leader(tid) {
+                leaders += 1;
+                prop_assert_eq!(m.leader_tid(g), tid);
+            }
+            // simdmask covers exactly the group's lanes of this warp.
+            let mask = m.simdmask(tid);
+            prop_assert_eq!(mask.count(), gs);
+            prop_assert!(mask.contains(m.lane_of(tid)));
+            // All members agree on the mask.
+            prop_assert_eq!(m.simdmask(m.leader_tid(g)), mask);
+        }
+        prop_assert_eq!(leaders, m.num_groups());
+    }
+
+    /// A simd loop computes the same result as a sequential loop for every
+    /// mode/group-size combination: each iteration executed exactly once.
+    #[test]
+    fn simd_loop_executes_each_iteration_once(
+        trip in 0u64..200,
+        gs_pow in 0u32..6,
+        teams_generic in any::<bool>(),
+        par_generic in any::<bool>(),
+        amd in any::<bool>(),
+    ) {
+        let gs = 1u32 << gs_pow;
+        let arch = if amd { DeviceArch::mi100() } else { DeviceArch::a100() };
+        prop_assume!(arch.warp_size % gs == 0);
+        let mut dev = Device::new(arch);
+        let out = dev.global.alloc_zeroed::<u64>(trip.max(1) as usize);
+
+        let mut reg = Registry::new();
+        let trip_id = reg.trip(move |_, _| trip);
+        let body = reg.body(move |lane, iv, v| {
+            let out = v.args[0].as_ptr::<u64>();
+            lane.atomic_add_u64(out, iv, 1);
+        });
+        let plan = TargetPlan {
+            ops: vec![TeamOp::Parallel(ParallelOp {
+                desc: ParallelDesc {
+                    mode: if par_generic { ExecMode::Generic } else { ExecMode::Spmd },
+                    simdlen: gs,
+                },
+                known: true,
+                nregs: 0,
+                ops: vec![ThreadOp::Simd { trip: trip_id, body, known: true }],
+            })],
+            team_regs: 0,
+        };
+        let cfg = KernelConfig {
+            teams_mode: if teams_generic { ExecMode::Generic } else { ExecMode::Spmd },
+            num_teams: 1,
+            threads_per_team: 64,
+            ..Default::default()
+        };
+        launch_target(&mut dev, &cfg, &plan, &reg, &[Slot::from_ptr(out)]).unwrap();
+        // Every OpenMP thread (SIMD group) executes the full simd loop, so
+        // each iteration is incremented once per group.
+        let groups = 64 / gs as u64;
+        let got = dev.global.read_slice(out, trip.max(1) as usize);
+        for (i, &v) in got.iter().enumerate().take(trip as usize) {
+            prop_assert_eq!(v, groups, "iteration {}", i);
+        }
+    }
+
+    /// Generic mode never changes results relative to SPMD, only costs —
+    /// and generic is never cheaper.
+    #[test]
+    fn generic_mode_costs_at_least_spmd(
+        trip in 1u64..100,
+        rows in 1u64..64,
+        gs_pow in 1u32..6,
+    ) {
+        let gs = 1u32 << gs_pow;
+        let run = |mode: ExecMode| {
+            let mut dev = Device::a100();
+            let out = dev.global.alloc_zeroed::<f64>((rows * trip) as usize);
+            let mut reg = Registry::new();
+            let rows_id = reg.trip(move |_, _| rows);
+            let trip_id = reg.trip(move |_, _| trip);
+            let body = reg.body(move |lane, iv, v| {
+                let out = v.args[0].as_ptr::<f64>();
+                let r = v.regs[0].as_u64();
+                lane.work(3);
+                lane.write(out, r * trip + iv, (r + iv) as f64);
+            });
+            let plan = TargetPlan {
+                ops: vec![TeamOp::Parallel(ParallelOp {
+                    desc: ParallelDesc { mode, simdlen: gs },
+                    known: true,
+                    nregs: 1,
+                    ops: vec![ThreadOp::For {
+                        trip: rows_id,
+                        sched: Schedule::Cyclic(1),
+                        iv_reg: 0,
+                        across_teams: true,
+                        ops: vec![ThreadOp::Simd { trip: trip_id, body, known: true }],
+                    }],
+                })],
+                team_regs: 0,
+            };
+            let cfg = KernelConfig {
+                teams_mode: ExecMode::Spmd,
+                num_teams: 2,
+                threads_per_team: 64,
+                ..Default::default()
+            };
+            let stats =
+                launch_target(&mut dev, &cfg, &plan, &reg, &[Slot::from_ptr(out)]).unwrap();
+            (dev.global.read_slice(out, (rows * trip) as usize), stats.cycles)
+        };
+        let (y_spmd, c_spmd) = run(ExecMode::Spmd);
+        let (y_gen, c_gen) = run(ExecMode::Generic);
+        prop_assert_eq!(y_spmd, y_gen);
+        prop_assert!(c_gen >= c_spmd, "generic {c_gen} < spmd {c_spmd}");
+    }
+
+    /// The sharing space never hands out overlapping slices.
+    #[test]
+    fn sharing_slices_never_overlap(bytes in 64u32..8192, groups in 1u32..128) {
+        let mut smem = gpu_sim::SharedMem::new(bytes + 64);
+        let mut space = omp_core::sharing::SharingSpace::reserve(&mut smem, bytes);
+        space.configure_groups(groups);
+        let mut prev_end = None::<u32>;
+        for g in 0..groups {
+            let (off, n) = space.group_slice(g);
+            if let Some(e) = prev_end {
+                prop_assert!(off.0 >= e);
+            }
+            prop_assert!((off.0 + n) * 8 <= bytes + space.team_slice().0 .0 * 8 + bytes);
+            prev_end = Some(off.0 + n);
+        }
+    }
+}

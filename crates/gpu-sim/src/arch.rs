@@ -1,0 +1,139 @@
+//! Device architecture descriptors.
+//!
+//! The paper evaluates on NVIDIA A100 (40 GB) GPUs and discusses, in §5.4.1,
+//! the gap towards AMD GPUs: LLVM/OpenMP provides no wavefront-level barrier
+//! there, so the generic-SIMD execution mode is unavailable and `simd` loops
+//! fall back to sequential execution. Both device families are modeled here;
+//! the `warp_sync_supported` capability bit is what the OpenMP runtime keys
+//! its fallback on.
+
+/// GPU vendor family; selects warp width conventions and capability defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vendor {
+    /// NVIDIA-like: 32-lane warps, masked warp barriers available.
+    Nvidia,
+    /// AMD-like: 64-lane wavefronts, no wavefront-level barrier exposed to
+    /// the OpenMP runtime (paper §5.4.1).
+    Amd,
+}
+
+/// Static description of a simulated device.
+///
+/// The resource limits feed the occupancy calculation in [`crate::sched`];
+/// the capability flags feed runtime-mode decisions in `simt-omp-core`.
+#[derive(Clone, Debug)]
+pub struct DeviceArch {
+    /// Human-readable name, printed by benchmark harnesses.
+    pub name: &'static str,
+    /// Vendor family.
+    pub vendor: Vendor,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Lanes per warp (32 NVIDIA, 64 AMD).
+    pub warp_size: u32,
+    /// Maximum threads per thread block accepted by a launch.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM (occupancy limit).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM (occupancy limit).
+    pub max_blocks_per_sm: u32,
+    /// Shared memory capacity per block, bytes.
+    pub smem_per_block: u32,
+    /// Shared memory capacity per SM, bytes (occupancy limit).
+    pub smem_per_sm: u32,
+    /// Whether a warp-level barrier over a lane mask exists. The generic
+    /// SIMD execution mode requires it (paper §5.4.1).
+    pub warp_sync_supported: bool,
+}
+
+impl DeviceArch {
+    /// NVIDIA A100-like descriptor (108 SMs, 32-lane warps), matching the
+    /// paper's Perlmutter test bed (§6.1).
+    pub fn a100() -> DeviceArch {
+        DeviceArch {
+            name: "sim-A100-40GB",
+            vendor: Vendor::Nvidia,
+            num_sms: 108,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            smem_per_block: 96 * 1024,
+            smem_per_sm: 164 * 1024,
+            warp_sync_supported: true,
+        }
+    }
+
+    /// AMD MI100-like descriptor (120 CUs, 64-lane wavefronts, no
+    /// wavefront-level barrier — paper §5.4.1).
+    pub fn mi100() -> DeviceArch {
+        DeviceArch {
+            name: "sim-MI100",
+            vendor: Vendor::Amd,
+            num_sms: 120,
+            warp_size: 64,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2560,
+            max_blocks_per_sm: 40,
+            smem_per_block: 64 * 1024,
+            smem_per_sm: 64 * 1024,
+            warp_sync_supported: false,
+        }
+    }
+
+    /// A small device useful in tests: 4 SMs, low residency limits, so that
+    /// occupancy effects are visible with tiny launches.
+    pub fn tiny() -> DeviceArch {
+        DeviceArch {
+            name: "sim-tiny",
+            vendor: Vendor::Nvidia,
+            num_sms: 4,
+            warp_size: 32,
+            max_threads_per_block: 256,
+            max_threads_per_sm: 512,
+            max_blocks_per_sm: 4,
+            smem_per_block: 8 * 1024,
+            smem_per_sm: 16 * 1024,
+            warp_sync_supported: true,
+        }
+    }
+
+    /// Number of warps needed to hold `threads` threads.
+    #[inline]
+    pub fn warps_for(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_shape() {
+        let a = DeviceArch::a100();
+        assert_eq!(a.vendor, Vendor::Nvidia);
+        assert_eq!(a.warp_size, 32);
+        assert_eq!(a.num_sms, 108);
+        assert!(a.warp_sync_supported);
+    }
+
+    #[test]
+    fn amd_lacks_warp_sync() {
+        let a = DeviceArch::mi100();
+        assert_eq!(a.vendor, Vendor::Amd);
+        assert_eq!(a.warp_size, 64);
+        assert!(!a.warp_sync_supported);
+    }
+
+    #[test]
+    fn warps_for_rounds_up() {
+        let a = DeviceArch::a100();
+        assert_eq!(a.warps_for(1), 1);
+        assert_eq!(a.warps_for(32), 1);
+        assert_eq!(a.warps_for(33), 2);
+        assert_eq!(a.warps_for(128), 4);
+        let m = DeviceArch::mi100();
+        assert_eq!(m.warps_for(65), 2);
+    }
+}

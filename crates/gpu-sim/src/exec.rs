@@ -1,0 +1,772 @@
+//! The SIMT execution engine: blocks, warps, lanes, lockstep cost merging.
+//!
+//! Execution is *orchestrated*: the OpenMP runtime (in `simt-omp-core`)
+//! decides which lanes of which warp run which per-lane program, and this
+//! engine executes the programs functionally while accounting cycles with
+//! SIMT lockstep semantics:
+//!
+//! * all lanes given to one [`TeamCtx::run_lanes`] call execute *together*
+//!   as one warp-synchronous super-step;
+//! * issue cycles combine with **max** over lanes — a warp is busy for as
+//!   long as its longest-running lane, and lanes that finished early (idle
+//!   SIMD lanes, short rows…) still cost their warp the full time. This is
+//!   the mechanism behind the paper's "wasted threads" observations (§6.3);
+//! * the k-th memory access of every lane is assumed to be the same static
+//!   instruction (true for the uniform loop bodies OpenMP `simd` allows), so
+//!   the addresses are **coalesced** together into 32-byte sectors;
+//! * atomic accesses to the same address within a super-step serialize.
+//!
+//! Warp-level barriers, block-level barriers and direct runtime charges
+//! (state-machine posts, dispatch costs…) are explicit [`TeamCtx`] methods.
+
+use crate::arch::DeviceArch;
+use crate::cost::CostModel;
+use crate::mem::global::GlobalMem;
+use crate::mem::pod::DevValue;
+use crate::mem::ptr::{DPtr, Slot};
+use crate::mem::shared::{SharedMem, SmOff};
+use crate::stats::{BlockProfile, RtCounters};
+
+#[derive(Clone, Copy, Debug)]
+struct Access {
+    addr: u64,
+    bytes: u32,
+    atomic: bool,
+}
+
+/// Per-lane cost trace captured while a lane program runs.
+#[derive(Default, Debug)]
+struct LaneTrace {
+    alu: u64,
+    smem_ops: u64,
+    /// Shared-memory slot indices, in program order (for bank-conflict
+    /// analysis across lockstep lanes).
+    smem_slots: Vec<u32>,
+    accesses: Vec<Access>,
+}
+
+impl LaneTrace {
+    fn clear(&mut self) {
+        self.alu = 0;
+        self.smem_ops = 0;
+        self.smem_slots.clear();
+        self.accesses.clear();
+    }
+}
+
+/// Per-warp accounting state, including the warp's L1 window: a
+/// direct-mapped map of recently touched sectors. Re-touching a cached
+/// sector costs [`CostModel::l1_hit_cycles`] instead of a DRAM sector —
+/// this is what lets a thread streaming through its own block of memory
+/// (e.g. the serial inner loops of the two-level baselines) avoid paying
+/// full DRAM cost for every element of a 32-byte sector.
+#[derive(Clone, Debug, Default)]
+struct WarpState {
+    clock: u64,
+    issue: u64,
+    sectors: u64,
+    dram_sectors: u64,
+    smem_ops: u64,
+    l1_hits: u64,
+    /// 4-way set-associative tag store: `l1[set*4..set*4+4]`.
+    l1: Vec<u64>,
+    /// LRU ages parallel to `l1`.
+    l1_age: Vec<u8>,
+    /// Per-way sector-validity bitmasks (sectored cache: a line tag can be
+    /// present with only some of its sectors fetched).
+    l1_mask: Vec<u8>,
+}
+
+/// Execution context handed to a per-lane program: typed access to global
+/// and shared memory, with every operation recorded for cost accounting.
+pub struct Lane<'a> {
+    global: &'a mut GlobalMem,
+    smem: &'a mut SharedMem,
+    trace: &'a mut LaneTrace,
+}
+
+impl<'a> Lane<'a> {
+    /// Charge `cycles` of ALU work.
+    #[inline]
+    pub fn work(&mut self, cycles: u64) {
+        self.trace.alu += cycles;
+    }
+
+    /// Load element `idx` relative to `p` from global memory.
+    #[inline]
+    pub fn read<T: DevValue>(&mut self, p: DPtr<T>, idx: u64) -> T {
+        self.trace.accesses.push(Access {
+            addr: self.global.addr_of(p, idx),
+            bytes: std::mem::size_of::<T>() as u32,
+            atomic: false,
+        });
+        self.global.read(p, idx)
+    }
+
+    /// Store to element `idx` relative to `p` in global memory.
+    #[inline]
+    pub fn write<T: DevValue>(&mut self, p: DPtr<T>, idx: u64, v: T) {
+        self.trace.accesses.push(Access {
+            addr: self.global.addr_of(p, idx),
+            bytes: std::mem::size_of::<T>() as u32,
+            atomic: false,
+        });
+        self.global.write(p, idx, v);
+    }
+
+    /// Atomic `fetch_add` on an `f64` in global memory; returns the old
+    /// value. Same-address conflicts within a super-step serialize.
+    #[inline]
+    pub fn atomic_add_f64(&mut self, p: DPtr<f64>, idx: u64, v: f64) -> f64 {
+        self.trace.accesses.push(Access {
+            addr: self.global.addr_of(p, idx),
+            bytes: 8,
+            atomic: true,
+        });
+        let old = self.global.read(p, idx);
+        self.global.write(p, idx, old + v);
+        old
+    }
+
+    /// Atomic `fetch_add` on a `u64` in global memory; returns the old value.
+    #[inline]
+    pub fn atomic_add_u64(&mut self, p: DPtr<u64>, idx: u64, v: u64) -> u64 {
+        self.trace.accesses.push(Access {
+            addr: self.global.addr_of(p, idx),
+            bytes: 8,
+            atomic: true,
+        });
+        let old = self.global.read(p, idx);
+        self.global.write(p, idx, old.wrapping_add(v));
+        old
+    }
+
+    /// Read an 8-byte slot from shared memory.
+    #[inline]
+    pub fn smem_read_slot(&mut self, off: SmOff, idx: u32) -> Slot {
+        self.trace.smem_ops += 1;
+        self.trace.smem_slots.push(off.0 + idx);
+        self.smem.read_slot(off, idx)
+    }
+
+    /// Write an 8-byte slot to shared memory.
+    #[inline]
+    pub fn smem_write_slot(&mut self, off: SmOff, idx: u32, v: Slot) {
+        self.trace.smem_ops += 1;
+        self.trace.smem_slots.push(off.0 + idx);
+        self.smem.write_slot(off, idx, v);
+    }
+
+    /// Read a shared-memory slot as `f64`.
+    #[inline]
+    pub fn smem_read_f64(&mut self, off: SmOff, idx: u32) -> f64 {
+        self.trace.smem_ops += 1;
+        self.trace.smem_slots.push(off.0 + idx);
+        self.smem.read_f64(off, idx)
+    }
+
+    /// Write a shared-memory slot as `f64`.
+    #[inline]
+    pub fn smem_write_f64(&mut self, off: SmOff, idx: u32, v: f64) {
+        self.trace.smem_ops += 1;
+        self.trace.smem_slots.push(off.0 + idx);
+        self.smem.write_f64(off, idx, v);
+    }
+}
+
+/// The per-block execution context: warps, shared memory, a mutable view of
+/// global memory, cost model and counters.
+///
+/// Created by [`crate::launch::Device::launch`] for each block, passed to
+/// the kernel entry function.
+pub struct TeamCtx<'g> {
+    /// Id of this block within the launch grid.
+    pub block_id: u32,
+    /// Total blocks in the launch grid.
+    pub num_blocks: u32,
+    nwarps: u32,
+    /// This block's shared memory.
+    pub smem: SharedMem,
+    global: &'g mut GlobalMem,
+    cost: &'g CostModel,
+    arch: &'g DeviceArch,
+    warps: Vec<WarpState>,
+    /// Runtime-behavior counters for this block.
+    pub counters: RtCounters,
+    trace_pool: Vec<LaneTrace>,
+    scratch_sectors: Vec<u64>,
+    scratch_atomic: Vec<u64>,
+    event_trace: Option<crate::trace::Trace>,
+}
+
+impl<'g> TeamCtx<'g> {
+    /// Create a block context. `nwarps` is the number of warps in the block
+    /// (including any extra runtime warp the caller decided to reserve).
+    pub fn new(
+        block_id: u32,
+        num_blocks: u32,
+        nwarps: u32,
+        smem_bytes: u32,
+        global: &'g mut GlobalMem,
+        cost: &'g CostModel,
+        arch: &'g DeviceArch,
+    ) -> TeamCtx<'g> {
+        assert!(nwarps >= 1, "a block needs at least one warp");
+        TeamCtx {
+            block_id,
+            num_blocks,
+            nwarps,
+            smem: SharedMem::new(smem_bytes),
+            global,
+            cost,
+            arch,
+            warps: vec![WarpState::default(); nwarps as usize],
+            counters: RtCounters::default(),
+            trace_pool: Vec::new(),
+            scratch_sectors: Vec::new(),
+            scratch_atomic: Vec::new(),
+            event_trace: None,
+        }
+    }
+
+    /// Attach an event trace (taken over from the device during a traced
+    /// launch).
+    pub fn attach_trace(&mut self, t: crate::trace::Trace) {
+        self.event_trace = Some(t);
+    }
+
+    /// Detach the event trace again.
+    pub fn detach_trace(&mut self) -> crate::trace::Trace {
+        self.event_trace.take().unwrap_or_default()
+    }
+
+    /// Number of warps in this block.
+    pub fn nwarps(&self) -> u32 {
+        self.nwarps
+    }
+
+    /// Lanes per warp on this device.
+    pub fn warp_size(&self) -> u32 {
+        self.arch.warp_size
+    }
+
+    /// Device architecture descriptor.
+    pub fn arch(&self) -> &DeviceArch {
+        self.arch
+    }
+
+    /// Cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// Mutable access to global memory (runtime-internal allocations, e.g.
+    /// the sharing-space global fallback).
+    pub fn global(&mut self) -> &mut GlobalMem {
+        self.global
+    }
+
+    /// Shared access to global memory.
+    pub fn global_ref(&self) -> &GlobalMem {
+        self.global
+    }
+
+    /// Current clock of a warp, cycles.
+    pub fn warp_clock(&self, warp: u32) -> u64 {
+        self.warps[warp as usize].clock
+    }
+
+    /// Run a per-lane program on `lanes` of `warp` as one lockstep
+    /// super-step: `f` is invoked once per lane (in ascending lane order for
+    /// determinism); issue combines with max over lanes, the k-th accesses
+    /// of all lanes coalesce together.
+    pub fn run_lanes<F>(&mut self, warp: u32, lanes: &[u32], mut f: F)
+    where
+        F: FnMut(&mut Lane<'_>, u32),
+    {
+        assert!(warp < self.nwarps, "warp {warp} out of range");
+        if lanes.is_empty() {
+            return;
+        }
+        while self.trace_pool.len() < lanes.len() {
+            self.trace_pool.push(LaneTrace::default());
+        }
+        for (i, &lane_id) in lanes.iter().enumerate() {
+            debug_assert!(lane_id < self.arch.warp_size);
+            let trace = &mut self.trace_pool[i];
+            trace.clear();
+            let mut lane = Lane { global: self.global, smem: &mut self.smem, trace };
+            f(&mut lane, lane_id);
+        }
+        self.commit(warp, lanes.len());
+    }
+
+    /// Merge the first `n` traces of the pool into `warp`'s accounting.
+    fn commit(&mut self, warp: u32, n: usize) {
+        let cost = self.cost;
+        let mut scratch_sectors = std::mem::take(&mut self.scratch_sectors);
+        let mut scratch_atomic = std::mem::take(&mut self.scratch_atomic);
+        let traces = &self.trace_pool[..n];
+
+        let max_alu = traces.iter().map(|t| t.alu).max().unwrap_or(0);
+        let max_smem = traces.iter().map(|t| t.smem_ops).max().unwrap_or(0);
+        let max_ord = traces.iter().map(|t| t.accesses.len()).max().unwrap_or(0);
+
+        // Shared memory: the k-th smem access of all lanes is one
+        // instruction; distinct slots landing in the same of the 32 banks
+        // serialize into wavefronts, same-slot accesses broadcast.
+        let max_smem_ord = traces.iter().map(|t| t.smem_slots.len()).max().unwrap_or(0);
+        let mut smem_wavefronts = 0u64;
+        for k in 0..max_smem_ord {
+            let mut bank_slots: [u32; 32] = [u32::MAX; 32];
+            let mut bank_waves: [u8; 32] = [0; 32];
+            let mut worst = 0u8;
+            for t in traces {
+                let Some(&slot) = t.smem_slots.get(k) else { continue };
+                let b = (slot % 32) as usize;
+                if bank_slots[b] != slot {
+                    // New distinct slot in this bank: one more wavefront
+                    // (approximate: tracks the last slot seen per bank).
+                    bank_slots[b] = slot;
+                    bank_waves[b] = bank_waves[b].saturating_add(1);
+                    worst = worst.max(bank_waves[b]);
+                }
+            }
+            smem_wavefronts += worst.max(1) as u64;
+        }
+
+        let mut clock_add = max_alu + smem_wavefronts * cost.smem_cycles;
+        let mut issue_add = clock_add;
+        let mut sectors_add = 0u64;
+        let mut hits_add = 0u64;
+        let mut dram_add = 0u64;
+        let mut lines_add = 0u64;
+        // Lazily initialize this warp's L1 window (4-way set associative,
+        // line-granular tags).
+        if self.warps[warp as usize].l1.is_empty() && cost.l1_lines >= 4 {
+            self.warps[warp as usize].l1 = vec![u64::MAX; cost.l1_lines as usize];
+            self.warps[warp as usize].l1_age = vec![0; cost.l1_lines as usize];
+            self.warps[warp as usize].l1_mask = vec![0; cost.l1_lines as usize];
+        }
+        let mut l1 = std::mem::take(&mut self.warps[warp as usize].l1);
+        let mut l1_age = std::mem::take(&mut self.warps[warp as usize].l1_age);
+        let mut l1_mask = std::mem::take(&mut self.warps[warp as usize].l1_mask);
+        let nsets = l1.len() / 4;
+
+        for k in 0..max_ord {
+            scratch_sectors.clear();
+            scratch_atomic.clear();
+            let mut any = false;
+            for t in traces {
+                let Some(a) = t.accesses.get(k) else { continue };
+                any = true;
+                let sb = cost.sector_bytes as u64;
+                let first = a.addr / sb;
+                let last = (a.addr + a.bytes as u64 - 1) / sb;
+                for s in first..=last {
+                    scratch_sectors.push(s);
+                }
+                if a.atomic {
+                    scratch_atomic.push(a.addr);
+                }
+            }
+            if !any {
+                continue;
+            }
+            scratch_sectors.sort_unstable();
+            scratch_sectors.dedup();
+            // Walk the ordinal's unique sectors grouped by 128-byte line:
+            // each distinct line is one LSU transaction; a line missing the
+            // L1 window (4-way LRU, line tags) sends its sectors to DRAM.
+            let spl = (cost.line_bytes / cost.sector_bytes).max(1) as u64;
+            let mut sectors = 0u64; // DRAM traffic (sectors of missed lines)
+            let mut lines = 0u64; // LSU transactions
+            let mut hits = 0u64; // line hits
+            let mut i = 0usize;
+            while i < scratch_sectors.len() {
+                let line = scratch_sectors[i] / spl;
+                let mut smask = 0u8;
+                while i < scratch_sectors.len() && scratch_sectors[i] / spl == line {
+                    if self.global.first_touch(scratch_sectors[i]) {
+                        dram_add += 1;
+                    }
+                    smask |= 1 << (scratch_sectors[i] % spl).min(7);
+                    i += 1;
+                }
+                lines += 1;
+                if nsets == 0 {
+                    sectors += smask.count_ones() as u64;
+                    continue;
+                }
+                // Fibonacci-hash the set index so power-of-two array
+                // strides do not alias into a handful of sets.
+                let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+                let set = (h % nsets as u64) as usize * 4;
+                let ways = &mut l1[set..set + 4];
+                let ages = &mut l1_age[set..set + 4];
+                let masks = &mut l1_mask[set..set + 4];
+                if let Some(w) = ways.iter().position(|&t| t == line) {
+                    // Tag hit: only sectors not yet fetched cost DRAM
+                    // traffic (sectored cache).
+                    let new = smask & !masks[w];
+                    if new == 0 {
+                        hits += 1;
+                    } else {
+                        sectors += new.count_ones() as u64;
+                        masks[w] |= new;
+                    }
+                    ages[w] = 0;
+                    for (k, a) in ages.iter_mut().enumerate() {
+                        if k != w {
+                            *a = a.saturating_add(1);
+                        }
+                    }
+                } else {
+                    sectors += smask.count_ones() as u64;
+                    let victim = ages
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &a)| a)
+                        .map(|(k, _)| k)
+                        .unwrap_or(0);
+                    ways[victim] = line;
+                    ages[victim] = 0;
+                    masks[victim] = smask;
+                    for (k, a) in ages.iter_mut().enumerate() {
+                        if k != victim {
+                            *a = a.saturating_add(1);
+                        }
+                    }
+                }
+            }
+            let misses = sectors;
+
+            let mut c = lines * cost.line_cycles + sectors * cost.sector_cycles;
+            if !scratch_atomic.is_empty() {
+                // Max same-address multiplicity determines serialization.
+                scratch_atomic.sort_unstable();
+                let mut max_mult = 1u64;
+                let mut run = 1u64;
+                for w in scratch_atomic.windows(2) {
+                    if w[0] == w[1] {
+                        run += 1;
+                        max_mult = max_mult.max(run);
+                    } else {
+                        run = 1;
+                    }
+                }
+                c += cost.atomic_cycles + (max_mult - 1) * cost.atomic_conflict_cycles;
+            }
+            issue_add += c;
+            clock_add += c + if misses > 0 { cost.exposed_latency } else { 0 };
+            sectors_add += sectors;
+            hits_add += hits;
+            lines_add += lines;
+        }
+
+        self.scratch_sectors = scratch_sectors;
+        self.scratch_atomic = scratch_atomic;
+        if let Some(t) = &mut self.event_trace {
+            t.push(crate::trace::TraceEvent::SuperStep {
+                block: self.block_id,
+                warp,
+                lanes: n as u32,
+                issue: issue_add,
+                lines: lines_add,
+            });
+        }
+        let w = &mut self.warps[warp as usize];
+        w.l1 = l1;
+        w.l1_age = l1_age;
+        w.l1_mask = l1_mask;
+        w.clock += clock_add;
+        w.issue += issue_add;
+        w.sectors += sectors_add;
+        w.dram_sectors += dram_add;
+        w.smem_ops += max_smem;
+        w.l1_hits += hits_add;
+        let _ = max_smem;
+    }
+
+    /// Charge plain ALU cycles to a warp (runtime-internal work).
+    pub fn charge_alu(&mut self, warp: u32, cycles: u64) {
+        let w = &mut self.warps[warp as usize];
+        w.clock += cycles;
+        w.issue += cycles;
+    }
+
+    /// Charge `n` shared-memory operations to a warp (state posts, argument
+    /// staging in the sharing space…).
+    pub fn charge_smem_ops(&mut self, warp: u32, n: u64) {
+        let c = n * self.cost.smem_cycles;
+        let w = &mut self.warps[warp as usize];
+        w.clock += c;
+        w.issue += c;
+        w.smem_ops += n;
+    }
+
+    /// Masked warp-level barrier (`synchronizeWarp(simdmask())`). Lanes of a
+    /// warp share one clock, so this charges the fixed synchronization cost.
+    pub fn warp_sync(&mut self, warp: u32) {
+        if let Some(t) = &mut self.event_trace {
+            t.push(crate::trace::TraceEvent::WarpSync { block: self.block_id, warp });
+        }
+        self.counters.warp_syncs += 1;
+        let c = self.cost.warp_sync_cycles;
+        let w = &mut self.warps[warp as usize];
+        w.clock += c;
+        w.issue += c;
+    }
+
+    /// Block-level barrier over all warps of the team: clocks join at the
+    /// maximum, plus the barrier cost.
+    pub fn block_barrier(&mut self) {
+        if let Some(t) = &mut self.event_trace {
+            t.push(crate::trace::TraceEvent::BlockBarrier { block: self.block_id });
+        }
+        self.counters.block_barriers += 1;
+        let m = self.warps.iter().map(|w| w.clock).max().unwrap_or(0);
+        let c = self.cost.block_barrier_cycles;
+        for w in &mut self.warps {
+            w.clock = m + c;
+            w.issue += c;
+        }
+    }
+
+    /// Charge the dispatch of an outlined function: through the if-cascade
+    /// of known regions, or the indirect-call fallback (§5.5).
+    pub fn charge_dispatch(&mut self, warp: u32, cascade: bool) {
+        if let Some(t) = &mut self.event_trace {
+            t.push(crate::trace::TraceEvent::Dispatch {
+                block: self.block_id,
+                warp,
+                cascade,
+            });
+        }
+        let c = if cascade {
+            self.counters.cascade_dispatches += 1;
+            self.cost.cascade_dispatch_cycles
+        } else {
+            self.counters.indirect_calls += 1;
+            self.cost.indirect_call_cycles
+        };
+        self.charge_alu(warp, c);
+    }
+
+    /// Charge a global-memory fallback allocation for the sharing space
+    /// (§5.3.1) and count it.
+    pub fn charge_global_alloc(&mut self, warp: u32) {
+        if let Some(t) = &mut self.event_trace {
+            t.push(crate::trace::TraceEvent::GlobalAlloc { block: self.block_id, warp });
+        }
+        self.counters.sharing_global_fallbacks += 1;
+        let c = self.cost.global_alloc_cycles;
+        self.charge_alu(warp, c);
+    }
+
+    /// Finish the block: produce its resource profile. `threads` and
+    /// `smem_bytes` are the occupancy inputs recorded by the launch.
+    pub fn finish(self, threads: u32, smem_bytes: u32) -> (BlockProfile, RtCounters) {
+        let profile = BlockProfile {
+            cycles: self.warps.iter().map(|w| w.clock).max().unwrap_or(0),
+            issue: self.warps.iter().map(|w| w.issue).sum(),
+            sectors: self.warps.iter().map(|w| w.sectors).sum(),
+            dram_sectors: self.warps.iter().map(|w| w.dram_sectors).sum(),
+            smem_ops: self.warps.iter().map(|w| w.smem_ops).sum(),
+            l1_hits: self.warps.iter().map(|w| w.l1_hits).sum(),
+            threads,
+            smem_bytes,
+        };
+        (profile, self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::DeviceArch;
+
+    fn setup() -> (GlobalMem, CostModel, DeviceArch) {
+        (GlobalMem::new(), CostModel::default(), DeviceArch::a100())
+    }
+
+    fn ctx<'g>(
+        g: &'g mut GlobalMem,
+        c: &'g CostModel,
+        a: &'g DeviceArch,
+        nwarps: u32,
+    ) -> TeamCtx<'g> {
+        TeamCtx::new(0, 1, nwarps, 4096, g, c, a)
+    }
+
+    #[test]
+    fn lockstep_issue_is_max_over_lanes() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 1);
+        // Lane 0 works 100 cycles, lane 1 works 10: warp pays 100.
+        t.run_lanes(0, &[0, 1], |lane, id| {
+            lane.work(if id == 0 { 100 } else { 10 });
+        });
+        assert_eq!(t.warp_clock(0), 100);
+    }
+
+    #[test]
+    fn coalesced_loads_share_sectors() {
+        let (mut g, c, a) = setup();
+        let p = g.alloc_zeroed::<f64>(64);
+        let mut t = ctx(&mut g, &c, &a, 1);
+        // 32 lanes load 32 consecutive f64 = 256 bytes = 8 sectors.
+        let lanes: Vec<u32> = (0..32).collect();
+        t.run_lanes(0, &lanes, |lane, id| {
+            lane.read(p, id as u64);
+        });
+        let (prof, _) = t.finish(32, 0);
+        assert_eq!(prof.sectors, 8);
+    }
+
+    #[test]
+    fn strided_loads_cost_more_sectors() {
+        let (mut g, c, a) = setup();
+        let p = g.alloc_zeroed::<f64>(32 * 8);
+        let mut t = ctx(&mut g, &c, &a, 1);
+        // Stride-8 f64 accesses: every lane in its own sector.
+        let lanes: Vec<u32> = (0..32).collect();
+        t.run_lanes(0, &lanes, |lane, id| {
+            lane.read(p, id as u64 * 8);
+        });
+        let (prof, _) = t.finish(32, 0);
+        assert_eq!(prof.sectors, 32);
+    }
+
+    #[test]
+    fn accesses_merge_by_ordinal_across_iterations() {
+        let (mut g, c, a) = setup();
+        let p = g.alloc_zeroed::<f64>(256);
+        let mut t = ctx(&mut g, &c, &a, 1);
+        // Each of 4 lanes makes 2 consecutive-coalescing accesses.
+        t.run_lanes(0, &[0, 1, 2, 3], |lane, id| {
+            lane.read(p, id as u64); // ordinal 0: 4 * 8B in one sector
+            lane.read(p, 128 + id as u64); // ordinal 1: one sector
+        });
+        let (prof, _) = t.finish(32, 0);
+        assert_eq!(prof.sectors, 2);
+    }
+
+    #[test]
+    fn atomic_same_address_serializes() {
+        let (mut g, c, a) = setup();
+        let p = g.alloc_zeroed::<f64>(4);
+        let mut t0 = TeamCtx::new(0, 1, 1, 0, &mut g, &c, &a, );
+        // 8 lanes atomically add to the SAME element.
+        let lanes: Vec<u32> = (0..8).collect();
+        t0.run_lanes(0, &lanes, |lane, _| {
+            lane.atomic_add_f64(p, 0, 1.0);
+        });
+        let same_clock = t0.warp_clock(0);
+        let (_, _) = t0.finish(32, 0);
+
+        let mut g2 = GlobalMem::new();
+        let q = g2.alloc_zeroed::<f64>(8);
+        let mut t1 = TeamCtx::new(0, 1, 1, 0, &mut g2, &c, &a);
+        // 8 lanes add to DIFFERENT elements.
+        t1.run_lanes(0, &lanes, |lane, id| {
+            lane.atomic_add_f64(q, id as u64, 1.0);
+        });
+        let diff_clock = t1.warp_clock(0);
+        assert!(
+            same_clock > diff_clock,
+            "same-address atomics ({same_clock}) should cost more than \
+             spread atomics ({diff_clock})"
+        );
+        // And the value is correct.
+        assert_eq!(g.read(p, 0), 8.0);
+    }
+
+    #[test]
+    fn atomic_value_semantics() {
+        let (mut g, c, a) = setup();
+        let p = g.alloc_zeroed::<f64>(1);
+        let pu = g.alloc_zeroed::<u64>(1);
+        let mut t = ctx(&mut g, &c, &a, 1);
+        t.run_lanes(0, &[0, 1, 2], |lane, id| {
+            lane.atomic_add_f64(p, 0, (id + 1) as f64);
+            lane.atomic_add_u64(pu, 0, 10);
+        });
+        drop(t);
+        assert_eq!(g.read(p, 0), 6.0);
+        assert_eq!(g.read(pu, 0), 30);
+    }
+
+    #[test]
+    fn block_barrier_joins_clocks_at_max() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 3);
+        t.charge_alu(0, 50);
+        t.charge_alu(1, 500);
+        t.charge_alu(2, 5);
+        t.block_barrier();
+        for w in 0..3 {
+            assert_eq!(t.warp_clock(w), 500 + c.block_barrier_cycles);
+        }
+        assert_eq!(t.counters.block_barriers, 1);
+    }
+
+    #[test]
+    fn warp_sync_charges_fixed_cost() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 2);
+        t.warp_sync(1);
+        assert_eq!(t.warp_clock(1), c.warp_sync_cycles);
+        assert_eq!(t.warp_clock(0), 0);
+        assert_eq!(t.counters.warp_syncs, 1);
+    }
+
+    #[test]
+    fn dispatch_costs_differ() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 1);
+        t.charge_dispatch(0, true);
+        let after_cascade = t.warp_clock(0);
+        t.charge_dispatch(0, false);
+        let after_indirect = t.warp_clock(0) - after_cascade;
+        assert!(after_indirect > after_cascade);
+        assert_eq!(t.counters.cascade_dispatches, 1);
+        assert_eq!(t.counters.indirect_calls, 1);
+        assert_eq!(after_cascade, c.cascade_dispatch_cycles);
+    }
+
+    #[test]
+    fn smem_ops_through_lane_are_counted() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 1);
+        let off = t.smem.alloc(64).unwrap();
+        t.run_lanes(0, &[0, 1], |lane, id| {
+            lane.smem_write_f64(off, id, id as f64 + 1.0);
+        });
+        let read_back = t.smem.read_f64(off, 1);
+        assert_eq!(read_back, 2.0);
+        let (prof, _) = t.finish(32, 4096);
+        assert_eq!(prof.smem_ops, 1); // max over lanes, lockstep
+    }
+
+    #[test]
+    fn finish_aggregates_warps() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 2);
+        t.charge_alu(0, 10);
+        t.charge_alu(1, 30);
+        let (prof, _) = t.finish(64, 2048);
+        assert_eq!(prof.cycles, 30);
+        assert_eq!(prof.issue, 40);
+        assert_eq!(prof.threads, 64);
+        assert_eq!(prof.smem_bytes, 2048);
+    }
+
+    #[test]
+    fn empty_lanes_is_noop() {
+        let (mut g, c, a) = setup();
+        let mut t = ctx(&mut g, &c, &a, 1);
+        t.run_lanes(0, &[], |_, _| panic!("must not run"));
+        assert_eq!(t.warp_clock(0), 0);
+    }
+}

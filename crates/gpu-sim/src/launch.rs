@@ -1,0 +1,271 @@
+//! Devices and kernel launches.
+//!
+//! A [`Device`] owns its global memory and executes kernel launches: blocks
+//! run one at a time in block-id order (deterministic), each against a fresh
+//! [`TeamCtx`]; the launch result combines the per-block profiles into a
+//! simulated makespan via [`crate::sched`].
+
+use crate::arch::DeviceArch;
+use crate::cost::CostModel;
+use crate::exec::TeamCtx;
+use crate::mem::global::GlobalMem;
+use crate::sched;
+use crate::stats::{LaunchStats, RtCounters};
+
+/// Geometry of one kernel launch.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub num_blocks: u32,
+    /// Threads per block — must be a multiple of the warp size and include
+    /// any extra runtime warp (generic-mode team main, paper Fig 2).
+    pub threads_per_block: u32,
+    /// Shared memory per block, bytes (runtime sharing space + globalized
+    /// variables + user allocations).
+    pub smem_bytes: u32,
+}
+
+/// Reasons a launch is rejected, mirroring CUDA launch failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Grid has zero blocks.
+    ZeroBlocks,
+    /// Threads per block is zero or exceeds the device limit.
+    BadBlockSize { requested: u32, max: u32 },
+    /// Threads per block is not a multiple of the warp size.
+    UnalignedBlockSize { requested: u32, warp: u32 },
+    /// Shared memory request exceeds the per-block capacity.
+    SmemTooLarge { requested: u32, max: u32 },
+    /// The block shape fits no SM (occupancy zero).
+    ZeroOccupancy,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::ZeroBlocks => write!(f, "launch with zero blocks"),
+            LaunchError::BadBlockSize { requested, max } => {
+                write!(f, "block size {requested} exceeds device limit {max}")
+            }
+            LaunchError::UnalignedBlockSize { requested, warp } => {
+                write!(f, "block size {requested} is not a multiple of warp size {warp}")
+            }
+            LaunchError::SmemTooLarge { requested, max } => {
+                write!(f, "shared memory {requested} B exceeds per-block limit {max} B")
+            }
+            LaunchError::ZeroOccupancy => write!(f, "block shape fits no SM"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A simulated GPU: architecture, cost model, and global memory.
+pub struct Device {
+    /// Architecture descriptor.
+    pub arch: DeviceArch,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Device global memory.
+    pub global: GlobalMem,
+    /// Event trace of the most recent launch (empty unless enabled).
+    pub trace: crate::trace::Trace,
+    trace_enabled: bool,
+}
+
+impl Device {
+    /// Create a device with the default cost model.
+    pub fn new(arch: DeviceArch) -> Device {
+        Device {
+            arch,
+            cost: CostModel::default(),
+            global: GlobalMem::new(),
+            trace: crate::trace::Trace::default(),
+            trace_enabled: false,
+        }
+    }
+
+    /// Enable event tracing for subsequent launches, keeping at most `cap`
+    /// events per launch in [`Device::trace`].
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = crate::trace::Trace::with_capacity(cap);
+        self.trace_enabled = true;
+    }
+
+    /// A100-like device — the paper's test bed (§6.1).
+    pub fn a100() -> Device {
+        Device::new(DeviceArch::a100())
+    }
+
+    /// Validate a launch configuration against this device.
+    pub fn validate(&self, cfg: &LaunchConfig) -> Result<u32, LaunchError> {
+        if cfg.num_blocks == 0 {
+            return Err(LaunchError::ZeroBlocks);
+        }
+        if cfg.threads_per_block == 0 || cfg.threads_per_block > self.arch.max_threads_per_block
+        {
+            return Err(LaunchError::BadBlockSize {
+                requested: cfg.threads_per_block,
+                max: self.arch.max_threads_per_block,
+            });
+        }
+        if !cfg.threads_per_block.is_multiple_of(self.arch.warp_size) {
+            return Err(LaunchError::UnalignedBlockSize {
+                requested: cfg.threads_per_block,
+                warp: self.arch.warp_size,
+            });
+        }
+        if cfg.smem_bytes > self.arch.smem_per_block {
+            return Err(LaunchError::SmemTooLarge {
+                requested: cfg.smem_bytes,
+                max: self.arch.smem_per_block,
+            });
+        }
+        let resident = sched::blocks_per_sm(&self.arch, cfg.threads_per_block, cfg.smem_bytes);
+        if resident == 0 {
+            return Err(LaunchError::ZeroOccupancy);
+        }
+        Ok(resident)
+    }
+
+    /// Launch a kernel: `entry` is called once per block with that block's
+    /// [`TeamCtx`]. Returns the simulated launch statistics.
+    pub fn launch<F>(&mut self, cfg: &LaunchConfig, mut entry: F) -> Result<LaunchStats, LaunchError>
+    where
+        F: FnMut(&mut TeamCtx<'_>),
+    {
+        let resident = self.validate(cfg)?;
+        self.global.reset_touched();
+        if self.trace_enabled {
+            self.trace.clear();
+        }
+        let nwarps = cfg.threads_per_block / self.arch.warp_size;
+        let mut profiles = Vec::with_capacity(cfg.num_blocks as usize);
+        let mut counters = RtCounters::default();
+        for block_id in 0..cfg.num_blocks {
+            let mut team = TeamCtx::new(
+                block_id,
+                cfg.num_blocks,
+                nwarps,
+                cfg.smem_bytes,
+                &mut self.global,
+                &self.cost,
+                &self.arch,
+            );
+            if self.trace_enabled {
+                team.attach_trace(std::mem::take(&mut self.trace));
+            }
+            entry(&mut team);
+            if self.trace_enabled {
+                self.trace = team.detach_trace();
+            }
+            let (profile, c) = team.finish(cfg.threads_per_block, cfg.smem_bytes);
+            counters.merge(&c);
+            profiles.push(profile);
+        }
+        let span = sched::makespan(&self.arch, &self.cost, &profiles, resident);
+        Ok(LaunchStats {
+            cycles: span + self.cost.launch_overhead,
+            blocks: cfg.num_blocks,
+            blocks_per_sm: resident,
+            total_issue: profiles.iter().map(|p| p.issue).sum(),
+            total_sectors: profiles.iter().map(|p| p.sectors).sum(),
+            total_smem_ops: profiles.iter().map(|p| p.smem_ops).sum(),
+            total_l1_hits: profiles.iter().map(|p| p.l1_hits).sum(),
+            total_dram_sectors: profiles.iter().map(|p| p.dram_sectors).sum(),
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let d = Device::a100();
+        let ok = LaunchConfig { num_blocks: 1, threads_per_block: 128, smem_bytes: 0 };
+        assert!(d.validate(&ok).is_ok());
+        assert_eq!(
+            d.validate(&LaunchConfig { num_blocks: 0, ..ok }),
+            Err(LaunchError::ZeroBlocks)
+        );
+        assert!(matches!(
+            d.validate(&LaunchConfig { threads_per_block: 2048, ..ok }),
+            Err(LaunchError::BadBlockSize { .. })
+        ));
+        assert!(matches!(
+            d.validate(&LaunchConfig { threads_per_block: 100, ..ok }),
+            Err(LaunchError::UnalignedBlockSize { .. })
+        ));
+        assert!(matches!(
+            d.validate(&LaunchConfig { smem_bytes: 1 << 20, ..ok }),
+            Err(LaunchError::SmemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn launch_runs_every_block_once() {
+        let mut d = Device::new(DeviceArch::tiny());
+        let p = d.global.alloc_zeroed::<u64>(16);
+        let cfg = LaunchConfig { num_blocks: 16, threads_per_block: 32, smem_bytes: 0 };
+        let stats = d
+            .launch(&cfg, |team| {
+                let bid = team.block_id as u64;
+                team.run_lanes(0, &[0], move |lane, _| {
+                    lane.write(p, bid, bid + 1);
+                });
+            })
+            .unwrap();
+        assert_eq!(stats.blocks, 16);
+        let out = d.global.read_slice(p, 16);
+        let expect: Vec<u64> = (1..=16).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn launch_is_deterministic() {
+        let run = || {
+            let mut d = Device::a100();
+            let p = d.global.alloc_zeroed::<f64>(1024);
+            let cfg = LaunchConfig { num_blocks: 64, threads_per_block: 128, smem_bytes: 1024 };
+            d.launch(&cfg, |team| {
+                for w in 0..team.nwarps() {
+                    let lanes: Vec<u32> = (0..32).collect();
+                    team.run_lanes(w, &lanes, |lane, id| {
+                        let i = (w * 32 + id) as u64;
+                        let v = lane.read(p, i % 1024);
+                        lane.work(5);
+                        lane.write(p, i % 1024, v + 1.0);
+                    });
+                }
+                team.block_barrier();
+            })
+            .unwrap()
+            .cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn more_blocks_take_longer() {
+        let mut d = Device::new(DeviceArch::tiny());
+        let cfg1 = LaunchConfig { num_blocks: 4, threads_per_block: 64, smem_bytes: 0 };
+        let cfg2 = LaunchConfig { num_blocks: 64, threads_per_block: 64, smem_bytes: 0 };
+        let body = |team: &mut TeamCtx<'_>| {
+            team.charge_alu(0, 10_000);
+        };
+        let t1 = d.launch(&cfg1, body).unwrap().cycles;
+        let t2 = d.launch(&cfg2, body).unwrap().cycles;
+        assert!(t2 > t1, "16x blocks must take longer: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn launch_overhead_is_floor() {
+        let mut d = Device::new(DeviceArch::tiny());
+        let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 0 };
+        let stats = d.launch(&cfg, |_| {}).unwrap();
+        assert_eq!(stats.cycles, d.cost.launch_overhead);
+    }
+}

@@ -1,0 +1,242 @@
+//! Lane masks: bit-sets over the lanes of a warp (up to 64 lanes so that
+//! AMD-style 64-wide wavefronts fit).
+//!
+//! The paper's runtime identifies the threads of a SIMD group inside their
+//! warp with a bit-mask (`simdmask`, §5.1) and synchronizes them with a
+//! masked warp-level barrier (`synchronizeWarp(simdmask())`). This module is
+//! the mask algebra those operations are built on.
+
+use std::fmt;
+
+/// A set of lanes within a warp, one bit per lane (bit `i` = lane `i`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LaneMask(pub u64);
+
+impl LaneMask {
+    /// The empty mask.
+    pub const EMPTY: LaneMask = LaneMask(0);
+
+    /// Mask of the full warp for a given warp width.
+    ///
+    /// # Panics
+    /// Panics if `warp_size` is 0 or greater than 64.
+    #[inline]
+    pub fn full(warp_size: u32) -> LaneMask {
+        assert!((1..=64).contains(&warp_size), "warp size out of range");
+        if warp_size == 64 {
+            LaneMask(u64::MAX)
+        } else {
+            LaneMask((1u64 << warp_size) - 1)
+        }
+    }
+
+    /// Mask containing a single lane.
+    #[inline]
+    pub fn single(lane: u32) -> LaneMask {
+        assert!(lane < 64);
+        LaneMask(1u64 << lane)
+    }
+
+    /// Contiguous range of lanes `[start, start + len)`.
+    ///
+    /// This is the shape of a SIMD group mask: groups are contiguous runs of
+    /// adjacent lanes in the same warp (paper §5.1).
+    #[inline]
+    pub fn contiguous(start: u32, len: u32) -> LaneMask {
+        assert!(start + len <= 64, "mask range exceeds 64 lanes");
+        if len == 0 {
+            return LaneMask::EMPTY;
+        }
+        let ones = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        LaneMask(ones << start)
+    }
+
+    /// Number of lanes in the mask.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if no lanes are set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if lane `lane` is in the mask.
+    #[inline]
+    pub fn contains(self, lane: u32) -> bool {
+        lane < 64 && (self.0 >> lane) & 1 == 1
+    }
+
+    /// Lowest-numbered lane in the mask (the *leader* of a masked cohort),
+    /// or `None` for the empty mask.
+    #[inline]
+    pub fn leader(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+
+    /// Set-intersection.
+    #[inline]
+    pub fn and(self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 & other.0)
+    }
+
+    /// Set-union.
+    #[inline]
+    pub fn or(self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 | other.0)
+    }
+
+    /// Lanes in `self` but not in `other`.
+    #[inline]
+    pub fn minus(self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 & !other.0)
+    }
+
+    /// Iterate over the lanes in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let lane = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(lane)
+            }
+        })
+    }
+
+    /// Split a full-warp mask into `n` equal contiguous group masks.
+    ///
+    /// This mirrors how the runtime carves a warp into SIMD groups: the warp
+    /// is divided evenly, every group is the same size, and groups never span
+    /// warps (paper §5.1).
+    ///
+    /// # Panics
+    /// Panics if `group_size` does not divide `warp_size`.
+    pub fn groups_of(warp_size: u32, group_size: u32) -> Vec<LaneMask> {
+        assert!(group_size >= 1);
+        assert!(
+            warp_size.is_multiple_of(group_size),
+            "group size {group_size} must divide warp size {warp_size}"
+        );
+        (0..warp_size / group_size)
+            .map(|g| LaneMask::contiguous(g * group_size, group_size))
+            .collect()
+    }
+}
+
+impl fmt::Debug for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaneMask({:#018x})", self.0)
+    }
+}
+
+impl std::ops::BitAnd for LaneMask {
+    type Output = LaneMask;
+    fn bitand(self, rhs: Self) -> Self {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for LaneMask {
+    type Output = LaneMask;
+    fn bitor(self, rhs: Self) -> Self {
+        self.or(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_masks() {
+        assert_eq!(LaneMask::full(32).0, 0xffff_ffff);
+        assert_eq!(LaneMask::full(64).0, u64::MAX);
+        assert_eq!(LaneMask::full(1).0, 1);
+        assert_eq!(LaneMask::full(32).count(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_mask_rejects_zero() {
+        LaneMask::full(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_mask_rejects_oversize() {
+        LaneMask::full(65);
+    }
+
+    #[test]
+    fn contiguous_ranges() {
+        assert_eq!(LaneMask::contiguous(0, 8).0, 0xff);
+        assert_eq!(LaneMask::contiguous(8, 8).0, 0xff00);
+        assert_eq!(LaneMask::contiguous(0, 0), LaneMask::EMPTY);
+        assert_eq!(LaneMask::contiguous(0, 64).0, u64::MAX);
+        assert_eq!(LaneMask::contiguous(62, 2).count(), 2);
+    }
+
+    #[test]
+    fn leader_is_lowest_lane() {
+        assert_eq!(LaneMask::contiguous(8, 8).leader(), Some(8));
+        assert_eq!(LaneMask::single(31).leader(), Some(31));
+        assert_eq!(LaneMask::EMPTY.leader(), None);
+    }
+
+    #[test]
+    fn membership_and_iteration() {
+        let m = LaneMask::contiguous(4, 4);
+        assert!(m.contains(4) && m.contains(7));
+        assert!(!m.contains(3) && !m.contains(8));
+        assert!(!m.contains(64));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = LaneMask::contiguous(0, 8);
+        let b = LaneMask::contiguous(4, 8);
+        assert_eq!(a.and(b), LaneMask::contiguous(4, 4));
+        assert_eq!(a.or(b), LaneMask::contiguous(0, 12));
+        assert_eq!(a.minus(b), LaneMask::contiguous(0, 4));
+        assert_eq!((a & b).count(), 4);
+        assert_eq!((a | b).count(), 12);
+    }
+
+    #[test]
+    fn warp_partitions_into_groups() {
+        let groups = LaneMask::groups_of(32, 8);
+        assert_eq!(groups.len(), 4);
+        // Groups are disjoint and cover the warp.
+        let mut union = LaneMask::EMPTY;
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.count(), 8);
+            assert_eq!(g.leader(), Some(i as u32 * 8));
+            assert!(union.and(*g).is_empty(), "groups overlap");
+            union = union.or(*g);
+        }
+        assert_eq!(union, LaneMask::full(32));
+    }
+
+    #[test]
+    fn group_size_one_is_per_lane() {
+        let groups = LaneMask::groups_of(32, 1);
+        assert_eq!(groups.len(), 32);
+        assert!(groups.iter().all(|g| g.count() == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn groups_must_divide_warp() {
+        LaneMask::groups_of(32, 5);
+    }
+}

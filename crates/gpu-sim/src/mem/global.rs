@@ -1,0 +1,275 @@
+//! Simulated global (device) memory.
+//!
+//! Global memory is a set of typed segments. Each segment gets a synthetic
+//! byte address range so that the cost model can analyze coalescing: the
+//! address of element `i` of a segment is `base + i * size_of::<T>()`, and
+//! bases are spaced so distinct segments never share a 32-byte sector.
+//!
+//! Besides user buffers, the OpenMP runtime allocates *fallback* blocks here
+//! when a SIMD group's shared-memory variable-sharing slice overflows
+//! (paper §5.3.1); those go through the same API and are freed at the end of
+//! the parallel region.
+
+use super::pod::{AnyBuf, DevValue};
+use super::ptr::DPtr;
+
+/// Alignment of segment base addresses (also guarantees sector alignment).
+const SEG_ALIGN: u64 = 256;
+
+struct Segment {
+    base: u64,
+    data: Option<Box<dyn AnyBuf>>,
+}
+
+/// The device's global memory: typed segments with synthetic addresses.
+#[derive(Default)]
+pub struct GlobalMem {
+    segs: Vec<Segment>,
+    next_base: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+    alloc_count: u64,
+    /// Sectors touched since the last launch began — distinguishes
+    /// compulsory DRAM traffic from L2-served re-reads.
+    touched: std::collections::HashSet<u64>,
+}
+
+impl GlobalMem {
+    /// Create an empty global memory.
+    pub fn new() -> GlobalMem {
+        GlobalMem { next_base: SEG_ALIGN, ..Default::default() }
+    }
+
+    fn push_segment<T: DevValue>(&mut self, data: Vec<T>) -> DPtr<T> {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let base = self.next_base;
+        self.next_base += bytes.div_ceil(SEG_ALIGN).max(1) * SEG_ALIGN;
+        let seg = self.segs.len() as u32;
+        self.segs.push(Segment { base, data: Some(Box::new(data)) });
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.alloc_count += 1;
+        DPtr::new(seg, 0)
+    }
+
+    /// Allocate a segment initialized from host data (the H2D copy itself is
+    /// charged by the host runtime, not here).
+    pub fn alloc_from<T: DevValue>(&mut self, data: &[T]) -> DPtr<T> {
+        self.push_segment(data.to_vec())
+    }
+
+    /// Allocate a zero-initialized segment of `n` elements.
+    pub fn alloc_zeroed<T: DevValue + Default>(&mut self, n: usize) -> DPtr<T> {
+        self.push_segment(vec![T::default(); n])
+    }
+
+    /// Free a segment. Accessing it afterwards panics (simulated
+    /// use-after-free detection).
+    pub fn free<T: DevValue>(&mut self, p: DPtr<T>) {
+        let seg = self
+            .segs
+            .get_mut(p.seg as usize)
+            .unwrap_or_else(|| panic!("free of invalid segment {}", p.seg));
+        let data = seg.data.take().unwrap_or_else(|| {
+            panic!("double free of segment {}", p.seg)
+        });
+        self.live_bytes -= (data.len() * data.elem_size()) as u64;
+    }
+
+    fn buf<T: DevValue>(&self, seg: u32) -> &Vec<T> {
+        let s = self
+            .segs
+            .get(seg as usize)
+            .unwrap_or_else(|| panic!("access to invalid segment {seg}"));
+        let data = s
+            .data
+            .as_ref()
+            .unwrap_or_else(|| panic!("use after free of segment {seg}"));
+        data.as_any().downcast_ref::<Vec<T>>().unwrap_or_else(|| {
+            panic!(
+                "type confusion on segment {seg}: expected Vec<{}>",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    fn buf_mut<T: DevValue>(&mut self, seg: u32) -> &mut Vec<T> {
+        let s = self
+            .segs
+            .get_mut(seg as usize)
+            .unwrap_or_else(|| panic!("access to invalid segment {seg}"));
+        let data = s
+            .data
+            .as_mut()
+            .unwrap_or_else(|| panic!("use after free of segment {seg}"));
+        data.as_any_mut().downcast_mut::<Vec<T>>().unwrap_or_else(|| {
+            panic!(
+                "type confusion on segment {seg}: expected Vec<{}>",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Read element `idx` relative to pointer `p` (functional access, no
+    /// cycle cost — kernels charge through their `Lane` instead).
+    #[inline]
+    pub fn read<T: DevValue>(&self, p: DPtr<T>, idx: u64) -> T {
+        let buf = self.buf::<T>(p.seg);
+        let i = (p.off + idx) as usize;
+        assert!(i < buf.len(), "device OOB read: idx {i} >= len {}", buf.len());
+        buf[i]
+    }
+
+    /// Write element `idx` relative to pointer `p`.
+    #[inline]
+    pub fn write<T: DevValue>(&mut self, p: DPtr<T>, idx: u64, v: T) {
+        let buf = self.buf_mut::<T>(p.seg);
+        let i = (p.off + idx) as usize;
+        assert!(i < buf.len(), "device OOB write: idx {i} >= len {}", buf.len());
+        buf[i] = v;
+    }
+
+    /// Synthetic byte address of element `idx` relative to `p`, used by the
+    /// coalescing analysis.
+    #[inline]
+    pub fn addr_of<T: DevValue>(&self, p: DPtr<T>, idx: u64) -> u64 {
+        let s = &self.segs[p.seg as usize];
+        s.base + (p.off + idx) * std::mem::size_of::<T>() as u64
+    }
+
+    /// Number of elements in the segment behind `p`, counted from `p`'s
+    /// offset.
+    pub fn len_of<T: DevValue>(&self, p: DPtr<T>) -> usize {
+        self.buf::<T>(p.seg).len() - p.off as usize
+    }
+
+    /// Copy `len` elements starting at `p` back to the host.
+    pub fn read_slice<T: DevValue>(&self, p: DPtr<T>, len: usize) -> Vec<T> {
+        let buf = self.buf::<T>(p.seg);
+        let start = p.off as usize;
+        assert!(start + len <= buf.len(), "device OOB slice read");
+        buf[start..start + len].to_vec()
+    }
+
+    /// Overwrite `data.len()` elements starting at `p` from host data.
+    pub fn write_slice<T: DevValue>(&mut self, p: DPtr<T>, data: &[T]) {
+        let buf = self.buf_mut::<T>(p.seg);
+        let start = p.off as usize;
+        assert!(start + data.len() <= buf.len(), "device OOB slice write");
+        buf[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Total number of allocations performed.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Record a sector access; returns `true` on the first touch since the
+    /// last [`Self::reset_touched`] (compulsory DRAM traffic — later misses
+    /// of the same sector are served by the device-wide L2).
+    #[inline]
+    pub fn first_touch(&mut self, sector: u64) -> bool {
+        self.touched.insert(sector)
+    }
+
+    /// Clear the first-touch tracker (called at launch start).
+    pub fn reset_touched(&mut self) {
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_from(&[1.0f64, 2.0, 3.0]);
+        assert_eq!(g.read(p, 0), 1.0);
+        assert_eq!(g.read(p, 2), 3.0);
+        g.write(p, 1, 9.5);
+        assert_eq!(g.read_slice(p, 3), vec![1.0, 9.5, 3.0]);
+    }
+
+    #[test]
+    fn zeroed_alloc() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_zeroed::<u32>(5);
+        assert_eq!(g.read_slice(p, 5), vec![0; 5]);
+        assert_eq!(g.len_of(p), 5);
+    }
+
+    #[test]
+    fn addresses_are_disjoint_and_typed() {
+        let mut g = GlobalMem::new();
+        let a = g.alloc_zeroed::<f64>(10);
+        let b = g.alloc_zeroed::<f64>(10);
+        // Consecutive elements are 8 bytes apart.
+        assert_eq!(g.addr_of(a, 1) - g.addr_of(a, 0), 8);
+        // Segments never share a sector.
+        let last_a = g.addr_of(a, 9) + 8;
+        assert!(g.addr_of(b, 0) / 32 > (last_a - 1) / 32);
+    }
+
+    #[test]
+    fn pointer_offsetting() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_from(&[10u32, 20, 30, 40]);
+        let q = p.add(2);
+        assert_eq!(g.read(q, 0), 30);
+        assert_eq!(g.len_of(q), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB")]
+    fn oob_read_panics() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_zeroed::<f64>(3);
+        g.read(p, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "type confusion")]
+    fn type_confusion_is_detected() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_zeroed::<f64>(3);
+        let bits = p.to_bits();
+        let q: DPtr<u32> = DPtr::from_bits(bits);
+        g.read(q, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_is_detected() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_zeroed::<f64>(3);
+        g.free(p);
+        g.read(p, 0);
+    }
+
+    #[test]
+    fn accounting_tracks_live_and_peak() {
+        let mut g = GlobalMem::new();
+        let p = g.alloc_zeroed::<u64>(100); // 800 bytes
+        assert_eq!(g.live_bytes(), 800);
+        let q = g.alloc_zeroed::<u8>(10);
+        assert_eq!(g.live_bytes(), 810);
+        g.free(p);
+        assert_eq!(g.live_bytes(), 10);
+        assert_eq!(g.peak_bytes(), 810);
+        g.free(q);
+        assert_eq!(g.live_bytes(), 0);
+        assert_eq!(g.alloc_count(), 2);
+    }
+}

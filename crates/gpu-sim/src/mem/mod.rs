@@ -1,0 +1,9 @@
+//! Simulated device memory: global memory (typed segments with synthetic
+//! addresses for coalescing analysis), shared memory (per-block slot array
+//! with a bump allocator), and the 8-byte slot encoding used for runtime
+//! argument payloads (the `void**` of the paper's outlined functions).
+
+pub mod global;
+pub mod pod;
+pub mod ptr;
+pub mod shared;

@@ -1,0 +1,78 @@
+//! Plain-old-data marker for values that can live in simulated device
+//! memory.
+//!
+//! Device buffers are homogeneous typed segments (`Vec<T>` behind a type-
+//! erased box). `DevValue` bounds the element types: they must be `Copy`
+//! (device memory is bitwise), `Send` (buffers migrate between host threads
+//! in the host runtime) and `'static` (segments are type-erased and
+//! recovered by downcast).
+
+use std::any::Any;
+
+/// Marker trait for element types storable in device memory.
+pub trait DevValue: Copy + Send + 'static {}
+
+impl DevValue for u8 {}
+impl DevValue for u16 {}
+impl DevValue for u32 {}
+impl DevValue for u64 {}
+impl DevValue for i8 {}
+impl DevValue for i16 {}
+impl DevValue for i32 {}
+impl DevValue for i64 {}
+impl DevValue for f32 {}
+impl DevValue for f64 {}
+impl DevValue for usize {}
+impl<T: DevValue, const N: usize> DevValue for [T; N] {}
+impl<A: DevValue, B: DevValue> DevValue for (A, B) {}
+
+/// Type-erased storage for one device segment.
+pub(crate) trait AnyBuf: Any + Send {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Number of elements in the segment.
+    fn len(&self) -> usize;
+    /// Size of one element in bytes.
+    fn elem_size(&self) -> usize;
+}
+
+impl<T: DevValue> AnyBuf for Vec<T> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn elem_size(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anybuf_reports_geometry() {
+        let v: Vec<f64> = vec![0.0; 7];
+        let b: &dyn AnyBuf = &v;
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.elem_size(), 8);
+    }
+
+    #[test]
+    fn anybuf_downcast_roundtrip() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let mut b: Box<dyn AnyBuf> = Box::new(v);
+        assert!(b.as_any().downcast_ref::<Vec<u32>>().is_some());
+        assert!(b.as_any().downcast_ref::<Vec<f64>>().is_none());
+        b.as_any_mut()
+            .downcast_mut::<Vec<u32>>()
+            .unwrap()
+            .push(4);
+        assert_eq!(b.len(), 4);
+    }
+}

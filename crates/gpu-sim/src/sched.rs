@@ -1,0 +1,166 @@
+//! Block→SM scheduling and the kernel makespan model.
+//!
+//! Blocks execute functionally one at a time (determinism), producing
+//! per-block resource profiles. The *time* a launch takes is then computed
+//! analytically:
+//!
+//! 1. **Occupancy**: resident blocks per SM is limited by the architecture's
+//!    block/thread/shared-memory capacities. The extra team-main warp of
+//!    generic mode (paper Fig 2) and the enlarged variable-sharing space
+//!    (§5.3.1) both reduce occupancy through this calculation.
+//! 2. **Waves**: blocks are assigned to SMs round-robin; each SM processes
+//!    its blocks in waves of its residency limit. A wave takes
+//!    `max(latency, issue-throughput, memory-throughput)` — resident blocks
+//!    hide each other's latency until a throughput roof binds.
+//! 3. **Device roof**: total DRAM traffic is bounded by device bandwidth.
+
+use crate::arch::DeviceArch;
+use crate::cost::CostModel;
+use crate::stats::BlockProfile;
+
+/// How many blocks of the given shape can be resident on one SM.
+/// Returns 0 when a single block exceeds a per-SM capacity (launch error).
+pub fn blocks_per_sm(arch: &DeviceArch, threads_per_block: u32, smem_bytes: u32) -> u32 {
+    if threads_per_block == 0 {
+        return 0;
+    }
+    let by_threads = arch.max_threads_per_sm / threads_per_block;
+    let by_smem = (arch.smem_per_sm)
+        .checked_div(smem_bytes)
+        .unwrap_or(arch.max_blocks_per_sm);
+    by_threads.min(by_smem).min(arch.max_blocks_per_sm)
+}
+
+/// Compute the device makespan (in cycles, excluding launch overhead) for a
+/// set of executed blocks.
+pub fn makespan(
+    arch: &DeviceArch,
+    cost: &CostModel,
+    profiles: &[BlockProfile],
+    resident_per_sm: u32,
+) -> u64 {
+    assert!(resident_per_sm >= 1, "occupancy must allow at least one block");
+    if profiles.is_empty() {
+        return 0;
+    }
+    let nsms = arch.num_sms as usize;
+    // Round-robin assignment of blocks to SMs.
+    let mut sm_time = vec![0u64; nsms];
+    let mut per_sm: Vec<Vec<&BlockProfile>> = vec![Vec::new(); nsms];
+    for (i, p) in profiles.iter().enumerate() {
+        per_sm[i % nsms].push(p);
+    }
+    for (sm, blocks) in per_sm.iter().enumerate() {
+        let mut t = 0u64;
+        for wave in blocks.chunks(resident_per_sm as usize) {
+            let latency = wave.iter().map(|b| b.cycles).max().unwrap_or(0);
+            let issue: u64 = wave.iter().map(|b| b.issue).sum();
+            let sectors: u64 = wave.iter().map(|b| b.sectors).sum();
+            let issue_time = issue / cost.sm_issue_width;
+            let mem_time = sectors * cost.sm_sector_cycles;
+            let mut w = latency.max(issue_time).max(mem_time);
+            // Compute and memory pipelines overlap imperfectly.
+            if let Some(extra) = issue_time.min(mem_time).checked_div(cost.overlap_denom) {
+                w += extra;
+            }
+            t += w;
+        }
+        sm_time[sm] = t;
+    }
+    let device_time = sm_time.into_iter().max().unwrap_or(0);
+    // Device-wide roofs: all L1-miss traffic crosses the L2; only
+    // first-touch (compulsory) traffic crosses DRAM.
+    let total_sectors: u64 = profiles.iter().map(|b| b.sectors).sum();
+    let total_dram: u64 = profiles.iter().map(|b| b.dram_sectors).sum();
+    let l2_time = total_sectors / cost.l2_sectors_per_cycle.max(1);
+    let dram_time = total_dram / cost.dram_sectors_per_cycle.max(1);
+    device_time.max(l2_time).max(dram_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(cycles: u64, issue: u64, sectors: u64) -> BlockProfile {
+        // Fabricated profiles treat all traffic as compulsory.
+        BlockProfile { cycles, issue, sectors, dram_sectors: sectors, ..Default::default() }
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let a = DeviceArch::a100(); // 2048 threads/SM
+        assert_eq!(blocks_per_sm(&a, 1024, 0), 2);
+        assert_eq!(blocks_per_sm(&a, 256, 0), 8);
+        assert_eq!(blocks_per_sm(&a, 128, 0), 16);
+        // Tiny blocks hit the block-count limit.
+        assert_eq!(blocks_per_sm(&a, 32, 0), 32);
+    }
+
+    #[test]
+    fn occupancy_limited_by_smem() {
+        let a = DeviceArch::a100(); // 164 KiB smem/SM
+        assert_eq!(blocks_per_sm(&a, 128, 64 * 1024), 2);
+        assert_eq!(blocks_per_sm(&a, 128, 200 * 1024), 0);
+    }
+
+    #[test]
+    fn extra_warp_reduces_occupancy() {
+        // A generic-mode block (threads + one extra warp) fits fewer copies
+        // per SM than its SPMD twin at the boundary.
+        let a = DeviceArch::a100();
+        let spmd = blocks_per_sm(&a, 1024, 0);
+        let generic = blocks_per_sm(&a, 1024 + 32, 0);
+        assert!(generic < spmd);
+    }
+
+    #[test]
+    fn single_block_latency_bound() {
+        let a = DeviceArch::tiny();
+        let c = CostModel::default();
+        let p = vec![block(1000, 10, 0)];
+        assert_eq!(makespan(&a, &c, &p, 4), 1000);
+    }
+
+    #[test]
+    fn many_blocks_fill_sms() {
+        let a = DeviceArch::tiny(); // 4 SMs
+        let c = CostModel::default();
+        // 8 identical latency-bound blocks, residency 1: two waves per SM.
+        let p: Vec<_> = (0..8).map(|_| block(500, 10, 0)).collect();
+        assert_eq!(makespan(&a, &c, &p, 1), 1000);
+        // With residency 2 the waves overlap (latency hidden).
+        assert_eq!(makespan(&a, &c, &p, 2), 500);
+    }
+
+    #[test]
+    fn issue_throughput_roof_binds() {
+        let a = DeviceArch::tiny();
+        let c = CostModel::default(); // issue width 2
+        // 4 blocks spread over 4 SMs (one each) with huge issue totals:
+        // each SM's wave time is issue-bound, not latency-bound.
+        let p = vec![block(10, 10_000, 0); 4];
+        let t = makespan(&a, &c, &p, 4);
+        assert_eq!(t, 10_000 / c.sm_issue_width);
+        // 8 blocks, residency 4: two blocks per SM in one wave sum issue.
+        let p8 = vec![block(10, 10_000, 0); 8];
+        let t8 = makespan(&a, &c, &p8, 4);
+        assert_eq!(t8, 2 * 10_000 / c.sm_issue_width);
+    }
+
+    #[test]
+    fn dram_roof_binds() {
+        let a = DeviceArch::a100();
+        let c = CostModel::default();
+        let p: Vec<_> = (0..108).map(|_| block(10, 10, 1_000_000)).collect();
+        let t = makespan(&a, &c, &p, 1);
+        // Per-SM: 1M sectors × 2 cycles = 2M. DRAM: 108M sectors / 32 ≈ 3.37M.
+        assert!(t > 3_000_000, "DRAM roof should dominate, got {t}");
+    }
+
+    #[test]
+    fn empty_launch_is_zero() {
+        let a = DeviceArch::tiny();
+        let c = CostModel::default();
+        assert_eq!(makespan(&a, &c, &[], 1), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Profiling counters produced by simulated execution.
+
+/// Resource profile of one executed thread block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockProfile {
+    /// Critical-path cycles of the block (max over warp clocks, including
+    /// barrier waits and exposed memory latency).
+    pub cycles: u64,
+    /// Total warp-instruction issue cycles across all warps.
+    pub issue: u64,
+    /// Total global-memory sectors transferred.
+    pub sectors: u64,
+    /// Total shared-memory operations.
+    pub smem_ops: u64,
+    /// Sectors served from the warp-local L1 window.
+    pub l1_hits: u64,
+    /// First-touch (compulsory) sectors — DRAM-side traffic.
+    pub dram_sectors: u64,
+    /// Threads the block occupies (occupancy input; includes the extra
+    /// team-main warp in generic mode).
+    pub threads: u32,
+    /// Shared-memory bytes the block occupies (occupancy input).
+    pub smem_bytes: u32,
+}
+
+/// Runtime-behavior counters, aggregated over a launch. These are what the
+/// ablation benchmarks and many tests observe.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RtCounters {
+    /// `__parallel` invocations.
+    pub parallel_regions: u64,
+    /// `__simd` invocations.
+    pub simd_loops: u64,
+    /// Work items posted through a state machine (team- or SIMD-level).
+    pub state_machine_posts: u64,
+    /// Masked warp-level barriers executed.
+    pub warp_syncs: u64,
+    /// Block-level barriers executed.
+    pub block_barriers: u64,
+    /// Times a SIMD group's sharing-space slice overflowed into a global
+    /// memory allocation (paper §5.3.1).
+    pub sharing_global_fallbacks: u64,
+    /// Outlined-function dispatches resolved through the if-cascade (§5.5).
+    pub cascade_dispatches: u64,
+    /// Outlined-function dispatches that fell back to an indirect call.
+    pub indirect_calls: u64,
+    /// simd loops executed sequentially because the device lacks warp-level
+    /// barriers (AMD fallback, §5.4.1).
+    pub sequential_simd_fallbacks: u64,
+}
+
+impl RtCounters {
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, o: &RtCounters) {
+        self.parallel_regions += o.parallel_regions;
+        self.simd_loops += o.simd_loops;
+        self.state_machine_posts += o.state_machine_posts;
+        self.warp_syncs += o.warp_syncs;
+        self.block_barriers += o.block_barriers;
+        self.sharing_global_fallbacks += o.sharing_global_fallbacks;
+        self.cascade_dispatches += o.cascade_dispatches;
+        self.indirect_calls += o.indirect_calls;
+        self.sequential_simd_fallbacks += o.sequential_simd_fallbacks;
+    }
+}
+
+/// Result of a kernel launch: the simulated time and aggregated counters.
+#[derive(Clone, Debug, Default)]
+pub struct LaunchStats {
+    /// End-to-end simulated kernel cycles (block makespan over SMs plus
+    /// launch overhead).
+    pub cycles: u64,
+    /// Number of blocks launched.
+    pub blocks: u32,
+    /// Resident blocks per SM the occupancy calculation allowed.
+    pub blocks_per_sm: u32,
+    /// Total issue cycles across the device.
+    pub total_issue: u64,
+    /// Total global-memory sectors.
+    pub total_sectors: u64,
+    /// Total shared-memory operations.
+    pub total_smem_ops: u64,
+    /// Total L1-window hits.
+    pub total_l1_hits: u64,
+    /// Total compulsory (DRAM) sectors.
+    pub total_dram_sectors: u64,
+    /// Runtime-behavior counters summed over blocks.
+    pub counters: RtCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_adds_fields() {
+        let mut a = RtCounters { parallel_regions: 1, warp_syncs: 5, ..Default::default() };
+        let b = RtCounters {
+            parallel_regions: 2,
+            warp_syncs: 7,
+            sharing_global_fallbacks: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.parallel_regions, 3);
+        assert_eq!(a.warp_syncs, 12);
+        assert_eq!(a.sharing_global_fallbacks, 3);
+        assert_eq!(a.indirect_calls, 0);
+    }
+}

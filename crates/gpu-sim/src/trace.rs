@@ -1,0 +1,138 @@
+//! Optional execution tracing: a compact per-launch event log.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! with [`crate::Device::enable_trace`]. Each block records runtime-level
+//! events — barriers, state-machine dispatches, lockstep super-steps — so
+//! tests can assert *sequences* (e.g. a generic simd loop must emit
+//! post → warp-sync → dispatch → loop → warp-sync) and humans can inspect
+//! what a kernel actually did.
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A lockstep super-step ran on `warp` with `lanes` lanes, charging
+    /// `issue` issue cycles and `lines` LSU transactions.
+    SuperStep {
+        /// Block id.
+        block: u32,
+        /// Warp index within the block.
+        warp: u32,
+        /// Number of lanes in the step.
+        lanes: u32,
+        /// Issue cycles charged.
+        issue: u64,
+        /// LSU line transactions.
+        lines: u64,
+    },
+    /// Masked warp-level barrier on `warp`.
+    WarpSync {
+        /// Block id.
+        block: u32,
+        /// Warp index.
+        warp: u32,
+    },
+    /// Block-level barrier.
+    BlockBarrier {
+        /// Block id.
+        block: u32,
+    },
+    /// Outlined-function dispatch.
+    Dispatch {
+        /// Block id.
+        block: u32,
+        /// Warp index.
+        warp: u32,
+        /// `true` = if-cascade, `false` = indirect call.
+        cascade: bool,
+    },
+    /// Sharing-space global fallback allocation.
+    GlobalAlloc {
+        /// Block id.
+        block: u32,
+        /// Warp index.
+        warp: u32,
+    },
+}
+
+/// A bounded event log (drops events past the cap rather than growing
+/// without bound on large launches).
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Create a trace that keeps at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Trace {
+        Trace { events: Vec::new(), cap, dropped: 0 }
+    }
+
+    /// Record an event (drops when full).
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear the log (start of a new launch).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Whether `pattern` occurs as a (not necessarily contiguous)
+    /// subsequence of the log, matching with the given predicate list.
+    pub fn contains_subsequence(&self, pattern: &[&dyn Fn(&TraceEvent) -> bool]) -> bool {
+        let mut pi = 0;
+        for e in &self.events {
+            if pi < pattern.len() && pattern[pi](e) {
+                pi += 1;
+            }
+        }
+        pi == pattern.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_caps_and_counts_drops() {
+        let mut t = Trace::with_capacity(2);
+        for _ in 0..5 {
+            t.push(TraceEvent::BlockBarrier { block: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn subsequence_matching() {
+        let mut t = Trace::with_capacity(16);
+        t.push(TraceEvent::WarpSync { block: 0, warp: 1 });
+        t.push(TraceEvent::Dispatch { block: 0, warp: 1, cascade: true });
+        t.push(TraceEvent::WarpSync { block: 0, warp: 1 });
+        let is_sync = |e: &TraceEvent| matches!(e, TraceEvent::WarpSync { .. });
+        let is_dispatch = |e: &TraceEvent| matches!(e, TraceEvent::Dispatch { .. });
+        assert!(t.contains_subsequence(&[&is_sync, &is_dispatch, &is_sync]));
+        assert!(!t.contains_subsequence(&[&is_dispatch, &is_dispatch]));
+    }
+}

@@ -1,0 +1,77 @@
+//! Device registry: the host runtime's table of offload targets.
+
+use std::sync::Arc;
+
+use gpu_sim::{Device, DeviceArch};
+use parking_lot::Mutex;
+
+use crate::map::ManagedDevice;
+
+/// The host-side offloading runtime: a registry of managed devices plus
+/// convenience constructors (the `omp_get_num_devices` side of the world).
+pub struct HostRuntime {
+    devices: Vec<Arc<Mutex<ManagedDevice>>>,
+}
+
+impl HostRuntime {
+    /// Runtime with a single A100-like device (the paper's node uses four;
+    /// "All runs are collected using a single GPU", §6.1).
+    pub fn new() -> HostRuntime {
+        HostRuntime::with_archs(vec![DeviceArch::a100()])
+    }
+
+    /// Runtime with one managed device per architecture descriptor.
+    pub fn with_archs(archs: Vec<DeviceArch>) -> HostRuntime {
+        HostRuntime {
+            devices: archs
+                .into_iter()
+                .map(|a| Arc::new(Mutex::new(ManagedDevice::new(Device::new(a)))))
+                .collect(),
+        }
+    }
+
+    /// `omp_get_num_devices`.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Shared handle to device `i` (cloneable into target tasks).
+    pub fn device(&self, i: usize) -> Arc<Mutex<ManagedDevice>> {
+        Arc::clone(&self.devices[i])
+    }
+}
+
+impl Default for HostRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runtime_has_one_a100() {
+        let rt = HostRuntime::new();
+        assert_eq!(rt.num_devices(), 1);
+        assert_eq!(rt.device(0).lock().dev.arch.name, "sim-A100-40GB");
+    }
+
+    #[test]
+    fn multi_device_registry() {
+        let rt = HostRuntime::with_archs(vec![
+            DeviceArch::a100(),
+            DeviceArch::a100(),
+            DeviceArch::mi100(),
+        ]);
+        assert_eq!(rt.num_devices(), 3);
+        assert_eq!(rt.device(2).lock().dev.arch.warp_size, 64);
+        // Handles alias the same device.
+        let d0a = rt.device(0);
+        let d0b = rt.device(0);
+        let p = d0a.lock().dev.global.alloc_zeroed::<u64>(1);
+        d0b.lock().dev.global.write(p, 0, 9);
+        assert_eq!(d0a.lock().dev.global.read(p, 0), 9);
+    }
+}

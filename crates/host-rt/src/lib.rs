@@ -1,0 +1,29 @@
+//! # simt-omp-host — the host-side offloading runtime
+//!
+//! The `libomptarget` analog the paper's device runtime sits under
+//! (paper §3: "OpenMP offloading utilizes a host-device execution model
+//! where the host (CPU) schedules and synchronizes target tasks, in the
+//! form of kernels, and handles memory allocation and movement between the
+//! host and target devices"). It provides:
+//!
+//! * a **device registry** ([`device::HostRuntime`]);
+//! * the **data-mapping table** with `map(to/from/alloc/release)` reference
+//!   counting and `target update` ([`map::ManagedDevice`]);
+//! * a **transfer cost model** in device-clock cycles ([`xfer`]);
+//! * **deferred target tasks** on hidden helper threads
+//!   ([`task::HelperPool`]), reproducing the concurrency substrate of the
+//!   paper's reference \[26\];
+//! * **streams** ([`stream::Stream`]): in-order asynchronous per-device
+//!   work queues with simulated-cycle accounting.
+
+pub mod device;
+pub mod map;
+pub mod stream;
+pub mod task;
+pub mod xfer;
+
+pub use device::HostRuntime;
+pub use map::ManagedDevice;
+pub use stream::Stream;
+pub use task::HelperPool;
+pub use xfer::{XferModel, XferStats};

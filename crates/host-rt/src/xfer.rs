@@ -1,0 +1,87 @@
+//! Host↔device transfer cost model and statistics.
+//!
+//! OpenMP offloading "handles memory allocation and movement between the
+//! host and target devices" (paper §3). Transfers cross a PCIe-class link
+//! that is far slower than device memory; the model charges cycles (in
+//! device-clock units, so they compose with kernel cycles) proportional to
+//! bytes moved plus a fixed per-transfer latency.
+
+/// Link model: bandwidth in bytes per device cycle plus fixed latency.
+#[derive(Clone, Copy, Debug)]
+pub struct XferModel {
+    /// Bytes per device cycle (PCIe 4.0 x16 ≈ 16 GB/s against a ~1.4 GHz
+    /// device clock ≈ 11 B/cycle).
+    pub bytes_per_cycle: u64,
+    /// Fixed cycles per transfer (driver + DMA setup).
+    pub latency: u64,
+}
+
+impl Default for XferModel {
+    fn default() -> Self {
+        XferModel { bytes_per_cycle: 11, latency: 2_000 }
+    }
+}
+
+impl XferModel {
+    /// Cycles to move `bytes` across the link.
+    pub fn cycles_for(&self, bytes: u64) -> u64 {
+        self.latency + bytes / self.bytes_per_cycle.max(1)
+    }
+}
+
+/// Accumulated transfer statistics for one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XferStats {
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Host→device transfers.
+    pub h2d_count: u64,
+    /// Device→host transfers.
+    pub d2h_count: u64,
+    /// Total link cycles charged.
+    pub cycles: u64,
+}
+
+impl XferStats {
+    /// Record a host→device transfer.
+    pub fn record_h2d(&mut self, model: &XferModel, bytes: u64) {
+        self.h2d_bytes += bytes;
+        self.h2d_count += 1;
+        self.cycles += model.cycles_for(bytes);
+    }
+
+    /// Record a device→host transfer.
+    pub fn record_d2h(&mut self, model: &XferModel, bytes: u64) {
+        self.d2h_bytes += bytes;
+        self.d2h_count += 1;
+        self.cycles += model.cycles_for(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_with_bytes() {
+        let m = XferModel::default();
+        assert_eq!(m.cycles_for(0), m.latency);
+        assert!(m.cycles_for(1 << 20) > m.cycles_for(1 << 10));
+        assert_eq!(m.cycles_for(1100), m.latency + 100);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = XferModel { bytes_per_cycle: 10, latency: 100 };
+        let mut s = XferStats::default();
+        s.record_h2d(&m, 1000);
+        s.record_d2h(&m, 500);
+        assert_eq!(s.h2d_bytes, 1000);
+        assert_eq!(s.d2h_bytes, 500);
+        assert_eq!(s.h2d_count, 1);
+        assert_eq!(s.d2h_count, 1);
+        assert_eq!(s.cycles, 100 + 100 + 100 + 50);
+    }
+}

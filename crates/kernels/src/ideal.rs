@@ -1,0 +1,176 @@
+//! The paper's synthetic "ideal scenario" benchmark kernel (§6.3).
+//!
+//! "We have also created a new benchmarking kernel that very closely fits
+//! the three levels of parallelism … a small inner loop that fits into a
+//! single warp, but is not collapsible with the outer-loop nest."
+//!
+//! Non-collapsibility is realized with an indirection: each outer
+//! iteration's base offset comes from an `offsets` table, so the flat
+//! element index cannot be derived from a collapsed induction variable.
+//! The two-level baseline therefore must run the inner loop serially in
+//! each thread (group size 1) — with badly strided memory accesses —
+//! while the `simd` version assigns the inner loop to adjacent lanes.
+//! Teams are SPMD; the parallel region is generic (the sequential offset
+//! lookup breaks tight nesting), matching §6.3.
+
+use gpu_sim::{DPtr, Device, LaunchStats, Slot};
+use omp_codegen::builder::{Schedule, TargetBuilder};
+use omp_codegen::CompiledKernel;
+
+const A_IN: usize = 0;
+const A_OUT: usize = 1;
+const A_OFFSETS: usize = 2;
+const A_OUTER: usize = 3;
+
+/// Inner-loop trip count — "fits into a single warp".
+pub const INNER: u64 = 32;
+
+/// Host workload: input array + permuted base offsets.
+pub struct IdealWorkload {
+    /// Outer iterations.
+    pub outer: usize,
+    /// Input, `outer × INNER` doubles.
+    pub input: Vec<f64>,
+    /// Base offset of each outer iteration's block (a permutation of
+    /// block starts — the non-collapsible indirection).
+    pub offsets: Vec<u64>,
+}
+
+impl IdealWorkload {
+    /// Deterministic workload; offsets are a simple stride permutation.
+    pub fn generate(outer: usize, seed: u64) -> IdealWorkload {
+        let n = outer * INNER as usize;
+        let input: Vec<f64> = (0..n).map(|i| ((i as u64 ^ seed) % 1000) as f64 * 0.125).collect();
+        // Co-prime stride permutation of block indices.
+        let stride = (outer / 2 + 1) | 1;
+        let offsets: Vec<u64> = (0..outer)
+            .map(|i| ((i * stride) % outer) as u64 * INNER)
+            .collect();
+        IdealWorkload { outer, input, offsets }
+    }
+
+    /// Host reference output.
+    pub fn reference(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.input.len()];
+        for o in 0..self.outer {
+            let base = self.offsets[o] as usize;
+            for k in 0..INNER as usize {
+                out[base + k] = body_fn(self.input[base + k]);
+            }
+        }
+        out
+    }
+}
+
+/// The per-element computation (some real arithmetic so the kernel is not
+/// purely memory-bound).
+#[inline]
+fn body_fn(x: f64) -> f64 {
+    let y = x * 1.0009765625 + 0.5;
+    y * y - x
+}
+
+/// Cycles per element of compute.
+const BODY_CYCLES: u64 = 12;
+
+/// Device-resident operands.
+pub struct IdealDev {
+    input: DPtr<f64>,
+    out: DPtr<f64>,
+    offsets: DPtr<u64>,
+    outer: usize,
+}
+
+impl IdealDev {
+    /// Upload a workload.
+    pub fn upload(dev: &mut Device, w: &IdealWorkload) -> IdealDev {
+        IdealDev {
+            input: dev.global.alloc_from(&w.input),
+            out: dev.global.alloc_zeroed::<f64>(w.input.len()),
+            offsets: dev.global.alloc_from(&w.offsets),
+            outer: w.outer,
+        }
+    }
+
+    /// Argument payload.
+    pub fn args(&self) -> [Slot; 4] {
+        [
+            Slot::from_ptr(self.input),
+            Slot::from_ptr(self.out),
+            Slot::from_ptr(self.offsets),
+            Slot::from_u64(self.outer as u64),
+        ]
+    }
+
+    /// Read the output back.
+    pub fn read_out(&self, dev: &Device) -> Vec<f64> {
+        dev.global.read_slice(self.out, self.outer * INNER as usize)
+    }
+}
+
+/// Build the ideal kernel: `simdlen == 1` is the serial-inner baseline;
+/// larger sizes vectorize the 32-iteration loop over the SIMD group.
+pub fn build(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
+    let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
+    let outer = b.trip_uniform(|_, v| v.args[A_OUTER].as_u64());
+    let inner = b.trip_const(INNER);
+    b.build(|t| {
+        t.distribute_parallel_for(outer, Schedule::Cyclic(1), simdlen, |p, o| {
+            // Sequential offset lookup: the non-collapsible part. Makes the
+            // parallel region generic (§6.3: teams SPMD, parallel generic).
+            let base = p.alloc_reg();
+            p.seq(move |lane, v| {
+                let offs = v.args[A_OFFSETS].as_ptr::<u64>();
+                let i = v.regs[o.0].as_u64();
+                let b = lane.read(offs, i);
+                lane.work(2);
+                v.regs[base.0] = Slot::from_u64(b);
+            });
+            p.simd(inner, move |lane, iv, v| {
+                let input = v.args[A_IN].as_ptr::<f64>();
+                let out = v.args[A_OUT].as_ptr::<f64>();
+                let idx = v.regs[base.0].as_u64() + iv;
+                let x = lane.read(input, idx);
+                lane.work(BODY_CYCLES);
+                lane.write(out, idx, body_fn(x));
+            });
+        });
+    })
+}
+
+/// Run a compiled ideal kernel.
+pub fn run(dev: &mut Device, kernel: &CompiledKernel, ops: &IdealDev) -> (Vec<f64>, LaunchStats) {
+    let stats = kernel.run(dev, &ops.args());
+    (ops.read_out(dev), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_core::config::ExecMode;
+
+    #[test]
+    fn offsets_are_a_permutation() {
+        let w = IdealWorkload::generate(100, 3);
+        let mut blocks: Vec<u64> = w.offsets.iter().map(|&o| o / INNER).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn all_group_sizes_match_reference() {
+        let w = IdealWorkload::generate(48, 7);
+        let want = w.reference();
+        for gs in [1u32, 2, 4, 8, 16, 32] {
+            let mut dev = Device::a100();
+            let ops = IdealDev::upload(&mut dev, &w);
+            let k = build(4, 64, gs);
+            assert_eq!(k.analysis.teams_mode, ExecMode::Spmd);
+            let expect_mode =
+                if gs == 1 { ExecMode::Spmd } else { ExecMode::Generic };
+            assert_eq!(k.analysis.parallels[0].desc.mode, expect_mode, "gs={gs}");
+            let (out, _) = run(&mut dev, &k, &ops);
+            assert_eq!(out, want, "gs={gs}");
+        }
+    }
+}

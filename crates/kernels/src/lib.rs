@@ -1,0 +1,24 @@
+//! # simt-omp-kernels — the paper's evaluation workloads
+//!
+//! Every kernel from the evaluation section (§6), each with the exact
+//! parallelization strategies the paper compares, plus host reference
+//! implementations for verification:
+//!
+//! * [`spmv`] — `sparse_matvec` (Fig 9): 2-level baseline vs 3-level simd,
+//!   atomic accumulation (+ reduction-extension variant);
+//! * [`su3`] — `SU3_bench` (Fig 9): lattice-QCD SU(3) matrix–matrix
+//!   multiply with the 36-iteration inner loop;
+//! * [`ideal`] — the paper's synthetic "ideal scenario" kernel (Fig 9);
+//! * [`laplace3d`] — 3-D heat diffusion (Fig 10);
+//! * [`muram`] — `muram_transpose` and `muram_interpol`, adapted from the
+//!   MURaM OpenACC code (Fig 10);
+//! * [`matrix`] — seeded CSR workload generators;
+//! * [`harness`] — launch + verify plumbing shared by tests, examples and
+//!   the figure benchmarks.
+pub mod harness;
+pub mod ideal;
+pub mod laplace3d;
+pub mod matrix;
+pub mod muram;
+pub mod spmv;
+pub mod su3;
