@@ -1,63 +1,88 @@
-//! Criterion microbenchmarks of the simulator itself (host wall-time, not
-//! simulated cycles): how fast the SIMT engine executes lane programs, and
-//! the relative host cost of the runtime paths. Useful for keeping the
+//! Microbenchmarks of the simulator itself (host wall-time, not simulated
+//! cycles): how fast the SIMT engine executes lane programs, and the
+//! relative host cost of the runtime paths. Useful for keeping the
 //! simulator fast enough that the figure harnesses stay interactive.
+//!
+//! Criterion is not available offline, so this is a self-contained timing
+//! harness: warm up, then report the best-of-5 mean ns/iter per case.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use gpu_sim::{Device, DeviceArch, LaunchConfig, Slot};
 use omp_codegen::builder::{Schedule, TargetBuilder};
 use omp_core::config::ExecMode;
 
-fn bench_lane_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim-engine");
-    g.bench_function("run_lanes 32x64 coalesced loads", |b| {
-        let mut dev = Device::new(DeviceArch::tiny());
-        let p = dev.global.alloc_zeroed::<f64>(64 * 32);
-        let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 0 };
-        b.iter(|| {
-            dev.launch(&cfg, |team| {
-                let lanes: Vec<u32> = (0..32).collect();
-                team.run_lanes(0, &lanes, |lane, id| {
-                    for k in 0..64u64 {
-                        let v = lane.read(p, k * 32 + id as u64);
-                        lane.work(1);
-                        lane.write(p, k * 32 + id as u64, v + 1.0);
-                    }
-                });
-            })
-            .unwrap()
-        });
-    });
-    g.finish();
+/// Time `f` and report mean ns/iter over the best of 5 measurement rounds.
+fn bench(name: &str, mut f: impl FnMut() -> u64) {
+    let mut sink = 0u64;
+    // Warm-up and round sizing: aim for ~20ms per round.
+    let t0 = Instant::now();
+    let mut probe_iters = 0u64;
+    while t0.elapsed().as_millis() < 20 {
+        sink = sink.wrapping_add(f());
+        probe_iters += 1;
+    }
+    let iters = probe_iters.max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(f());
+        }
+        let per = t.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    println!("{name:<44} {best:>12.0} ns/iter   (x{iters} iters, sink {sink})");
 }
 
-fn bench_runtime_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("runtime-paths");
+fn bench_lane_engine() {
+    let mut dev = Device::new(DeviceArch::tiny());
+    let p = dev.global.alloc_zeroed::<f64>(64 * 32);
+    let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 0 };
+    bench("run_lanes 32x64 coalesced loads", || {
+        dev.launch(&cfg, |team| {
+            let lanes: Vec<u32> = (0..32).collect();
+            team.run_lanes(0, &lanes, |lane, id| {
+                for k in 0..64u64 {
+                    let v = lane.read(p, k * 32 + id as u64);
+                    lane.work(1);
+                    lane.write(p, k * 32 + id as u64, v + 1.0);
+                }
+            });
+        })
+        .unwrap()
+        .cycles
+    });
+}
+
+fn bench_runtime_paths() {
     for (name, mode) in [("spmd", ExecMode::Spmd), ("generic", ExecMode::Generic)] {
-        g.bench_with_input(BenchmarkId::new("parallel-for-simd", name), &mode, |b, &mode| {
-            let mut dev = Device::a100();
-            let data = dev.global.alloc_zeroed::<f64>(256 * 32);
-            let mut bld = TargetBuilder::new().num_teams(4).threads(64);
-            let rows = bld.trip_const(256);
-            let inner = bld.trip_const(32);
-            let k = bld.build(|t| {
-                t.parallel_with_mode(8, mode, |p| {
-                    p.for_loop(rows, Schedule::Cyclic(1), |p, row| {
-                        p.simd(inner, move |lane, iv, v| {
-                            let d = v.args[0].as_ptr::<f64>();
-                            let i = v.regs[row.0].as_u64() * 32 + iv;
-                            let x = lane.read(d, i);
-                            lane.work(2);
-                            lane.write(d, i, x + 1.0);
-                        });
+        let mut dev = Device::a100();
+        let data = dev.global.alloc_zeroed::<f64>(256 * 32);
+        let mut bld = TargetBuilder::new().num_teams(4).threads(64);
+        let rows = bld.trip_const(256);
+        let inner = bld.trip_const(32);
+        let k = bld.build(|t| {
+            t.parallel_with_mode(8, mode, |p| {
+                p.for_loop(rows, Schedule::Cyclic(1), |p, row| {
+                    p.simd(inner, move |lane, iv, v| {
+                        let d = v.args[0].as_ptr::<f64>();
+                        let i = v.regs[row.0].as_u64() * 32 + iv;
+                        let x = lane.read(d, i);
+                        lane.work(2);
+                        lane.write(d, i, x + 1.0);
                     });
                 });
             });
-            b.iter(|| k.run(&mut dev, &[Slot::from_ptr(data)]).cycles);
+        });
+        bench(&format!("parallel-for-simd/{name}"), || {
+            k.run(&mut dev, &[Slot::from_ptr(data)]).cycles
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_lane_engine, bench_runtime_paths);
-criterion_main!(benches);
+fn main() {
+    println!("== simulator microbenchmarks (host wall-time) ==");
+    bench_lane_engine();
+    bench_runtime_paths();
+}

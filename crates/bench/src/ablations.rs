@@ -9,17 +9,17 @@
 //! | reductions vs atomics | §6.3 atomic substitution, §7 reduction plans |
 //! | AMD sequential fallback | §5.4.1 "all simd loops will run sequentially" |
 
+use crate::report::{JsonRow, JsonValue};
 use gpu_sim::{Device, DeviceArch, Slot};
 use omp_codegen::builder::{Schedule, TargetBuilder};
 use omp_core::config::ExecMode;
 use omp_kernels::matrix::{CsrMatrix, RowProfile};
 use omp_kernels::{laplace3d, spmv};
-use serde::Serialize;
 
 use crate::report::{print_table, save_json};
 
 /// Generic result row for ablation tables.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblRow {
     /// Experiment id.
     pub experiment: &'static str,
@@ -29,6 +29,17 @@ pub struct AblRow {
     pub cycles: u64,
     /// Experiment-specific observable (fallback count, occupancy, …).
     pub observable: u64,
+}
+
+impl JsonRow for AblRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("experiment", JsonValue::Str(self.experiment.to_string())),
+            ("config", JsonValue::Str(self.config.clone())),
+            ("cycles", JsonValue::U64(self.cycles)),
+            ("observable", JsonValue::U64(self.observable)),
+        ]
+    }
 }
 
 fn spmv_workload(rows: usize) -> (CsrMatrix, Vec<f64>) {
@@ -79,15 +90,14 @@ pub fn dispatch(n: u64) -> Vec<AblRow> {
                     lane.work(2);
                     v.regs[base.0] = Slot::from_u64(v.regs[row.0].as_u64() * 32);
                 });
-                let body = move |lane: &mut gpu_sim::Lane<'_>,
-                                 iv: u64,
-                                 v: &omp_core::plan::Vars<'_>| {
-                    let d = v.args[0].as_ptr::<f64>();
-                    let i = v.regs[base.0].as_u64() + iv;
-                    let x = lane.read(d, i);
-                    lane.work(4);
-                    lane.write(d, i, x + 1.0);
-                };
+                let body =
+                    move |lane: &mut gpu_sim::Lane<'_>, iv: u64, v: &omp_core::plan::Vars<'_>| {
+                        let d = v.args[0].as_ptr::<f64>();
+                        let i = v.regs[base.0].as_u64() + iv;
+                        let x = lane.read(d, i);
+                        lane.work(4);
+                        lane.write(d, i, x + 1.0);
+                    };
                 if extern_body {
                     p.simd_extern(inner, body);
                 } else {
@@ -129,8 +139,7 @@ pub fn extra_warp(n: usize) -> Vec<AblRow> {
         // 672 worker threads sit on an occupancy boundary: 2048/672 = 3
         // blocks/SM in SPMD mode, but the generic extra warp (704 threads)
         // drops that to 2.
-        let mut k =
-            laplace3d::build(216, 672, omp_kernels::harness::Fig10Variant::SpmdSimd);
+        let mut k = laplace3d::build(216, 672, omp_kernels::harness::Fig10Variant::SpmdSimd);
         k.config.teams_mode = mode;
         let (_, stats) = laplace3d::run(&mut dev, &k, &ops);
         out.push(AblRow {
@@ -165,8 +174,7 @@ pub fn divisibility(outer: u64, trip: u64) -> Vec<AblRow> {
             });
         });
         let stats = k.run(&mut dev, &[Slot::from_ptr(data)]);
-        let eff =
-            (trip as f64 / ((trip.div_ceil(gs as u64)) * gs as u64) as f64 * 100.0) as u64;
+        let eff = (trip as f64 / ((trip.div_ceil(gs as u64)) * gs as u64) as f64 * 100.0) as u64;
         out.push(AblRow {
             experiment: "divisibility",
             config: format!("trip {trip}, simdlen {gs} (lane efficiency {eff}%)"),
@@ -284,9 +292,15 @@ pub fn run_all(quick: bool) -> Vec<AblRow> {
 
 /// Print the tables and persist JSON.
 pub fn report(rows: &[AblRow]) {
-    for exp in
-        ["sharing_space", "dispatch", "extra_warp", "divisibility", "reduction", "amd_fallback", "sparsity"]
-    {
+    for exp in [
+        "sharing_space",
+        "dispatch",
+        "extra_warp",
+        "divisibility",
+        "reduction",
+        "amd_fallback",
+        "sparsity",
+    ] {
         let table: Vec<Vec<String>> = rows
             .iter()
             .filter(|r| r.experiment == exp)
@@ -294,5 +308,5 @@ pub fn report(rows: &[AblRow]) {
             .collect();
         print_table(&format!("Ablation: {exp}"), &["config", "cycles", "observable"], &table);
     }
-    save_json("ablations", &rows);
+    save_json("ablations", rows);
 }

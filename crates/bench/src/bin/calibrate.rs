@@ -131,8 +131,7 @@ fn score(s: &Shape) -> (bool, String) {
         ("lap generic 15%", (0.78..=0.95).contains(&s.lap_gen)),
     ];
     let pass = checks.iter().filter(|(_, ok)| *ok).count();
-    let fails: Vec<&str> =
-        checks.iter().filter(|(_, ok)| !ok).map(|(n, _)| *n).collect();
+    let fails: Vec<&str> = checks.iter().filter(|(_, ok)| !ok).map(|(n, _)| *n).collect();
     (pass == checks.len(), format!("{pass}/11 fails={fails:?}"))
 }
 

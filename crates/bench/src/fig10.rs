@@ -7,16 +7,16 @@
 //! state-machine penalty. Teams are always SPMD; teams/threads constant;
 //! SIMD group size 32.
 
+use crate::report::{JsonRow, JsonValue};
 use gpu_sim::Device;
 use omp_kernels::harness::{max_abs_err, speedup, Fig10Variant};
 use omp_kernels::laplace3d;
 use omp_kernels::muram::{self, MuramKernel};
-use serde::Serialize;
 
 use crate::report::{print_table, save_json};
 
 /// One bar of Fig 10.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig10Row {
     /// Kernel name.
     pub kernel: &'static str,
@@ -29,6 +29,18 @@ pub struct Fig10Row {
     pub relative: f64,
     /// Max abs error against the host reference.
     pub max_err: f64,
+}
+
+impl JsonRow for Fig10Row {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("kernel", JsonValue::Str(self.kernel.to_string())),
+            ("variant", JsonValue::Str(self.variant.to_string())),
+            ("cycles", JsonValue::U64(self.cycles)),
+            ("relative", JsonValue::F64(self.relative)),
+            ("max_err", JsonValue::F64(self.max_err)),
+        ]
+    }
 }
 
 fn grid_n(quick: bool) -> usize {
@@ -74,10 +86,9 @@ pub fn run(quick: bool) -> Vec<Fig10Row> {
     }
 
     // muram kernels
-    for (name, which) in [
-        ("muram_transpose", MuramKernel::Transpose),
-        ("muram_interpol", MuramKernel::Interpol),
-    ] {
+    for (name, which) in
+        [("muram_transpose", MuramKernel::Transpose), ("muram_interpol", MuramKernel::Interpol)]
+    {
         let w = muram::MuramWorkload::generate(n);
         let want = w.reference(which);
         let mut cycles = [0u64; 3];
@@ -123,5 +134,5 @@ pub fn report(rows: &[Fig10Row]) {
         &["kernel", "variant", "cycles", "relative", "max_err"],
         &table,
     );
-    save_json("fig10", &rows);
+    save_json("fig10", rows);
 }

@@ -9,11 +9,11 @@
 //! * the ideal kernel reaches about **2.15×** at group size **32**, with
 //!   16 very close.
 
+use crate::report::{JsonRow, JsonValue};
 use gpu_sim::Device;
 use omp_kernels::harness::{max_abs_err, speedup};
 use omp_kernels::matrix::{CsrMatrix, RowProfile};
 use omp_kernels::{ideal, spmv, su3};
-use serde::Serialize;
 
 use crate::report::{print_table, save_json};
 
@@ -21,7 +21,7 @@ use crate::report::{print_table, save_json};
 pub const GROUP_SIZES: [u32; 5] = [2, 4, 8, 16, 32];
 
 /// One bar of Fig 9.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig9Row {
     /// Kernel name.
     pub kernel: &'static str,
@@ -35,6 +35,19 @@ pub struct Fig9Row {
     pub speedup: f64,
     /// Max abs error of the simd version against the host reference.
     pub max_err: f64,
+}
+
+impl JsonRow for Fig9Row {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("kernel", JsonValue::Str(self.kernel.to_string())),
+            ("group_size", JsonValue::U64(self.group_size as u64)),
+            ("base_cycles", JsonValue::U64(self.base_cycles)),
+            ("simd_cycles", JsonValue::U64(self.simd_cycles)),
+            ("speedup", JsonValue::F64(self.speedup)),
+            ("max_err", JsonValue::F64(self.max_err)),
+        ]
+    }
 }
 
 /// Problem sizes (quick mode shrinks everything for CI-style runs).
@@ -79,12 +92,8 @@ pub fn run(quick: bool) -> Vec<Fig9Row> {
     let mut rows = Vec::new();
 
     // --- sparse_matvec -------------------------------------------------
-    let mat = CsrMatrix::generate(
-        sz.spmv_rows,
-        sz.spmv_rows,
-        RowProfile::Banded { min: 4, max: 44 },
-        42,
-    );
+    let mat =
+        CsrMatrix::generate(sz.spmv_rows, sz.spmv_rows, RowProfile::Banded { min: 4, max: 44 }, 42);
     let x: Vec<f64> = (0..mat.ncols).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
     let want = mat.spmv_ref(&x);
 
@@ -192,11 +201,8 @@ pub fn report(rows: &[Fig9Row]) {
             .filter(|r| r.kernel == kernel)
             .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
         {
-            println!(
-                "best {kernel}: {:.2}x at group size {}",
-                best.speedup, best.group_size
-            );
+            println!("best {kernel}: {:.2}x at group size {}", best.speedup, best.group_size);
         }
     }
-    save_json("fig9", &rows);
+    save_json("fig9", rows);
 }

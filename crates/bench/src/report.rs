@@ -1,7 +1,84 @@
 //! Table printing and JSON persistence for figure harnesses.
+//!
+//! JSON emission is hand-rolled (the workspace builds without external
+//! crates): every figure row is a flat struct of scalars and strings, so a
+//! tiny field-list trait covers everything serde did here.
 
-use serde::Serialize;
 use std::path::PathBuf;
+
+/// A JSON scalar a figure row can contain.
+pub enum JsonValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Double (non-finite values are written as `null`).
+    F64(f64),
+    /// String (escaped on write).
+    Str(String),
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::U64(v) => out.push_str(&v.to_string()),
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    // Keep the float-ness visible for readers/parsers.
+                    if !s.contains('.') && !s.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// A figure row that knows its (name, value) fields, in output order.
+pub trait JsonRow {
+    /// The row's fields.
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)>;
+}
+
+/// Serialize rows as a pretty-printed JSON array of objects.
+pub fn to_json_pretty<T: JsonRow>(rows: &[T]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        for (j, (name, v)) in row.json_fields().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            v.write(&mut out);
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n]");
+    out
+}
 
 /// Directory where figure harnesses persist machine-readable results:
 /// `<workspace target dir>/figures`.
@@ -22,22 +99,18 @@ pub fn figures_dir() -> PathBuf {
 }
 
 /// Persist rows as JSON under `target/figures/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+pub fn save_json<T: JsonRow>(name: &str, rows: &[T]) {
     let dir = figures_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            } else {
-                println!("(json saved to {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: serialize failed: {e}"),
+    let s = to_json_pretty(rows);
+    if let Err(e) = std::fs::write(&path, s) {
+        eprintln!("warning: cannot write {path:?}: {e}");
+    } else {
+        println!("(json saved to {})", path.display());
     }
 }
 
@@ -80,15 +153,37 @@ mod tests {
         );
     }
 
+    struct Row {
+        a: u32,
+        s: &'static str,
+        f: f64,
+    }
+
+    impl JsonRow for Row {
+        fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+            vec![
+                ("a", JsonValue::U64(self.a as u64)),
+                ("s", JsonValue::Str(self.s.to_string())),
+                ("f", JsonValue::F64(self.f)),
+            ]
+        }
+    }
+
+    #[test]
+    fn json_emission_shape() {
+        let s = to_json_pretty(&[Row { a: 1, s: "x\"y", f: 2.5 }, Row { a: 2, s: "z", f: 3.0 }]);
+        assert!(s.starts_with('[') && s.ends_with(']'));
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\"s\": \"x\\\"y\""));
+        assert!(s.contains("\"f\": 2.5"));
+        assert!(s.contains("\"f\": 3.0"));
+    }
+
     #[test]
     fn json_roundtrip() {
-        #[derive(Serialize)]
-        struct Row {
-            a: u32,
-        }
         // Write into a temp target dir to avoid polluting real figures.
         std::env::set_var("CARGO_TARGET_DIR", std::env::temp_dir().join("simt-omp-test"));
-        save_json("unit_test_rows", &vec![Row { a: 1 }]);
+        save_json("unit_test_rows", &[Row { a: 1, s: "k", f: 0.5 }]);
         let p = figures_dir().join("unit_test_rows.json");
         let s = std::fs::read_to_string(p).unwrap();
         assert!(s.contains("\"a\": 1"));

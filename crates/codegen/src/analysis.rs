@@ -71,8 +71,7 @@ impl Analysis {
             num_groups: m.num_groups(),
             slice_slots: space.group_slots(),
             stage_slots,
-            falls_back: info.desc.mode == ExecMode::Generic
-                && !space.group_fits(stage_slots),
+            falls_back: info.desc.mode == ExecMode::Generic && !space.group_fits(stage_slots),
         }
     }
 }
@@ -109,11 +108,8 @@ mod tests {
         // 128 threads, simdlen 2 → 64 groups; 2048 B = 256 slots, 224 after
         // the team slice → 3 slots per group; staging fn+trip+1 reg = 3
         // slots: just fits. With 2 registers it falls back.
-        let cfg = KernelConfig {
-            threads_per_team: 128,
-            sharing_space_bytes: 2048,
-            ..Default::default()
-        };
+        let cfg =
+            KernelConfig { threads_per_team: 128, sharing_space_bytes: 2048, ..Default::default() };
         let mk = |nregs| Analysis {
             teams_mode: ExecMode::Spmd,
             parallels: vec![ParallelInfo {
@@ -134,11 +130,8 @@ mod tests {
 
     #[test]
     fn spmd_regions_never_fall_back() {
-        let cfg = KernelConfig {
-            threads_per_team: 128,
-            sharing_space_bytes: 1024,
-            ..Default::default()
-        };
+        let cfg =
+            KernelConfig { threads_per_team: 128, sharing_space_bytes: 1024, ..Default::default() };
         let a = Analysis {
             teams_mode: ExecMode::Spmd,
             parallels: vec![ParallelInfo {

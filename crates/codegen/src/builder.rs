@@ -20,8 +20,8 @@ use gpu_sim::{Device, LaunchError, LaunchStats, Slot};
 use omp_core::config::{ExecMode, KernelConfig, ParallelDesc};
 use omp_core::dispatch::Registry;
 use omp_core::exec::launch_target;
-use omp_core::plan::{ParallelOp, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
 pub use omp_core::plan::Schedule;
+use omp_core::plan::{ParallelOp, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
 
 use crate::analysis::{infer_teams_mode, Analysis, ParallelInfo};
 
@@ -151,9 +151,9 @@ impl TargetBuilder {
             parallels: Vec::new(),
         };
         f(&mut scope);
-        let teams_mode = self.teams_override.unwrap_or_else(|| {
-            infer_teams_mode(scope.saw_seq, scope.dist_with_parallel)
-        });
+        let teams_mode = self
+            .teams_override
+            .unwrap_or_else(|| infer_teams_mode(scope.saw_seq, scope.dist_with_parallel));
         let plan = TargetPlan { ops: scope.ops, team_regs: scope.nregs };
         let analysis = Analysis { teams_mode, parallels: scope.parallels };
         let config = KernelConfig {
@@ -305,13 +305,7 @@ impl<'b> TeamsScope<'b> {
             }
             f(&mut p);
             let inner = std::mem::take(&mut p.ops);
-            vec![ThreadOp::For {
-                trip: trip.id,
-                sched,
-                iv_reg: iv.0,
-                across_teams,
-                ops: inner,
-            }]
+            vec![ThreadOp::For { trip: trip.id, sched, iv_reg: iv.0, across_teams, ops: inner }]
         } else {
             f(&mut p);
             std::mem::take(&mut p.ops)
@@ -333,12 +327,7 @@ impl<'b> TeamsScope<'b> {
             forced: mode_override.is_some(),
             nregs: p.nregs,
         });
-        self.ops.push(TeamOp::Parallel(ParallelOp {
-            desc,
-            known,
-            nregs: p.nregs,
-            ops: body_ops,
-        }));
+        self.ops.push(TeamOp::Parallel(ParallelOp { desc, known, nregs: p.nregs, ops: body_ops }));
     }
 }
 

@@ -111,10 +111,7 @@ fn reduce_across_computes_team_wide_dot_product() {
     });
     assert_eq!(k.analysis.parallels[0].desc.mode, ExecMode::Generic);
 
-    let stats = k.run(
-        &mut dev,
-        &[Slot::from_ptr(x), Slot::from_ptr(y), Slot::from_ptr(result)],
-    );
+    let stats = k.run(&mut dev, &[Slot::from_ptr(x), Slot::from_ptr(y), Slot::from_ptr(result)]);
     let got = dev.global.read(result, 0);
     // Every team's `for` is team-local here (plain `parallel`), so each of
     // the 8 teams computes the full dot product and adds it once.

@@ -136,11 +136,8 @@ mod tests {
     #[test]
     fn smem_combines_sharing_space_and_extras() {
         let arch = DeviceArch::a100();
-        let cfg = KernelConfig {
-            sharing_space_bytes: 2048,
-            extra_smem_bytes: 512,
-            ..Default::default()
-        };
+        let cfg =
+            KernelConfig { sharing_space_bytes: 2048, extra_smem_bytes: 512, ..Default::default() };
         assert_eq!(cfg.launch_config(&arch).smem_bytes, 2560);
     }
 

@@ -43,13 +43,19 @@ impl Registry {
     }
 
     /// Register a thread-sequential chunk.
-    pub fn seq(&mut self, f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static) -> SeqId {
+    pub fn seq(
+        &mut self,
+        f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) -> SeqId {
         self.seqs.push(Box::new(f));
         SeqId(self.seqs.len() as u32 - 1)
     }
 
     /// Register a trip-count callback.
-    pub fn trip(&mut self, f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static) -> TripId {
+    pub fn trip(
+        &mut self,
+        f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+    ) -> TripId {
         self.trips.push(Box::new(f));
         TripId(self.trips.len() as u32 - 1)
     }
@@ -60,7 +66,10 @@ impl Registry {
     }
 
     /// Register an outlined loop body reachable through the if-cascade.
-    pub fn body(&mut self, f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static) -> BodyId {
+    pub fn body(
+        &mut self,
+        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+    ) -> BodyId {
         self.bodies.push((Box::new(f), true));
         BodyId(self.bodies.len() as u32 - 1)
     }

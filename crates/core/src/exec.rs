@@ -101,6 +101,7 @@ pub fn run_target_block(
     // barrier so workers exit their state machine.
     if let Some(mw) = interp.main_warp {
         interp.tc.charge_smem_ops(mw, 1);
+        interp.arrive_all();
         interp.tc.block_barrier();
     }
 }
@@ -120,6 +121,20 @@ impl<'a, 'g> Interp<'a, 'g> {
         self.tc.warp_size()
     }
 
+    /// Sanitizer metadata: every warp of the block reaches the next block
+    /// barrier (the runtime's barriers are always block-wide).
+    fn arrive_all(&mut self) {
+        for w in 0..self.tc.nwarps() {
+            self.tc.barrier_arrive(w);
+        }
+    }
+
+    /// The lane mask a warp's masked sync waits for: the union of the
+    /// simdmasks of the given groups (all resident in one warp).
+    fn simd_sync_mask(&self, m: &SimdMapping, wg: &[u32]) -> gpu_sim::LaneMask {
+        wg.iter().fold(gpu_sim::LaneMask::EMPTY, |acc, &g| acc.or(m.simdmask(m.leader_tid(g))))
+    }
+
     // ----- team level ------------------------------------------------
 
     fn run_team_ops(&mut self, ops: &[TeamOp], team_regs: &mut Vec<Slot>) {
@@ -128,8 +143,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                 TeamOp::Seq(id) => self.team_seq(*id, team_regs),
                 TeamOp::Distribute { trip, sched, iv_reg, ops } => {
                     let trip = self.team_trip(*trip, team_regs);
-                    let (who, n_who) =
-                        (self.tc.block_id as u64, self.tc.num_blocks as u64);
+                    let (who, n_who) = (self.tc.block_id as u64, self.tc.num_blocks as u64);
                     let mut r = 0u64;
                     while let Some(iv) = assign(*sched, trip, who, n_who, r) {
                         if is_chunk_start(*sched, r) {
@@ -181,13 +195,11 @@ impl<'a, 'g> Interp<'a, 'g> {
                 for w in 0..self.worker_warps {
                     self.tc.run_lanes(w, &lanes, |lane, l| {
                         if w == 0 && l == 0 {
-                            let mut vm =
-                                VarsMut { args, outer: &[], regs: team_regs };
+                            let mut vm = VarsMut { args, outer: &[], regs: team_regs };
                             f(lane, &mut vm);
                         } else {
                             scratch.copy_from_slice(&snap);
-                            let mut vm =
-                                VarsMut { args, outer: &[], regs: &mut scratch };
+                            let mut vm = VarsMut { args, outer: &[], regs: &mut scratch };
                             f(lane, &mut vm);
                         }
                     });
@@ -225,6 +237,17 @@ impl<'a, 'g> Interp<'a, 'g> {
         let m = SimdMapping::new(self.cfg.threads_per_team, desc.simdlen, self.ws());
         self.sharing.configure_groups(m.num_groups());
         self.tc.counters.parallel_regions += 1;
+        if self.tc.sanitizing() {
+            let (base, team_slots) = self.sharing.team_slice();
+            self.tc.declare_sharing(gpu_sim::SharingLayout {
+                base: base.0,
+                total_slots: self.sharing.total_slots(),
+                team_slots,
+                group_slots: self.sharing.group_slots(),
+                num_groups: m.num_groups(),
+                simdlen: desc.simdlen,
+            });
+        }
 
         // Reaching __parallel (§5.2): in generic team mode only the main
         // thread arrives; it posts the outlined function and payload, then
@@ -242,6 +265,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                     self.tc.charge_global_alloc(mw);
                     self.tc.charge_alu(mw, post_slots * 8);
                 }
+                self.arrive_all();
                 self.tc.block_barrier();
                 for w in 0..self.worker_warps {
                     self.tc.charge_alu(w, 2 * self.tc.cost().handshake_cycles);
@@ -276,11 +300,12 @@ impl<'a, 'g> Interp<'a, 'g> {
         // Sharing-space global fallbacks are "deallocated at the end of the
         // parallel region" (§5.3.1).
         for f in fallback.into_iter().flatten() {
-            self.tc.global().free(f);
+            self.tc.free_shared_fallback(f);
         }
         // Implicit join barrier at the end of a parallel region; in generic
         // team mode this is also where workers re-enter the team state
         // machine (Fig 5).
+        self.arrive_all();
         self.tc.block_barrier();
     }
 
@@ -337,9 +362,7 @@ impl<'a, 'g> Interp<'a, 'g> {
     ) {
         for op in ops {
             match op {
-                ThreadOp::Seq(id) => {
-                    self.thread_seq(*id, desc, m, regs, active, team_regs)
-                }
+                ThreadOp::Seq(id) => self.thread_seq(*id, desc, m, regs, active, team_regs),
                 ThreadOp::For { trip, sched, iv_reg, across_teams, ops } => {
                     let trips = self.thread_trips(*trip, desc, m, regs, active, team_regs);
                     // A combined `teams distribute parallel for` shares the
@@ -358,13 +381,9 @@ impl<'a, 'g> Interp<'a, 'g> {
                     loop {
                         sub.clear();
                         for &g in active {
-                            if let Some(iv) = assign(
-                                *sched,
-                                trips[g as usize],
-                                who_base + g as u64,
-                                n_who,
-                                r,
-                            ) {
+                            if let Some(iv) =
+                                assign(*sched, trips[g as usize], who_base + g as u64, n_who, r)
+                            {
                                 regs[g as usize][*iv_reg] = Slot::from_u64(iv);
                                 sub.push(g);
                             }
@@ -373,14 +392,16 @@ impl<'a, 'g> Interp<'a, 'g> {
                             break;
                         }
                         // Loop bookkeeping on the warps that continue.
-                        let atomic = if is_chunk_start(*sched, r) { self.tc.cost().atomic_cycles } else { 0 };
+                        let atomic = if is_chunk_start(*sched, r) {
+                            self.tc.cost().atomic_cycles
+                        } else {
+                            0
+                        };
                         for (w, _) in self.groups_by_warp(m, &sub) {
                             self.tc.charge_alu(w, LOOP_OVERHEAD_CYCLES + atomic);
                         }
                         let sub_now = std::mem::take(&mut sub);
-                        self.run_thread_ops(
-                            ops, desc, m, regs, &sub_now, team_regs, fallback,
-                        );
+                        self.run_thread_ops(ops, desc, m, regs, &sub_now, team_regs, fallback);
                         sub = sub_now;
                         r += 1;
                     }
@@ -388,15 +409,31 @@ impl<'a, 'g> Interp<'a, 'g> {
                 ThreadOp::Simd { trip, body, known } => {
                     let trips = self.thread_trips(*trip, desc, m, regs, active, team_regs);
                     self.run_simd(
-                        &trips, desc, m, regs, active, team_regs, fallback,
-                        SimdBody::Plain(*body), *known, 0,
+                        &trips,
+                        desc,
+                        m,
+                        regs,
+                        active,
+                        team_regs,
+                        fallback,
+                        SimdBody::Plain(*body),
+                        *known,
+                        0,
                     );
                 }
                 ThreadOp::SimdReduce { trip, body, known, dst_reg } => {
                     let trips = self.thread_trips(*trip, desc, m, regs, active, team_regs);
                     self.run_simd(
-                        &trips, desc, m, regs, active, team_regs, fallback,
-                        SimdBody::Reduce(*body), *known, *dst_reg,
+                        &trips,
+                        desc,
+                        m,
+                        regs,
+                        active,
+                        team_regs,
+                        fallback,
+                        SimdBody::Reduce(*body),
+                        *known,
+                        *dst_reg,
                     );
                 }
                 ThreadOp::ReduceAcross { src_reg, dst_arg, dst_idx } => {
@@ -425,14 +462,12 @@ impl<'a, 'g> Interp<'a, 'g> {
                 let tid = w * ws + l;
                 let g = m.simd_group(tid) as usize;
                 if m.is_simd_group_leader(tid) {
-                    let mut vm =
-                        VarsMut { args, outer: team_regs, regs: &mut regs[g] };
+                    let mut vm = VarsMut { args, outer: team_regs, regs: &mut regs[g] };
                     f(lane, &mut vm);
                 } else {
                     scratch.clear();
                     scratch.extend_from_slice(&regs[g]);
-                    let mut vm =
-                        VarsMut { args, outer: team_regs, regs: &mut scratch };
+                    let mut vm = VarsMut { args, outer: team_regs, regs: &mut scratch };
                     f(lane, &mut vm);
                 }
             });
@@ -492,6 +527,7 @@ impl<'a, 'g> Interp<'a, 'g> {
         for w in 0..self.worker_warps {
             self.tc.charge_smem_ops(w, 1);
         }
+        self.arrive_all();
         self.tc.block_barrier();
         // Warp 0 combines: read partials + log2(groups) combine steps.
         let ng = m.num_groups() as u64;
@@ -504,6 +540,7 @@ impl<'a, 'g> Interp<'a, 'g> {
             let dst = args[dst_arg].as_ptr::<f64>();
             lane.atomic_add_f64(dst, dst_idx, total);
         });
+        self.arrive_all();
         self.tc.block_barrier();
     }
 
@@ -544,7 +581,15 @@ impl<'a, 'g> Interp<'a, 'g> {
             if gs == 1 {
                 let lanes = self.group_lanes(m, &wg);
                 self.exec_loop_lanes(
-                    w, &lanes, m, trips, regs, team_regs, &mut partials, body, gs,
+                    w,
+                    &lanes,
+                    m,
+                    trips,
+                    regs,
+                    team_regs,
+                    &mut partials,
+                    body,
+                    gs,
                     Fetch::None,
                 );
                 if is_reduce {
@@ -562,10 +607,19 @@ impl<'a, 'g> Interp<'a, 'g> {
                     self.tc.charge_dispatch(w, known);
                     let lanes = self.group_lanes(m, &wg);
                     self.exec_loop_lanes(
-                        w, &lanes, m, trips, regs, team_regs, &mut partials, body, gs,
+                        w,
+                        &lanes,
+                        m,
+                        trips,
+                        regs,
+                        team_regs,
+                        &mut partials,
+                        body,
+                        gs,
                         Fetch::None,
                     );
-                    self.tc.warp_sync(w);
+                    let mask = self.simd_sync_mask(m, &wg);
+                    self.tc.warp_sync_masked(w, mask, mask);
                 }
                 ExecMode::Generic if !self.tc.arch().warp_sync_supported => {
                     // AMD fallback (§5.4.1): no wavefront-level barrier, so
@@ -578,8 +632,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                             let (f, _) = self.reg.get_body(b);
                             self.tc.run_lanes(w, &leaders, |lane, l| {
                                 let g = m.simd_group(w * ws + l) as usize;
-                                let vars =
-                                    Vars { args, outer: team_regs, regs: &regs[g] };
+                                let vars = Vars { args, outer: team_regs, regs: &regs[g] };
                                 for iv in 0..trips[g] {
                                     f(lane, iv, &vars);
                                 }
@@ -589,8 +642,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                             let (f, _) = self.reg.get_red(b);
                             self.tc.run_lanes(w, &leaders, |lane, l| {
                                 let g = m.simd_group(w * ws + l) as usize;
-                                let vars =
-                                    Vars { args, outer: team_regs, regs: &regs[g] };
+                                let vars = Vars { args, outer: team_regs, regs: &regs[g] };
                                 for iv in 0..trips[g] {
                                     partials[g] += f(lane, iv, &vars);
                                 }
@@ -620,11 +672,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                             let g = m.simd_group(w * ws + l);
                             let (off, _) = sharing.group_slice(g);
                             lane.smem_write_slot(off, 0, Slot::from_u32(body_tag));
-                            lane.smem_write_slot(
-                                off,
-                                1,
-                                Slot::from_u64(trips[g as usize]),
-                            );
+                            lane.smem_write_slot(off, 1, Slot::from_u64(trips[g as usize]));
                             for (k, s) in regs[g as usize].iter().enumerate() {
                                 lane.smem_write_slot(off, 2 + k as u32, *s);
                             }
@@ -636,10 +684,8 @@ impl<'a, 'g> Interp<'a, 'g> {
                         for &g in &wg {
                             if fallback[g as usize].is_none() {
                                 self.tc.charge_global_alloc(w);
-                                let seg = self
-                                    .tc
-                                    .global()
-                                    .alloc_zeroed::<u64>(stage_slots as usize);
+                                let seg =
+                                    self.tc.global().alloc_zeroed::<u64>(stage_slots as usize);
                                 fallback[g as usize] = Some(seg);
                             }
                         }
@@ -654,8 +700,9 @@ impl<'a, 'g> Interp<'a, 'g> {
                         });
                     }
 
+                    let mask = self.simd_sync_mask(m, &wg);
                     self.tc.charge_alu(w, self.tc.cost().handshake_cycles);
-                    self.tc.warp_sync(w);
+                    self.tc.warp_sync_masked(w, mask, mask);
                     self.tc.charge_dispatch(w, known);
                     let lanes = self.group_lanes(m, &wg);
                     let fetch = if fits {
@@ -664,10 +711,18 @@ impl<'a, 'g> Interp<'a, 'g> {
                         Fetch::Global(stage_slots, fallback)
                     };
                     self.exec_loop_lanes(
-                        w, &lanes, m, trips, regs, team_regs, &mut partials, body, gs,
+                        w,
+                        &lanes,
+                        m,
+                        trips,
+                        regs,
+                        team_regs,
+                        &mut partials,
+                        body,
+                        gs,
                         fetch,
                     );
-                    self.tc.warp_sync(w);
+                    self.tc.warp_sync_masked(w, mask, mask);
                 }
             }
 

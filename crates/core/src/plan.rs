@@ -213,12 +213,7 @@ mod tests {
     #[test]
     fn count_parallel_regions_recurses() {
         let par = |ops| {
-            TeamOp::Parallel(ParallelOp {
-                desc: ParallelDesc::spmd(8),
-                known: true,
-                nregs: 0,
-                ops,
-            })
+            TeamOp::Parallel(ParallelOp { desc: ParallelDesc::spmd(8), known: true, nregs: 0, ops })
         };
         let plan = TargetPlan {
             ops: vec![

@@ -32,15 +32,9 @@ impl SharingSpace {
     /// Reserve `bytes` of shared memory for the sharing space. Panics if
     /// the block's shared memory cannot hold it (launch sizing bug).
     pub fn reserve(smem: &mut SharedMem, bytes: u32) -> SharingSpace {
-        let base = smem
-            .alloc(bytes)
-            .expect("shared memory too small for the variable sharing space");
-        SharingSpace {
-            base,
-            total_slots: bytes / 8,
-            group_slots: 0,
-            num_groups: 0,
-        }
+        let base =
+            smem.alloc(bytes).expect("shared memory too small for the variable sharing space");
+        SharingSpace { base, total_slots: bytes / 8, group_slots: 0, num_groups: 0 }
     }
 
     /// Slice layout for a `parallel` region with `num_groups` SIMD groups:

@@ -129,6 +129,27 @@ mod tests {
     }
 
     #[test]
+    fn chunk_zero_clamps_to_one() {
+        // `schedule(dynamic, 0)` / chunk 0 is degenerate input: it behaves
+        // exactly like chunk 1 instead of looping forever or panicking.
+        for trip in [1u64, 7, 16] {
+            for n_who in [1u64, 3, 20] {
+                assert_eq!(
+                    coverage(Schedule::Cyclic(0), trip, n_who),
+                    coverage(Schedule::Cyclic(1), trip, n_who)
+                );
+                assert_eq!(
+                    coverage(Schedule::Dynamic(0), trip, n_who),
+                    coverage(Schedule::Dynamic(1), trip, n_who)
+                );
+            }
+        }
+        assert_eq!(rounds_for(Schedule::Cyclic(0), 8, 0, 2), 4);
+        assert!(is_chunk_start(Schedule::Dynamic(0), 0));
+        assert!(is_chunk_start(Schedule::Dynamic(0), 1));
+    }
+
+    #[test]
     fn single_worker_gets_everything_in_order() {
         for sched in [Schedule::Static, Schedule::Cyclic(3), Schedule::Dynamic(1)] {
             let v: Vec<_> = (0..5).map(|r| assign(sched, 5, 0, 1, r).unwrap()).collect();

@@ -46,11 +46,14 @@ fn zero_trip_loops_do_nothing() {
             })],
             team_regs: 0,
         };
-        let stats =
-            launch_target(&mut dev, &cfg(2, 64), &plan_with_regs(plan, 1), &reg, &[
-                Slot::from_ptr(sentinel),
-            ])
-            .unwrap();
+        let stats = launch_target(
+            &mut dev,
+            &cfg(2, 64),
+            &plan_with_regs(plan, 1),
+            &reg,
+            &[Slot::from_ptr(sentinel)],
+        )
+        .unwrap();
         assert_eq!(dev.global.read(sentinel, 0), 42.0, "{mode:?}");
         assert!(stats.cycles > 0);
     }
@@ -172,14 +175,9 @@ fn two_parallel_regions_with_different_group_sizes() {
         ],
         team_regs: 0,
     };
-    let stats = launch_target(
-        &mut dev,
-        &cfg(1, 64),
-        &plan,
-        &reg,
-        &[Slot::from_ptr(a), Slot::from_ptr(b)],
-    )
-    .unwrap();
+    let stats =
+        launch_target(&mut dev, &cfg(1, 64), &plan, &reg, &[Slot::from_ptr(a), Slot::from_ptr(b)])
+            .unwrap();
     assert_eq!(stats.counters.parallel_regions, 2);
     assert!(dev.global.read_slice(a, 64).iter().all(|&v| v == 1.0));
     assert!(dev.global.read_slice(b, 64).iter().all(|&v| v == 2.0));

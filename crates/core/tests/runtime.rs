@@ -67,12 +67,8 @@ fn run_saxpy(
 
     let mut reg = Registry::new();
     let (plan, tm) = saxpy_plan(&mut reg, teams_mode, par);
-    let cfg = KernelConfig {
-        teams_mode: tm,
-        num_teams: 4,
-        threads_per_team: 64,
-        ..Default::default()
-    };
+    let cfg =
+        KernelConfig { teams_mode: tm, num_teams: 4, threads_per_team: 64, ..Default::default() };
     let args = [
         Slot::from_ptr(x),
         Slot::from_ptr(y),
@@ -96,12 +92,8 @@ fn saxpy_all_modes_and_group_sizes_agree() {
         for par_mode in [ExecMode::Spmd, ExecMode::Generic] {
             for gs in [1u32, 2, 4, 8, 16, 32] {
                 let par = ParallelDesc { mode: par_mode, simdlen: gs };
-                let (got, _) =
-                    run_saxpy(DeviceArch::a100(), teams_mode, par, rows, inner);
-                assert_eq!(
-                    got, want,
-                    "teams={teams_mode:?} par={par_mode:?} gs={gs}"
-                );
+                let (got, _) = run_saxpy(DeviceArch::a100(), teams_mode, par, rows, inner);
+                assert_eq!(got, want, "teams={teams_mode:?} par={par_mode:?} gs={gs}");
             }
         }
     }
@@ -143,33 +135,12 @@ fn generic_teams_post_parallel_regions() {
 
 #[test]
 fn generic_modes_cost_more_than_spmd() {
-    let spmd = run_saxpy(
-        DeviceArch::a100(),
-        ExecMode::Spmd,
-        ParallelDesc::spmd(8),
-        64,
-        32,
-    )
-    .1
-    .cycles;
-    let gen_par = run_saxpy(
-        DeviceArch::a100(),
-        ExecMode::Spmd,
-        ParallelDesc::generic(8),
-        64,
-        32,
-    )
-    .1
-    .cycles;
-    let gen_teams = run_saxpy(
-        DeviceArch::a100(),
-        ExecMode::Generic,
-        ParallelDesc::generic(8),
-        64,
-        32,
-    )
-    .1
-    .cycles;
+    let spmd =
+        run_saxpy(DeviceArch::a100(), ExecMode::Spmd, ParallelDesc::spmd(8), 64, 32).1.cycles;
+    let gen_par =
+        run_saxpy(DeviceArch::a100(), ExecMode::Spmd, ParallelDesc::generic(8), 64, 32).1.cycles;
+    let gen_teams =
+        run_saxpy(DeviceArch::a100(), ExecMode::Generic, ParallelDesc::generic(8), 64, 32).1.cycles;
     assert!(gen_par > spmd, "generic parallel ({gen_par}) must cost more than SPMD ({spmd})");
     assert!(
         gen_teams > gen_par,
@@ -216,8 +187,8 @@ fn distribute_splits_rows_across_teams() {
     let mut reg = Registry::new();
     let dist_trip = reg.trip(move |_, _| 8); // 8 outer chunks
     let for_trip = reg.trip_const(8); // 8 elements each
-    // Inner "simd" loop is trivial (trip 1); the element index is the
-    // `for` iteration (regs[0]) under the `distribute` chunk (outer[0]).
+                                      // Inner "simd" loop is trivial (trip 1); the element index is the
+                                      // `for` iteration (regs[0]) under the `distribute` chunk (outer[0]).
     let body = reg.body(move |lane, _iv, v| {
         let y = v.args[0].as_ptr::<f64>();
         let chunk = v.outer[0].as_u64();
@@ -240,11 +211,7 @@ fn distribute_splits_rows_across_teams() {
                     sched: Schedule::Static,
                     iv_reg: 0,
                     across_teams: false,
-                    ops: vec![ThreadOp::Simd {
-                        trip: reg.trip_const(1),
-                        body,
-                        known: true,
-                    }],
+                    ops: vec![ThreadOp::Simd { trip: reg.trip_const(1), body, known: true }],
                 }],
             })],
         }],
@@ -301,12 +268,7 @@ fn simd_reduce_computes_group_sums() {
                 iv_reg: 0,
                 across_teams: true,
                 ops: vec![
-                    ThreadOp::SimdReduce {
-                        trip: simd_trip,
-                        body: red,
-                        known: true,
-                        dst_reg: 1,
-                    },
+                    ThreadOp::SimdReduce { trip: simd_trip, body: red, known: true, dst_reg: 1 },
                     ThreadOp::Seq(store),
                 ],
             }],
@@ -323,8 +285,7 @@ fn simd_reduce_computes_group_sums() {
     launch_target(&mut dev, &cfg, &plan, &reg, &args).unwrap();
     let got = dev.global.read_slice(y, rows as usize);
     for row in 0..rows {
-        let want: f64 =
-            (0..inner).map(|iv| ((row * inner + iv) % 7) as f64).sum();
+        let want: f64 = (0..inner).map(|iv| ((row * inner + iv) % 7) as f64).sum();
         assert_eq!(got[row as usize], want, "row {row}");
     }
 }
@@ -437,15 +398,7 @@ fn unknown_bodies_pay_indirect_calls() {
 #[test]
 fn determinism_across_runs() {
     let run = || {
-        run_saxpy(
-            DeviceArch::a100(),
-            ExecMode::Generic,
-            ParallelDesc::generic(4),
-            64,
-            48,
-        )
-        .1
-        .cycles
+        run_saxpy(DeviceArch::a100(), ExecMode::Generic, ParallelDesc::generic(4), 64, 48).1.cycles
     };
     assert_eq!(run(), run());
 }

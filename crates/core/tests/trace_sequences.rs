@@ -27,12 +27,7 @@ fn traced_run(teams_mode: ExecMode, par_mode: ExecMode, gs: u32) -> Device {
     dev.enable_trace(10_000);
     let mut reg = Registry::new();
     let plan = one_simd_plan(&mut reg, par_mode, gs);
-    let cfg = KernelConfig {
-        teams_mode,
-        num_teams: 1,
-        threads_per_team: 64,
-        ..Default::default()
-    };
+    let cfg = KernelConfig { teams_mode, num_teams: 1, threads_per_team: 64, ..Default::default() };
     launch_target(&mut dev, &cfg, &plan, &reg, &[Slot(0)]).unwrap();
     dev
 }
@@ -47,8 +42,7 @@ fn generic_simd_emits_fig4_handshake_order() {
     let staging = is(|e| matches!(e, TraceEvent::SuperStep { warp: 0, lanes, .. } if *lanes < 32));
     let sync = is(|e| matches!(e, TraceEvent::WarpSync { warp: 0, .. }));
     let dispatch = is(|e| matches!(e, TraceEvent::Dispatch { warp: 0, cascade: true, .. }));
-    let loop_step =
-        is(|e| matches!(e, TraceEvent::SuperStep { warp: 0, lanes: 32, .. }));
+    let loop_step = is(|e| matches!(e, TraceEvent::SuperStep { warp: 0, lanes: 32, .. }));
     assert!(
         dev.trace.contains_subsequence(&[&staging, &sync, &dispatch, &loop_step, &sync]),
         "missing Fig 4 handshake; trace head: {:?}",
@@ -70,22 +64,15 @@ fn spmd_simd_skips_the_state_machine() {
         .unwrap();
     assert_eq!(first_super, 32, "SPMD runs all lanes immediately, no staging step");
     // Exactly one warp sync per simd loop per warp (Fig 4 SPMD branch).
-    let syncs = events
-        .iter()
-        .filter(|e| matches!(e, TraceEvent::WarpSync { warp: 0, .. }))
-        .count();
+    let syncs = events.iter().filter(|e| matches!(e, TraceEvent::WarpSync { warp: 0, .. })).count();
     assert_eq!(syncs, 1);
 }
 
 #[test]
 fn generic_teams_emit_block_barriers_around_the_region() {
     let dev = traced_run(ExecMode::Generic, ExecMode::Spmd, 8);
-    let barriers = dev
-        .trace
-        .events()
-        .iter()
-        .filter(|e| matches!(e, TraceEvent::BlockBarrier { .. }))
-        .count();
+    let barriers =
+        dev.trace.events().iter().filter(|e| matches!(e, TraceEvent::BlockBarrier { .. })).count();
     // Release + join for the parallel region, plus the termination barrier
     // at __target_deinit (Fig 5).
     assert_eq!(barriers, 3);
@@ -116,11 +103,7 @@ fn sharing_overflow_emits_global_alloc_events() {
         ..Default::default()
     };
     launch_target(&mut dev, &cfg, &plan, &reg, &[]).unwrap();
-    let allocs = dev
-        .trace
-        .events()
-        .iter()
-        .filter(|e| matches!(e, TraceEvent::GlobalAlloc { .. }))
-        .count();
+    let allocs =
+        dev.trace.events().iter().filter(|e| matches!(e, TraceEvent::GlobalAlloc { .. })).count();
     assert_eq!(allocs, 64, "one fallback allocation per SIMD group");
 }

@@ -39,9 +39,9 @@ struct Access {
 struct LaneTrace {
     alu: u64,
     smem_ops: u64,
-    /// Shared-memory slot indices, in program order (for bank-conflict
-    /// analysis across lockstep lanes).
-    smem_slots: Vec<u32>,
+    /// Shared-memory slot indices with a write flag, in program order (for
+    /// bank-conflict analysis across lockstep lanes and the sanitizer).
+    smem_slots: Vec<(u32, bool)>,
     accesses: Vec<Access>,
 }
 
@@ -145,7 +145,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_read_slot(&mut self, off: SmOff, idx: u32) -> Slot {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push(off.0 + idx);
+        self.trace.smem_slots.push((off.0 + idx, false));
         self.smem.read_slot(off, idx)
     }
 
@@ -153,7 +153,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_write_slot(&mut self, off: SmOff, idx: u32, v: Slot) {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push(off.0 + idx);
+        self.trace.smem_slots.push((off.0 + idx, true));
         self.smem.write_slot(off, idx, v);
     }
 
@@ -161,7 +161,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_read_f64(&mut self, off: SmOff, idx: u32) -> f64 {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push(off.0 + idx);
+        self.trace.smem_slots.push((off.0 + idx, false));
         self.smem.read_f64(off, idx)
     }
 
@@ -169,7 +169,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_write_f64(&mut self, off: SmOff, idx: u32, v: f64) {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push(off.0 + idx);
+        self.trace.smem_slots.push((off.0 + idx, true));
         self.smem.write_f64(off, idx, v);
     }
 }
@@ -197,6 +197,7 @@ pub struct TeamCtx<'g> {
     scratch_sectors: Vec<u64>,
     scratch_atomic: Vec<u64>,
     event_trace: Option<crate::trace::Trace>,
+    sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
 }
 
 impl<'g> TeamCtx<'g> {
@@ -226,6 +227,7 @@ impl<'g> TeamCtx<'g> {
             scratch_sectors: Vec::new(),
             scratch_atomic: Vec::new(),
             event_trace: None,
+            sanitizer: None,
         }
     }
 
@@ -238,6 +240,24 @@ impl<'g> TeamCtx<'g> {
     /// Detach the event trace again.
     pub fn detach_trace(&mut self) -> crate::trace::Trace {
         self.event_trace.take().unwrap_or_default()
+    }
+
+    /// Attach a simtcheck sanitizer for this block (see
+    /// [`crate::sanitize`]). All synchronization events and shared-memory
+    /// accesses from here on are validated.
+    pub fn attach_sanitizer(&mut self, s: Box<crate::sanitize::Sanitizer>) {
+        self.sanitizer = Some(s);
+    }
+
+    /// Detach the sanitizer again (e.g. to collect its findings).
+    pub fn detach_sanitizer(&mut self) -> Option<Box<crate::sanitize::Sanitizer>> {
+        self.sanitizer.take()
+    }
+
+    /// Whether a sanitizer is attached (used by the runtime to decide if
+    /// protocol metadata is worth emitting).
+    pub fn sanitizing(&self) -> bool {
+        self.sanitizer.is_some()
     }
 
     /// Number of warps in this block.
@@ -298,6 +318,15 @@ impl<'g> TeamCtx<'g> {
             let mut lane = Lane { global: self.global, smem: &mut self.smem, trace };
             f(&mut lane, lane_id);
         }
+        if let Some(mut san) = self.sanitizer.take() {
+            for (i, &lane_id) in lanes.iter().enumerate() {
+                let tid = warp * self.arch.warp_size + lane_id;
+                for &(slot, write) in &self.trace_pool[i].smem_slots {
+                    san.record_smem(tid, slot, write);
+                }
+            }
+            self.sanitizer = Some(san);
+        }
         self.commit(warp, lanes.len());
     }
 
@@ -322,7 +351,7 @@ impl<'g> TeamCtx<'g> {
             let mut bank_waves: [u8; 32] = [0; 32];
             let mut worst = 0u8;
             for t in traces {
-                let Some(&slot) = t.smem_slots.get(k) else { continue };
+                let Some(&(slot, _)) = t.smem_slots.get(k) else { continue };
                 let b = (slot % 32) as usize;
                 if bank_slots[b] != slot {
                     // New distinct slot in this bank: one more wavefront
@@ -505,11 +534,14 @@ impl<'g> TeamCtx<'g> {
         w.smem_ops += n;
     }
 
-    /// Masked warp-level barrier (`synchronizeWarp(simdmask())`). Lanes of a
-    /// warp share one clock, so this charges the fixed synchronization cost.
+    /// Warp-level barrier over all lanes of `warp`. Lanes of a warp share
+    /// one clock, so this charges the fixed synchronization cost.
     pub fn warp_sync(&mut self, warp: u32) {
         if let Some(t) = &mut self.event_trace {
             t.push(crate::trace::TraceEvent::WarpSync { block: self.block_id, warp });
+        }
+        if let Some(s) = &mut self.sanitizer {
+            s.on_warp_sync(warp);
         }
         self.counters.warp_syncs += 1;
         let c = self.cost.warp_sync_cycles;
@@ -518,11 +550,60 @@ impl<'g> TeamCtx<'g> {
         w.issue += c;
     }
 
+    /// Masked warp-level barrier (`synchronizeWarp(simdmask())`, §5.1):
+    /// `required` is the mask the barrier waits for, `arrived` the lanes
+    /// the caller can prove reached it. Costs the same as [`warp_sync`];
+    /// the distinction feeds the sanitizer, which reports divergence when
+    /// `arrived` misses required lanes and only advances the participants'
+    /// synchronization epochs.
+    ///
+    /// [`warp_sync`]: TeamCtx::warp_sync
+    pub fn warp_sync_masked(
+        &mut self,
+        warp: u32,
+        required: crate::mask::LaneMask,
+        arrived: crate::mask::LaneMask,
+    ) {
+        if let Some(t) = &mut self.event_trace {
+            t.push(crate::trace::TraceEvent::WarpSync { block: self.block_id, warp });
+        }
+        if let Some(s) = &mut self.sanitizer {
+            s.on_warp_sync_masked(warp, required, arrived);
+        }
+        self.counters.warp_syncs += 1;
+        let c = self.cost.warp_sync_cycles;
+        let w = &mut self.warps[warp as usize];
+        w.clock += c;
+        w.issue += c;
+    }
+
+    /// Announce that `warp` reaches the next [`block_barrier`]. Purely
+    /// sanitizer metadata (no cost): if at least one warp announces, the
+    /// sanitizer requires all of them to.
+    ///
+    /// [`block_barrier`]: TeamCtx::block_barrier
+    pub fn barrier_arrive(&mut self, warp: u32) {
+        if let Some(s) = &mut self.sanitizer {
+            s.barrier_arrive(warp);
+        }
+    }
+
+    /// Declare the sharing-space layout of the current parallel region to
+    /// the sanitizer (no cost, no-op when not sanitizing).
+    pub fn declare_sharing(&mut self, layout: crate::sanitize::SharingLayout) {
+        if let Some(s) = &mut self.sanitizer {
+            s.declare_sharing(layout);
+        }
+    }
+
     /// Block-level barrier over all warps of the team: clocks join at the
     /// maximum, plus the barrier cost.
     pub fn block_barrier(&mut self) {
         if let Some(t) = &mut self.event_trace {
             t.push(crate::trace::TraceEvent::BlockBarrier { block: self.block_id });
+        }
+        if let Some(s) = &mut self.sanitizer {
+            s.on_block_barrier();
         }
         self.counters.block_barriers += 1;
         let m = self.warps.iter().map(|w| w.clock).max().unwrap_or(0);
@@ -537,11 +618,7 @@ impl<'g> TeamCtx<'g> {
     /// of known regions, or the indirect-call fallback (§5.5).
     pub fn charge_dispatch(&mut self, warp: u32, cascade: bool) {
         if let Some(t) = &mut self.event_trace {
-            t.push(crate::trace::TraceEvent::Dispatch {
-                block: self.block_id,
-                warp,
-                cascade,
-            });
+            t.push(crate::trace::TraceEvent::Dispatch { block: self.block_id, warp, cascade });
         }
         let c = if cascade {
             self.counters.cascade_dispatches += 1;
@@ -559,9 +636,24 @@ impl<'g> TeamCtx<'g> {
         if let Some(t) = &mut self.event_trace {
             t.push(crate::trace::TraceEvent::GlobalAlloc { block: self.block_id, warp });
         }
+        if let Some(s) = &mut self.sanitizer {
+            s.on_fallback_alloc();
+        }
         self.counters.sharing_global_fallbacks += 1;
         let c = self.cost.global_alloc_cycles;
         self.charge_alu(warp, c);
+    }
+
+    /// Free a sharing-space global fallback allocation (the paper frees
+    /// them at the end of every parallel region, §5.3.1). The sanitizer
+    /// balances these against [`charge_global_alloc`] to find leaks.
+    ///
+    /// [`charge_global_alloc`]: TeamCtx::charge_global_alloc
+    pub fn free_shared_fallback<T: DevValue>(&mut self, p: DPtr<T>) {
+        if let Some(s) = &mut self.sanitizer {
+            s.on_fallback_free();
+        }
+        self.global.free(p);
     }
 
     /// Finish the block: produce its resource profile. `threads` and
@@ -656,7 +748,7 @@ mod tests {
     fn atomic_same_address_serializes() {
         let (mut g, c, a) = setup();
         let p = g.alloc_zeroed::<f64>(4);
-        let mut t0 = TeamCtx::new(0, 1, 1, 0, &mut g, &c, &a, );
+        let mut t0 = TeamCtx::new(0, 1, 1, 0, &mut g, &c, &a);
         // 8 lanes atomically add to the SAME element.
         let lanes: Vec<u32> = (0..8).collect();
         t0.run_lanes(0, &lanes, |lane, _| {

@@ -71,17 +71,24 @@ pub struct Device {
     /// Event trace of the most recent launch (empty unless enabled).
     pub trace: crate::trace::Trace,
     trace_enabled: bool,
+    sanitize_enabled: bool,
 }
 
 impl Device {
     /// Create a device with the default cost model.
     pub fn new(arch: DeviceArch) -> Device {
+        // `SIMT_SANITIZE=1` (or any non-empty value other than "0") turns
+        // simtcheck on for every device, so a whole test run can be
+        // sanitized without touching individual call sites.
+        let sanitize_env =
+            std::env::var("SIMT_SANITIZE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
         Device {
             arch,
             cost: CostModel::default(),
             global: GlobalMem::new(),
             trace: crate::trace::Trace::default(),
             trace_enabled: false,
+            sanitize_enabled: sanitize_env,
         }
     }
 
@@ -90,6 +97,19 @@ impl Device {
     pub fn enable_trace(&mut self, cap: usize) {
         self.trace = crate::trace::Trace::with_capacity(cap);
         self.trace_enabled = true;
+    }
+
+    /// Enable the simtcheck sanitizer (see [`crate::sanitize`]) for
+    /// subsequent launches: every block runs with barrier-divergence,
+    /// shared-memory-race and sharing-space checks, and findings land in
+    /// [`crate::stats::LaunchStats::violations`].
+    pub fn enable_sanitizer(&mut self) {
+        self.sanitize_enabled = true;
+    }
+
+    /// Turn the simtcheck sanitizer off again.
+    pub fn disable_sanitizer(&mut self) {
+        self.sanitize_enabled = false;
     }
 
     /// A100-like device — the paper's test bed (§6.1).
@@ -102,8 +122,7 @@ impl Device {
         if cfg.num_blocks == 0 {
             return Err(LaunchError::ZeroBlocks);
         }
-        if cfg.threads_per_block == 0 || cfg.threads_per_block > self.arch.max_threads_per_block
-        {
+        if cfg.threads_per_block == 0 || cfg.threads_per_block > self.arch.max_threads_per_block {
             return Err(LaunchError::BadBlockSize {
                 requested: cfg.threads_per_block,
                 max: self.arch.max_threads_per_block,
@@ -130,7 +149,11 @@ impl Device {
 
     /// Launch a kernel: `entry` is called once per block with that block's
     /// [`TeamCtx`]. Returns the simulated launch statistics.
-    pub fn launch<F>(&mut self, cfg: &LaunchConfig, mut entry: F) -> Result<LaunchStats, LaunchError>
+    pub fn launch<F>(
+        &mut self,
+        cfg: &LaunchConfig,
+        mut entry: F,
+    ) -> Result<LaunchStats, LaunchError>
     where
         F: FnMut(&mut TeamCtx<'_>),
     {
@@ -142,6 +165,7 @@ impl Device {
         let nwarps = cfg.threads_per_block / self.arch.warp_size;
         let mut profiles = Vec::with_capacity(cfg.num_blocks as usize);
         let mut counters = RtCounters::default();
+        let mut violations = Vec::new();
         for block_id in 0..cfg.num_blocks {
             let mut team = TeamCtx::new(
                 block_id,
@@ -155,13 +179,29 @@ impl Device {
             if self.trace_enabled {
                 team.attach_trace(std::mem::take(&mut self.trace));
             }
+            if self.sanitize_enabled {
+                team.attach_sanitizer(Box::new(crate::sanitize::Sanitizer::new(
+                    block_id,
+                    nwarps,
+                    self.arch.warp_size,
+                    cfg.smem_bytes / 8,
+                )));
+            }
             entry(&mut team);
             if self.trace_enabled {
                 self.trace = team.detach_trace();
             }
+            if let Some(san) = team.detach_sanitizer() {
+                violations.extend(san.finish());
+            }
             let (profile, c) = team.finish(cfg.threads_per_block, cfg.smem_bytes);
             counters.merge(&c);
             profiles.push(profile);
+        }
+        // Findings are part of LaunchStats either way; the stderr echo exists
+        // for callers (examples, benches) that never look at `violations`.
+        for v in &violations {
+            eprintln!("simtcheck: {v}");
         }
         let span = sched::makespan(&self.arch, &self.cost, &profiles, resident);
         Ok(LaunchStats {
@@ -174,6 +214,7 @@ impl Device {
             total_l1_hits: profiles.iter().map(|p| p.l1_hits).sum(),
             total_dram_sectors: profiles.iter().map(|p| p.dram_sectors).sum(),
             counters,
+            violations,
         })
     }
 }
@@ -187,10 +228,7 @@ mod tests {
         let d = Device::a100();
         let ok = LaunchConfig { num_blocks: 1, threads_per_block: 128, smem_bytes: 0 };
         assert!(d.validate(&ok).is_ok());
-        assert_eq!(
-            d.validate(&LaunchConfig { num_blocks: 0, ..ok }),
-            Err(LaunchError::ZeroBlocks)
-        );
+        assert_eq!(d.validate(&LaunchConfig { num_blocks: 0, ..ok }), Err(LaunchError::ZeroBlocks));
         assert!(matches!(
             d.validate(&LaunchConfig { threads_per_block: 2048, ..ok }),
             Err(LaunchError::BadBlockSize { .. })

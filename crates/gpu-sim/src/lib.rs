@@ -19,7 +19,10 @@
 //!   see [`exec::TeamCtx::warp_sync`] / [`exec::TeamCtx::block_barrier`];
 //! * an **analytic cycle cost model** (issue / memory-throughput / latency
 //!   roofline per block, greedy block→SM makespan with occupancy limits) —
-//!   see [`cost`] and [`sched`].
+//!   see [`cost`] and [`sched`];
+//! * **simtcheck**, a runtime sanitizer validating barrier participation,
+//!   shared-memory race freedom, and sharing-space usage — see [`sanitize`]
+//!   and [`launch::Device::enable_sanitizer`].
 //!
 //! Execution is fully deterministic: blocks run one at a time in block-id
 //! order and all cost accounting is integer cycle arithmetic, so a given
@@ -35,6 +38,7 @@ pub mod exec;
 pub mod launch;
 pub mod mask;
 pub mod mem;
+pub mod sanitize;
 pub mod sched;
 pub mod stats;
 pub mod trace;
@@ -46,5 +50,6 @@ pub use mask::LaneMask;
 pub use mem::global::GlobalMem;
 pub use mem::ptr::{DPtr, Slot};
 pub use mem::shared::SharedMem;
+pub use sanitize::{Sanitizer, SharingLayout, Violation};
 pub use stats::{BlockProfile, LaunchStats};
 pub use trace::{Trace, TraceEvent};

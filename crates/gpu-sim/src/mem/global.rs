@@ -70,9 +70,7 @@ impl GlobalMem {
             .segs
             .get_mut(p.seg as usize)
             .unwrap_or_else(|| panic!("free of invalid segment {}", p.seg));
-        let data = seg.data.take().unwrap_or_else(|| {
-            panic!("double free of segment {}", p.seg)
-        });
+        let data = seg.data.take().unwrap_or_else(|| panic!("double free of segment {}", p.seg));
         self.live_bytes -= (data.len() * data.elem_size()) as u64;
     }
 
@@ -81,15 +79,9 @@ impl GlobalMem {
             .segs
             .get(seg as usize)
             .unwrap_or_else(|| panic!("access to invalid segment {seg}"));
-        let data = s
-            .data
-            .as_ref()
-            .unwrap_or_else(|| panic!("use after free of segment {seg}"));
+        let data = s.data.as_ref().unwrap_or_else(|| panic!("use after free of segment {seg}"));
         data.as_any().downcast_ref::<Vec<T>>().unwrap_or_else(|| {
-            panic!(
-                "type confusion on segment {seg}: expected Vec<{}>",
-                std::any::type_name::<T>()
-            )
+            panic!("type confusion on segment {seg}: expected Vec<{}>", std::any::type_name::<T>())
         })
     }
 
@@ -98,15 +90,9 @@ impl GlobalMem {
             .segs
             .get_mut(seg as usize)
             .unwrap_or_else(|| panic!("access to invalid segment {seg}"));
-        let data = s
-            .data
-            .as_mut()
-            .unwrap_or_else(|| panic!("use after free of segment {seg}"));
+        let data = s.data.as_mut().unwrap_or_else(|| panic!("use after free of segment {seg}"));
         data.as_any_mut().downcast_mut::<Vec<T>>().unwrap_or_else(|| {
-            panic!(
-                "type confusion on segment {seg}: expected Vec<{}>",
-                std::any::type_name::<T>()
-            )
+            panic!("type confusion on segment {seg}: expected Vec<{}>", std::any::type_name::<T>())
         })
     }
 

@@ -69,10 +69,7 @@ mod tests {
         let mut b: Box<dyn AnyBuf> = Box::new(v);
         assert!(b.as_any().downcast_ref::<Vec<u32>>().is_some());
         assert!(b.as_any().downcast_ref::<Vec<f64>>().is_none());
-        b.as_any_mut()
-            .downcast_mut::<Vec<u32>>()
-            .unwrap()
-            .push(4);
+        b.as_any_mut().downcast_mut::<Vec<u32>>().unwrap().push(4);
         assert_eq!(b.len(), 4);
     }
 }

@@ -1,0 +1,678 @@
+//! simtcheck — an always-available runtime sanitizer for the simulated
+//! device runtime.
+//!
+//! The simulator executes deterministically, but the *protocols* the OpenMP
+//! runtime layers on top of it (generic-mode state machines, masked warp
+//! barriers, the variable sharing space of §5.3.1) have invariants the cost
+//! model alone never checks. `simtcheck` validates them during execution:
+//!
+//! 1. **Barrier divergence** — a block barrier or a masked warp sync
+//!    (`synchronizeWarp(simdmask())`, §5.1) that is not reached by every
+//!    required participant (e.g. generic-mode workers vs the extra
+//!    team-main warp) deadlocks real hardware.
+//! 2. **Shared-memory races** — two accesses to the same shared-memory
+//!    slot from different threads with no synchronization between them
+//!    (same *epoch*), at least one a write. Epochs advance at block
+//!    barriers (all threads) and warp syncs (the participating lanes).
+//! 3. **Sharing-space misuse** — reads of never-written sharing-space
+//!    slots, writes that overflow a SIMD group's slice instead of taking
+//!    the global-memory fallback, and fallback allocations still live when
+//!    `__target_deinit` runs (the paper frees them at the end of every
+//!    parallel region, §5.3.1).
+//!
+//! Enable it with [`crate::Device::enable_sanitizer`]; findings surface as
+//! [`Violation`]s on [`crate::stats::LaunchStats::violations`]. The runtime
+//! interpreter (in `simt-omp-core`) feeds the sanitizer the metadata it
+//! needs: the sharing-space layout per parallel region, barrier arrival
+//! sets, and the lane masks of masked warp syncs.
+
+use crate::mask::LaneMask;
+
+/// Where a barrier-divergence violation was detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Block-level barrier: `missing` holds warp indices.
+    Block,
+    /// Masked warp-level barrier: `missing` holds lane indices.
+    WarpSync {
+        /// The warp the masked sync ran on.
+        warp: u32,
+    },
+}
+
+/// One shared-memory access, as labelled by the sanitizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessLabel {
+    /// Global thread id within the block (`warp * warp_size + lane`).
+    pub thread: u32,
+    /// `true` for a write, `false` for a read.
+    pub write: bool,
+    /// The thread's synchronization epoch at the time of the access.
+    pub epoch: u64,
+}
+
+/// A protocol violation detected during a sanitized launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A barrier was released without every required participant arriving.
+    BarrierDivergence {
+        /// Block id.
+        block: u32,
+        /// Block barrier or masked warp sync.
+        kind: BarrierKind,
+        /// Missing participants (warp ids for block barriers, lane ids for
+        /// warp syncs).
+        missing: Vec<u32>,
+    },
+    /// Two unsynchronized accesses to the same shared-memory slot from
+    /// different threads, at least one a write.
+    SharedMemRace {
+        /// Block id.
+        block: u32,
+        /// Shared-memory slot index.
+        slot: u32,
+        /// The earlier access.
+        first: AccessLabel,
+        /// The later, conflicting access.
+        second: AccessLabel,
+    },
+    /// A sharing-space slot was read before any thread wrote it.
+    UnwrittenRead {
+        /// Block id.
+        block: u32,
+        /// Shared-memory slot index.
+        slot: u32,
+        /// Reading thread.
+        thread: u32,
+    },
+    /// A thread wrote outside its SIMD group's sharing-space slice instead
+    /// of taking the global-memory fallback (§5.3.1).
+    SharingOverflow {
+        /// Block id.
+        block: u32,
+        /// Shared-memory slot index written.
+        slot: u32,
+        /// Writing thread.
+        thread: u32,
+        /// The writer's SIMD group.
+        group: u32,
+        /// Slots available per group slice in this region.
+        group_slots: u32,
+    },
+    /// Sharing-space global fallback allocations outlived the parallel
+    /// region that created them and were still live at `__target_deinit`.
+    LeakedFallback {
+        /// Block id.
+        block: u32,
+        /// Allocations never freed.
+        outstanding: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::BarrierDivergence { block, kind, missing } => match kind {
+                BarrierKind::Block => {
+                    write!(f, "block {block}: block barrier released without warps {missing:?}")
+                }
+                BarrierKind::WarpSync { warp } => write!(
+                    f,
+                    "block {block}: masked warp sync on warp {warp} missing lanes {missing:?}"
+                ),
+            },
+            Violation::SharedMemRace { block, slot, first, second } => {
+                let k = match (first.write, second.write) {
+                    (true, true) => "write-write",
+                    (false, true) | (true, false) => "read-write",
+                    (false, false) => "read-read",
+                };
+                write!(
+                    f,
+                    "block {block}: {k} race on shared slot {slot}: thread {} then \
+                     thread {} in epoch {}",
+                    first.thread, second.thread, second.epoch
+                )
+            }
+            Violation::UnwrittenRead { block, slot, thread } => {
+                write!(f, "block {block}: thread {thread} read never-written sharing slot {slot}")
+            }
+            Violation::SharingOverflow { block, slot, thread, group, group_slots } => write!(
+                f,
+                "block {block}: thread {thread} (group {group}) wrote sharing slot \
+                 {slot} outside its {group_slots}-slot slice without the global fallback"
+            ),
+            Violation::LeakedFallback { block, outstanding } => write!(
+                f,
+                "block {block}: {outstanding} sharing-space global fallback \
+                 allocation(s) leaked past __target_deinit"
+            ),
+        }
+    }
+}
+
+/// The sharing-space layout of the current parallel region, declared by the
+/// runtime interpreter so the sanitizer can attribute slots to owners.
+#[derive(Clone, Copy, Debug)]
+pub struct SharingLayout {
+    /// First slot of the sharing space in block shared memory.
+    pub base: u32,
+    /// Total slots the sharing space reserves.
+    pub total_slots: u32,
+    /// Slots of the leading team-main slice.
+    pub team_slots: u32,
+    /// Slots per SIMD-group slice (0 = every post must take the fallback).
+    pub group_slots: u32,
+    /// Number of SIMD groups in the region.
+    pub num_groups: u32,
+    /// SIMD group size: thread `tid`'s group is `tid / simdlen`.
+    pub simdlen: u32,
+}
+
+/// Per-slot access history within the current epoch structure.
+#[derive(Clone, Debug, Default)]
+struct SlotState {
+    last_write: Option<AccessLabel>,
+    /// Readers since the last write (one entry per thread, latest epoch).
+    readers: Vec<AccessLabel>,
+}
+
+/// Cap on stored violations per block (further ones are counted, not kept).
+const MAX_VIOLATIONS: usize = 64;
+
+/// The per-block sanitizer state. Created by the launch path when
+/// [`crate::Device::enable_sanitizer`] is on; fed by [`crate::TeamCtx`].
+#[derive(Debug)]
+pub struct Sanitizer {
+    block: u32,
+    warp_size: u32,
+    nwarps: u32,
+    /// Per-thread synchronization epoch: the id of the last sync event the
+    /// thread participated in.
+    epochs: Vec<u64>,
+    next_epoch: u64,
+    /// `synced_with[t * warp_size + l]`: id of the last sync event that
+    /// included both thread `t` and lane `l` of `t`'s own warp. Cross-warp
+    /// ordering comes only from block barriers ([`Self::last_block_barrier`]),
+    /// so per-warp tables make the happens-before check exact.
+    synced_with: Vec<u64>,
+    /// Id of the most recent block barrier.
+    last_block_barrier: u64,
+    slots: Vec<SlotState>,
+    sharing: Option<SharingLayout>,
+    /// Warps that announced arrival at the upcoming block barrier.
+    arrived_warps: Vec<bool>,
+    any_arrival: bool,
+    outstanding_fallbacks: u64,
+    violations: Vec<Violation>,
+    /// Violations beyond [`MAX_VIOLATIONS`], counted but not stored.
+    dropped: u64,
+}
+
+impl Sanitizer {
+    /// Fresh sanitizer for one block.
+    pub fn new(block: u32, nwarps: u32, warp_size: u32, smem_slots: u32) -> Sanitizer {
+        Sanitizer {
+            block,
+            warp_size,
+            nwarps,
+            epochs: vec![0; (nwarps * warp_size) as usize],
+            next_epoch: 0,
+            synced_with: vec![0; (nwarps * warp_size * warp_size) as usize],
+            last_block_barrier: 0,
+            slots: vec![SlotState::default(); smem_slots as usize],
+            sharing: None,
+            arrived_warps: vec![false; nwarps as usize],
+            any_arrival: false,
+            outstanding_fallbacks: 0,
+            violations: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn report(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Violations found beyond the storage cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    // ----- metadata from the runtime interpreter -----------------------
+
+    /// Declare the sharing-space layout of a new parallel region. Clears
+    /// the access history of the sharing region (its contents are
+    /// re-staged per region).
+    pub fn declare_sharing(&mut self, layout: SharingLayout) {
+        let lo = layout.base as usize;
+        let hi = ((layout.base + layout.total_slots) as usize).min(self.slots.len());
+        for s in &mut self.slots[lo..hi.max(lo)] {
+            *s = SlotState::default();
+        }
+        self.sharing = Some(layout);
+    }
+
+    /// Announce that `warp` reaches the next block barrier.
+    pub fn barrier_arrive(&mut self, warp: u32) {
+        if let Some(a) = self.arrived_warps.get_mut(warp as usize) {
+            *a = true;
+            self.any_arrival = true;
+        }
+    }
+
+    // ----- synchronization events --------------------------------------
+
+    /// A block barrier executed. If any arrivals were announced, every warp
+    /// must have arrived; then all threads advance to a common epoch.
+    pub fn on_block_barrier(&mut self) {
+        if self.any_arrival {
+            let missing: Vec<u32> =
+                (0..self.nwarps).filter(|&w| !self.arrived_warps[w as usize]).collect();
+            if !missing.is_empty() {
+                self.report(Violation::BarrierDivergence {
+                    block: self.block,
+                    kind: BarrierKind::Block,
+                    missing,
+                });
+            }
+        }
+        self.arrived_warps.fill(false);
+        self.any_arrival = false;
+        self.next_epoch += 1;
+        self.epochs.fill(self.next_epoch);
+        self.synced_with.fill(self.next_epoch);
+        self.last_block_barrier = self.next_epoch;
+    }
+
+    /// An unmasked warp sync on `warp`: all its lanes synchronize.
+    pub fn on_warp_sync(&mut self, warp: u32) {
+        self.advance_lanes(warp, LaneMask::full(self.warp_size));
+    }
+
+    /// A masked warp sync on `warp`: `required` lanes must all arrive;
+    /// `arrived` is the set the caller can prove reached the barrier.
+    pub fn on_warp_sync_masked(&mut self, warp: u32, required: LaneMask, arrived: LaneMask) {
+        let missing = required.minus(arrived);
+        if !missing.is_empty() {
+            self.report(Violation::BarrierDivergence {
+                block: self.block,
+                kind: BarrierKind::WarpSync { warp },
+                missing: missing.iter().collect(),
+            });
+        }
+        self.advance_lanes(warp, required.or(arrived));
+    }
+
+    fn advance_lanes(&mut self, warp: u32, lanes: LaneMask) {
+        self.next_epoch += 1;
+        let ws = self.warp_size;
+        let participants: Vec<u32> = lanes.iter().filter(|&l| l < ws).collect();
+        for &a in &participants {
+            let t = (warp * ws + a) as usize;
+            if let Some(e) = self.epochs.get_mut(t) {
+                *e = self.next_epoch;
+            }
+            for &b in &participants {
+                if let Some(s) = self.synced_with.get_mut(t * ws as usize + b as usize) {
+                    *s = self.next_epoch;
+                }
+            }
+        }
+    }
+
+    /// Whether an access by `w_thread` with epoch `w_epoch` happens-before
+    /// the *current* event on `thread`: a sync covering both must have run
+    /// after the access. Cross-warp, only a block barrier orders; within a
+    /// warp, any sync event including both lanes does.
+    fn ordered_before(&self, w_thread: u32, w_epoch: u64, thread: u32) -> bool {
+        if w_thread == thread {
+            return true;
+        }
+        let ws = self.warp_size;
+        let mut latest_common = self.last_block_barrier;
+        if w_thread / ws == thread / ws {
+            let sw = self
+                .synced_with
+                .get(thread as usize * ws as usize + (w_thread % ws) as usize)
+                .copied()
+                .unwrap_or(0);
+            latest_common = latest_common.max(sw);
+        }
+        // A common sync issued *before* the access would have raised the
+        // accessor's epoch to at least its id, so `> w_epoch` means it ran
+        // after the access and orders it before the current event.
+        latest_common > w_epoch
+    }
+
+    // ----- shared-memory accesses --------------------------------------
+
+    /// Record one shared-memory slot access by global thread `thread`.
+    pub fn record_smem(&mut self, thread: u32, slot: u32, write: bool) {
+        let epoch = self.epochs.get(thread as usize).copied().unwrap_or(0);
+        let label = AccessLabel { thread, write, epoch };
+        let block = self.block;
+        let in_sharing =
+            self.sharing.map(|l| slot >= l.base && slot < l.base + l.total_slots).unwrap_or(false);
+
+        if write {
+            if let Some(v) = self.check_overflow(thread, slot) {
+                self.report(v);
+            }
+        }
+
+        let Some(state) = self.slots.get(slot as usize) else { return };
+        let mut found: Vec<Violation> = Vec::new();
+        if write {
+            // A write conflicts with the previous write and with every read
+            // since it, unless a covering sync ordered them before us.
+            if let Some(w) = state.last_write {
+                if !self.ordered_before(w.thread, w.epoch, thread) {
+                    found.push(Violation::SharedMemRace { block, slot, first: w, second: label });
+                }
+            }
+            for r in &state.readers {
+                if !self.ordered_before(r.thread, r.epoch, thread) {
+                    found.push(Violation::SharedMemRace { block, slot, first: *r, second: label });
+                }
+            }
+        } else {
+            match state.last_write {
+                Some(w) => {
+                    if !self.ordered_before(w.thread, w.epoch, thread) {
+                        found.push(Violation::SharedMemRace {
+                            block,
+                            slot,
+                            first: w,
+                            second: label,
+                        });
+                    }
+                }
+                None => {
+                    if in_sharing {
+                        found.push(Violation::UnwrittenRead { block, slot, thread });
+                    }
+                }
+            }
+        }
+        let state = &mut self.slots[slot as usize];
+        if write {
+            state.last_write = Some(label);
+            state.readers.clear();
+        } else {
+            match state.readers.iter_mut().find(|r| r.thread == thread) {
+                Some(r) => *r = label,
+                None => state.readers.push(label),
+            }
+        }
+        for v in found {
+            self.report(v);
+        }
+    }
+
+    /// Whether a write to `slot` lands outside the writer's group slice of
+    /// the declared sharing layout.
+    fn check_overflow(&self, thread: u32, slot: u32) -> Option<Violation> {
+        let l = self.sharing?;
+        // Only the partitioned group region is owner-checked; the team
+        // slice and memory outside the sharing space are unrestricted.
+        let group_region = l.base + l.team_slots;
+        if slot < group_region || slot >= l.base + l.total_slots {
+            return None;
+        }
+        // The extra team-main warp (generic mode) is not in any group.
+        let writer_group = thread / l.simdlen.max(1);
+        if writer_group >= l.num_groups {
+            return None;
+        }
+        let idx = slot - group_region;
+        let fits = l.group_slots > 0
+            && idx / l.group_slots == writer_group
+            && idx < l.num_groups * l.group_slots;
+        if fits {
+            return None;
+        }
+        Some(Violation::SharingOverflow {
+            block: self.block,
+            slot,
+            thread,
+            group: writer_group,
+            group_slots: l.group_slots,
+        })
+    }
+
+    // ----- sharing-space fallback lifecycle ----------------------------
+
+    /// A sharing-space global fallback allocation happened.
+    pub fn on_fallback_alloc(&mut self) {
+        self.outstanding_fallbacks += 1;
+    }
+
+    /// A sharing-space global fallback allocation was freed.
+    pub fn on_fallback_free(&mut self) {
+        self.outstanding_fallbacks = self.outstanding_fallbacks.saturating_sub(1);
+    }
+
+    /// End of the block (`__target_deinit` has run): check for leaked
+    /// fallbacks and return all findings.
+    pub fn finish(mut self) -> Vec<Violation> {
+        if self.outstanding_fallbacks > 0 {
+            let v = Violation::LeakedFallback {
+                block: self.block,
+                outstanding: self.outstanding_fallbacks,
+            };
+            self.report(v);
+        }
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> Sanitizer {
+        Sanitizer::new(0, 2, 32, 256)
+    }
+
+    #[test]
+    fn same_epoch_write_write_races() {
+        let mut s = san();
+        s.record_smem(0, 10, true);
+        s.record_smem(1, 10, true);
+        let v = s.finish();
+        assert!(matches!(v[0], Violation::SharedMemRace { slot: 10, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn sync_separates_accesses() {
+        let mut s = san();
+        s.record_smem(0, 10, true);
+        s.on_warp_sync(0);
+        s.record_smem(1, 10, false); // reader in a later epoch: clean
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn masked_sync_only_synchronizes_participants() {
+        let mut s = san();
+        s.record_smem(0, 10, true);
+        // Sync lanes 8..16 only; lane 1 (thread 1) stays in the old epoch.
+        s.on_warp_sync_masked(0, LaneMask::contiguous(8, 8), LaneMask::contiguous(8, 8));
+        s.record_smem(1, 10, false);
+        let v = s.finish();
+        assert!(matches!(v[0], Violation::SharedMemRace { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn block_barrier_synchronizes_everyone() {
+        let mut s = san();
+        s.record_smem(0, 3, true);
+        s.on_block_barrier();
+        s.record_smem(40, 3, false); // warp 1 lane 8, new epoch
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn missing_warp_at_block_barrier() {
+        let mut s = san();
+        s.barrier_arrive(0);
+        s.on_block_barrier();
+        let v = s.finish();
+        assert_eq!(
+            v[0],
+            Violation::BarrierDivergence { block: 0, kind: BarrierKind::Block, missing: vec![1] }
+        );
+    }
+
+    #[test]
+    fn unannounced_barriers_are_not_checked() {
+        let mut s = san();
+        s.on_block_barrier();
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn divergent_masked_sync() {
+        let mut s = san();
+        s.on_warp_sync_masked(1, LaneMask::contiguous(0, 8), LaneMask::contiguous(0, 4));
+        let v = s.finish();
+        assert_eq!(
+            v[0],
+            Violation::BarrierDivergence {
+                block: 0,
+                kind: BarrierKind::WarpSync { warp: 1 },
+                missing: vec![4, 5, 6, 7],
+            }
+        );
+    }
+
+    #[test]
+    fn unwritten_sharing_read_flagged_inside_region_only() {
+        let mut s = san();
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 64,
+            team_slots: 8,
+            group_slots: 4,
+            num_groups: 8,
+            simdlen: 8,
+        });
+        s.record_smem(0, 200, false); // outside the sharing space: fine
+        s.record_smem(0, 12, false); // inside: never written
+        let v = s.finish();
+        assert_eq!(v, vec![Violation::UnwrittenRead { block: 0, slot: 12, thread: 0 }]);
+    }
+
+    #[test]
+    fn overflow_write_outside_group_slice() {
+        let mut s = san();
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 64,
+            team_slots: 8,
+            group_slots: 4,
+            num_groups: 8,
+            simdlen: 4,
+        });
+        // Thread 0 is group 0: slots 8..12. Slot 13 belongs to group 1.
+        s.record_smem(0, 9, true);
+        s.record_smem(0, 13, true);
+        let v = s.finish();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::SharingOverflow { slot: 13, group: 0, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn zero_slot_slices_always_overflow() {
+        let mut s = san();
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 32,
+            team_slots: 32,
+            group_slots: 0,
+            num_groups: 64,
+            simdlen: 2,
+        });
+        // The group region is empty; no group-region slot exists, so no
+        // write can be attributed — but any write past the team slice of a
+        // *larger* space is an overflow:
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 64,
+            team_slots: 32,
+            group_slots: 0,
+            num_groups: 64,
+            simdlen: 2,
+        });
+        s.record_smem(0, 40, true);
+        let v = s.finish();
+        assert!(matches!(v[0], Violation::SharingOverflow { group_slots: 0, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn leaked_fallback_reported_at_finish() {
+        let mut s = san();
+        s.on_fallback_alloc();
+        s.on_fallback_alloc();
+        s.on_fallback_free();
+        let v = s.finish();
+        assert_eq!(v, vec![Violation::LeakedFallback { block: 0, outstanding: 1 }]);
+    }
+
+    #[test]
+    fn balanced_fallbacks_are_clean() {
+        let mut s = san();
+        s.on_fallback_alloc();
+        s.on_fallback_free();
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn region_redeclare_clears_history() {
+        let mut s = san();
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 64,
+            team_slots: 8,
+            group_slots: 4,
+            num_groups: 8,
+            simdlen: 8,
+        });
+        s.record_smem(0, 9, true);
+        // New region: the old write is forgotten; a same-epoch write by a
+        // different thread is not a race against it.
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 64,
+            team_slots: 8,
+            group_slots: 4,
+            num_groups: 8,
+            simdlen: 8,
+        });
+        s.record_smem(1, 9, true);
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn violation_cap_counts_drops() {
+        let mut s = san();
+        for i in 0..(MAX_VIOLATIONS as u32 + 10) {
+            s.record_smem(0, 5, true);
+            s.record_smem(1, 5, true); // WW race each round (same epoch)
+            let _ = i;
+        }
+        assert!(s.dropped() > 0);
+        assert_eq!(s.finish().len(), MAX_VIOLATIONS);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Violation::LeakedFallback { block: 3, outstanding: 2 };
+        assert!(format!("{v}").contains("leaked"));
+    }
+}

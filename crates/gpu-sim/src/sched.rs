@@ -25,9 +25,7 @@ pub fn blocks_per_sm(arch: &DeviceArch, threads_per_block: u32, smem_bytes: u32)
         return 0;
     }
     let by_threads = arch.max_threads_per_sm / threads_per_block;
-    let by_smem = (arch.smem_per_sm)
-        .checked_div(smem_bytes)
-        .unwrap_or(arch.max_blocks_per_sm);
+    let by_smem = (arch.smem_per_sm).checked_div(smem_bytes).unwrap_or(arch.max_blocks_per_sm);
     by_threads.min(by_smem).min(arch.max_blocks_per_sm)
 }
 
@@ -136,8 +134,8 @@ mod tests {
     fn issue_throughput_roof_binds() {
         let a = DeviceArch::tiny();
         let c = CostModel::default(); // issue width 2
-        // 4 blocks spread over 4 SMs (one each) with huge issue totals:
-        // each SM's wave time is issue-bound, not latency-bound.
+                                      // 4 blocks spread over 4 SMs (one each) with huge issue totals:
+                                      // each SM's wave time is issue-bound, not latency-bound.
         let p = vec![block(10, 10_000, 0); 4];
         let t = makespan(&a, &c, &p, 4);
         assert_eq!(t, 10_000 / c.sm_issue_width);

@@ -86,6 +86,10 @@ pub struct LaunchStats {
     pub total_dram_sectors: u64,
     /// Runtime-behavior counters summed over blocks.
     pub counters: RtCounters,
+    /// Protocol violations found by the simtcheck sanitizer, over all
+    /// blocks. Always empty unless [`crate::Device::enable_sanitizer`] was
+    /// called before the launch.
+    pub violations: Vec<crate::sanitize::Violation>,
 }
 
 #[cfg(test)]

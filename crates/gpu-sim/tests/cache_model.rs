@@ -116,11 +116,7 @@ fn capacity_thrash_refetches_from_l2_not_dram() {
         .unwrap();
     let compulsory = n / 4; // 4 f64 per sector
     assert_eq!(stats.total_dram_sectors, compulsory, "DRAM sees each sector once");
-    assert_eq!(
-        stats.total_sectors,
-        2 * compulsory,
-        "L2 serves the thrashed second pass"
-    );
+    assert_eq!(stats.total_sectors, 2 * compulsory, "L2 serves the thrashed second pass");
 }
 
 #[test]
@@ -172,11 +168,7 @@ fn smem_bank_conflicts_serialize() {
     let cost = |stride: u32| {
         let mut dev = device();
         let sc = dev.cost.smem_cycles;
-        let cfg = LaunchConfig {
-            num_blocks: 1,
-            threads_per_block: 32,
-            smem_bytes: 32 * 32 * 8,
-        };
+        let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 32 * 32 * 8 };
         let stats = dev
             .launch(&cfg, |team| {
                 let off = team.smem.alloc(32 * 32 * 8).unwrap();
@@ -199,8 +191,7 @@ fn smem_broadcast_is_free_of_conflicts() {
     // All lanes reading the SAME slot broadcast in one wavefront.
     let mut dev = device();
     let sc = dev.cost.smem_cycles;
-    let cfg =
-        LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 1024 };
+    let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 1024 };
     let stats = dev
         .launch(&cfg, |team| {
             let off = team.smem.alloc(64).unwrap();

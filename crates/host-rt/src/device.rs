@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use gpu_sim::{Device, DeviceArch};
-use parking_lot::Mutex;
 
 use crate::map::ManagedDevice;
+use crate::sync::Mutex;
 
 /// The host-side offloading runtime: a registry of managed devices plus
 /// convenience constructors (the `omp_get_num_devices` side of the world).

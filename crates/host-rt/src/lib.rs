@@ -19,6 +19,7 @@
 pub mod device;
 pub mod map;
 pub mod stream;
+pub mod sync;
 pub mod task;
 pub mod xfer;
 

@@ -61,8 +61,7 @@ impl ManagedDevice {
         }
         let p = if copy {
             let p = self.dev.global.alloc_from(host);
-            self.xfer
-                .record_h2d(&self.model, std::mem::size_of_val(host) as u64);
+            self.xfer.record_h2d(&self.model, std::mem::size_of_val(host) as u64);
             p
         } else {
             // `alloc:` — device memory without initialization transfer.
@@ -104,8 +103,7 @@ impl ManagedDevice {
             let p: DPtr<T> = DPtr::from_bits(e.bits);
             let data = self.dev.global.read_slice(p, e.len);
             host.copy_from_slice(&data);
-            self.xfer
-                .record_d2h(&self.model, (e.len * e.elem_size) as u64);
+            self.xfer.record_d2h(&self.model, (e.len * e.elem_size) as u64);
             self.dev.global.free(p);
             self.table.remove(&key);
         }
@@ -143,8 +141,7 @@ impl ManagedDevice {
         assert_eq!(e.elem, TypeId::of::<T>());
         let p: DPtr<T> = DPtr::from_bits(e.bits);
         self.dev.global.write_slice(p, host);
-        self.xfer
-            .record_h2d(&self.model, (e.len * e.elem_size) as u64);
+        self.xfer.record_h2d(&self.model, (e.len * e.elem_size) as u64);
     }
 
     /// Present-table lookup: the device pointer a host buffer is mapped to,
@@ -254,8 +251,7 @@ mod tests {
         let host: Vec<u64> = vec![0; 4];
         md.map_to(&host);
         // Same address, viewed as f64.
-        let alias =
-            unsafe { std::slice::from_raw_parts(host.as_ptr() as *const f64, 4) };
+        let alias = unsafe { std::slice::from_raw_parts(host.as_ptr() as *const f64, 4) };
         md.map_to(alias);
     }
 }

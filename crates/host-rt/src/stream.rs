@@ -8,9 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::map::ManagedDevice;
+use crate::sync::Mutex;
 use crate::task::HelperPool;
 
 /// An in-order asynchronous queue of device operations.
@@ -37,10 +36,7 @@ impl Stream {
     /// Enqueue an operation. `op` receives the locked device and returns
     /// the simulated cycles it consumed (kernel launches return
     /// `stats.cycles`; transfers return link cycles).
-    pub fn enqueue(
-        &self,
-        op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static,
-    ) {
+    pub fn enqueue(&self, op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static) {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         let dev = Arc::clone(&self.dev);
         let cycles = Arc::clone(&self.cycles);

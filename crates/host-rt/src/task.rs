@@ -6,14 +6,14 @@
 //! helper threads consumes target tasks from a channel (`target nowait`),
 //! and `taskwait` blocks until all submitted tasks completed.
 //!
-//! Devices are shared behind [`parking_lot::Mutex`]; a task locks its
+//! Devices are shared behind [`crate::sync::Mutex`]; a task locks its
 //! device for the duration of its kernel, which serializes same-device
 //! kernels exactly like a CUDA stream does.
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::mpmc::{unbounded, Sender};
+use crate::sync::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 

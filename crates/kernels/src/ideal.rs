@@ -43,9 +43,7 @@ impl IdealWorkload {
         let input: Vec<f64> = (0..n).map(|i| ((i as u64 ^ seed) % 1000) as f64 * 0.125).collect();
         // Co-prime stride permutation of block indices.
         let stride = (outer / 2 + 1) | 1;
-        let offsets: Vec<u64> = (0..outer)
-            .map(|i| ((i * stride) % outer) as u64 * INNER)
-            .collect();
+        let offsets: Vec<u64> = (0..outer).map(|i| ((i * stride) % outer) as u64 * INNER).collect();
         IdealWorkload { outer, input, offsets }
     }
 
@@ -166,8 +164,7 @@ mod tests {
             let ops = IdealDev::upload(&mut dev, &w);
             let k = build(4, 64, gs);
             assert_eq!(k.analysis.teams_mode, ExecMode::Spmd);
-            let expect_mode =
-                if gs == 1 { ExecMode::Spmd } else { ExecMode::Generic };
+            let expect_mode = if gs == 1 { ExecMode::Spmd } else { ExecMode::Generic };
             assert_eq!(k.analysis.parallels[0].desc.mode, expect_mode, "gs={gs}");
             let (out, _) = run(&mut dev, &k, &ops);
             assert_eq!(out, want, "gs={gs}");

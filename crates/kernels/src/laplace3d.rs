@@ -88,11 +88,7 @@ impl Laplace3dDev {
     /// Upload the workload; `unew` starts as a copy of `u` so boundaries
     /// carry over.
     pub fn upload(dev: &mut Device, w: &Laplace3dWorkload) -> Laplace3dDev {
-        Laplace3dDev {
-            u: dev.global.alloc_from(&w.u),
-            unew: dev.global.alloc_from(&w.u),
-            n: w.n,
-        }
+        Laplace3dDev { u: dev.global.alloc_from(&w.u), unew: dev.global.alloc_from(&w.u), n: w.n }
     }
 
     /// Argument payload.
@@ -110,7 +106,15 @@ impl Laplace3dDev {
 const STENCIL_CYCLES: u64 = 10;
 
 #[inline]
-fn stencil(lane: &mut gpu_sim::Lane<'_>, u: DPtr<f64>, unew: DPtr<f64>, n: u64, i: u64, j: u64, k: u64) {
+fn stencil(
+    lane: &mut gpu_sim::Lane<'_>,
+    u: DPtr<f64>,
+    unew: DPtr<f64>,
+    n: u64,
+    i: u64,
+    j: u64,
+    k: u64,
+) {
     let idx = |i: u64, j: u64, k: u64| (i * n + j) * n + k;
     let s = lane.read(u, idx(i - 1, j, k))
         + lane.read(u, idx(i + 1, j, k))

@@ -7,8 +7,7 @@
 //! seed: banded-random row lengths around a small mean (the default), plus
 //! uniform and power-law profiles for wider experiments.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use testkit::SimRng;
 
 /// A CSR sparse matrix with `f64` values.
 #[derive(Clone, Debug)]
@@ -54,7 +53,7 @@ impl CsrMatrix {
     /// values are in `(-1, 1)`.
     pub fn generate(nrows: usize, ncols: usize, profile: RowProfile, seed: u64) -> CsrMatrix {
         assert!(nrows > 0 && ncols > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut row_ptr = Vec::with_capacity(nrows + 1);
         row_ptr.push(0u64);
         let mut col_idx = Vec::new();
@@ -64,10 +63,10 @@ impl CsrMatrix {
         for _ in 0..nrows {
             let len = match profile {
                 RowProfile::Uniform(n) => n,
-                RowProfile::Banded { min, max } => rng.random_range(min..=max),
+                RowProfile::Banded { min, max } => rng.range_usize(min, max + 1),
                 RowProfile::PowerLaw { min, cap } => {
                     // Inverse-CDF sample of a discrete Pareto tail.
-                    let u: f64 = rng.random_range(0.0001..1.0);
+                    let u: f64 = rng.range_f64(0.0001, 1.0);
                     let tail = (1.0 / u.powf(0.7)) as usize;
                     (min + tail - 1).min(cap)
                 }
@@ -77,11 +76,11 @@ impl CsrMatrix {
             // keep generation O(len) while staying irregular.
             cols_scratch.clear();
             let span = (len.max(1) * 3).min(ncols);
-            let start = rng.random_range(0..=(ncols - span)) as u64;
+            let start = rng.range_usize(0, ncols - span + 1) as u64;
             let mut c = start;
             for _ in 0..len {
                 cols_scratch.push(c);
-                c += rng.random_range(1..=3).min((ncols as u64).saturating_sub(c + 1)).max(1);
+                c += rng.range_u64(1, 4).min((ncols as u64).saturating_sub(c + 1)).max(1);
                 if c as usize >= ncols {
                     break;
                 }
@@ -89,7 +88,7 @@ impl CsrMatrix {
             cols_scratch.dedup();
             for &col in cols_scratch.iter() {
                 col_idx.push(col.min(ncols as u64 - 1));
-                values.push(rng.random_range(-1.0..1.0));
+                values.push(rng.range_f64(-1.0, 1.0));
             }
             row_ptr.push(col_idx.len() as u64);
         }
@@ -164,10 +163,7 @@ mod tests {
     #[test]
     fn profiles_shape_row_lengths() {
         let u = CsrMatrix::generate(200, 1000, RowProfile::Uniform(16), 1);
-        assert!(
-            (0..u.nrows).all(|r| u.row_len(r) <= 16),
-            "uniform rows never exceed the target"
-        );
+        assert!((0..u.nrows).all(|r| u.row_len(r) <= 16), "uniform rows never exceed the target");
         let b = CsrMatrix::generate(500, 4000, RowProfile::Banded { min: 4, max: 44 }, 1);
         let mean = b.mean_row_len();
         assert!(mean > 8.0 && mean < 44.0, "banded mean {mean} out of range");

@@ -45,9 +45,7 @@ pub struct MuramWorkload {
 impl MuramWorkload {
     /// Deterministic field.
     pub fn generate(n: usize) -> MuramWorkload {
-        let u = (0..n * n * n)
-            .map(|f| ((f * 2654435761) % 4093) as f64 * 0.001 - 2.0)
-            .collect();
+        let u = (0..n * n * n).map(|f| ((f * 2654435761) % 4093) as f64 * 0.001 - 2.0).collect();
         MuramWorkload { n, u }
     }
 
@@ -245,8 +243,7 @@ mod tests {
         let w = MuramWorkload::generate(16);
         for which in [MuramKernel::Transpose, MuramKernel::Interpol] {
             let want = w.reference(which);
-            for variant in
-                [Fig10Variant::NoSimd, Fig10Variant::SpmdSimd, Fig10Variant::GenericSimd]
+            for variant in [Fig10Variant::NoSimd, Fig10Variant::SpmdSimd, Fig10Variant::GenericSimd]
             {
                 let mut dev = Device::a100();
                 let ops = MuramDev::upload(&mut dev, &w);

@@ -234,8 +234,7 @@ mod tests {
     }
 
     fn close(a: &[f64], b: &[f64]) -> bool {
-        a.len() == b.len()
-            && a.iter().zip(b).all(|(p, q)| (p - q).abs() <= 1e-9 * (1.0 + q.abs()))
+        a.len() == b.len() && a.iter().zip(b).all(|(p, q)| (p - q).abs() <= 1e-9 * (1.0 + q.abs()))
     }
 
     #[test]

@@ -17,8 +17,7 @@
 use gpu_sim::{DPtr, Device, LaunchStats, Slot};
 use omp_codegen::builder::{Schedule, TargetBuilder};
 use omp_codegen::CompiledKernel;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use testkit::SimRng;
 
 const A_A: usize = 0;
 const A_B: usize = 1;
@@ -43,12 +42,12 @@ pub struct Su3Workload {
 impl Su3Workload {
     /// Generate deterministic operands.
     pub fn generate(sites: usize, seed: u64) -> Su3Workload {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let n = sites * SITE_DOUBLES;
         Su3Workload {
             sites,
-            a: (0..n).map(|_| rng.random_range(-1.0..1.0)).collect(),
-            b: (0..n).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            a: (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect(),
+            b: (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect(),
         }
     }
 
@@ -171,8 +170,7 @@ mod tests {
     use omp_core::config::ExecMode;
 
     fn close(a: &[f64], b: &[f64]) -> bool {
-        a.len() == b.len()
-            && a.iter().zip(b).all(|(p, q)| (p - q).abs() <= 1e-12 * (1.0 + q.abs()))
+        a.len() == b.len() && a.iter().zip(b).all(|(p, q)| (p - q).abs() <= 1e-12 * (1.0 + q.abs()))
     }
 
     #[test]

@@ -1,46 +1,43 @@
 //! Property-based tests: kernels agree with host references for arbitrary
-//! workloads, geometries and group sizes.
+//! workloads, geometries and group sizes. Driven by the in-tree `testkit`
+//! harness; case counts are low because each case launches full kernels.
 
 use gpu_sim::Device;
 use omp_kernels::harness::{max_abs_err, Fig10Variant};
 use omp_kernels::matrix::{CsrMatrix, RowProfile};
 use omp_kernels::{ideal, laplace3d, muram, spmv, su3};
-use proptest::prelude::*;
+use testkit::{cases, SimRng};
 
-fn any_profile() -> impl Strategy<Value = RowProfile> {
-    prop_oneof![
-        (1usize..24).prop_map(RowProfile::Uniform),
-        (1usize..8, 9usize..48)
-            .prop_map(|(min, max)| RowProfile::Banded { min, max }),
-        (1usize..4, 20usize..150).prop_map(|(min, cap)| RowProfile::PowerLaw { min, cap }),
-    ]
+fn any_profile(rng: &mut SimRng) -> RowProfile {
+    match rng.range_u32(0, 3) {
+        0 => RowProfile::Uniform(rng.range_usize(1, 24)),
+        1 => RowProfile::Banded { min: rng.range_usize(1, 8), max: rng.range_usize(9, 48) },
+        _ => RowProfile::PowerLaw { min: rng.range_usize(1, 4), cap: rng.range_usize(20, 150) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Generated CSR matrices always satisfy structural invariants.
-    #[test]
-    fn csr_generator_structurally_valid(
-        nrows in 1usize..400,
-        ncols in 8usize..800,
-        profile in any_profile(),
-        seed in any::<u64>(),
-    ) {
+/// Generated CSR matrices always satisfy structural invariants.
+#[test]
+fn csr_generator_structurally_valid() {
+    cases("csr_generator_structurally_valid", 24, |rng| {
+        let nrows = rng.range_usize(1, 400);
+        let ncols = rng.range_usize(8, 800);
+        let profile = any_profile(rng);
+        let seed = rng.next_u64();
         CsrMatrix::generate(nrows, ncols, profile, seed).validate();
-    }
+    });
+}
 
-    /// Three-level spmv matches the host reference for arbitrary matrices
-    /// and group sizes — including rows shorter than the group.
-    #[test]
-    fn spmv_matches_reference(
-        nrows in 16usize..300,
-        profile in any_profile(),
-        seed in any::<u64>(),
-        gs_pow in 1u32..6,
-        teams in 1u32..8,
-    ) {
-        let gs = 1u32 << gs_pow;
+/// Three-level spmv matches the host reference for arbitrary matrices and
+/// group sizes — including rows shorter than the group.
+#[test]
+fn spmv_matches_reference() {
+    cases("spmv_matches_reference", 24, |rng| {
+        let nrows = rng.range_usize(16, 300);
+        let profile = any_profile(rng);
+        let seed = rng.next_u64();
+        let gs = 1u32 << rng.range_u32(1, 6);
+        let teams = rng.range_u32(1, 8);
         let mat = CsrMatrix::generate(nrows, nrows, profile, seed);
         let x: Vec<f64> = (0..nrows).map(|i| ((i * 3) % 7) as f64 * 0.5).collect();
         let want = mat.spmv_ref(&x);
@@ -48,70 +45,84 @@ proptest! {
         let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
         let k = spmv::build_three_level(teams, 64, gs);
         let (y, _) = spmv::run(&mut dev, &k, &ops);
-        prop_assert!(max_abs_err(&y, &want) < 1e-9);
-    }
+        assert!(max_abs_err(&y, &want) < 1e-9);
+    });
+}
 
-    /// SU3 matches the host reference for arbitrary site counts.
-    #[test]
-    fn su3_matches_reference(sites in 1usize..128, seed in any::<u64>(), gs_pow in 0u32..6) {
-        let gs = 1u32 << gs_pow;
+/// SU3 matches the host reference for arbitrary site counts.
+#[test]
+fn su3_matches_reference() {
+    cases("su3_matches_reference", 24, |rng| {
+        let sites = rng.range_usize(1, 128);
+        let seed = rng.next_u64();
+        let gs = 1u32 << rng.range_u32(0, 6);
         let w = su3::Su3Workload::generate(sites, seed);
         let want = w.reference();
         let mut dev = Device::a100();
         let ops = su3::Su3Dev::upload(&mut dev, &w);
         let k = su3::build(4, 64, gs);
         let (c, _) = su3::run(&mut dev, &k, &ops);
-        prop_assert!(max_abs_err(&c, &want) < 1e-12);
-    }
+        assert!(max_abs_err(&c, &want) < 1e-12);
+    });
+}
 
-    /// The ideal kernel's permuted offsets never alias, for any outer size.
-    #[test]
-    fn ideal_matches_reference(outer in 1usize..200, seed in any::<u64>(), gs_pow in 0u32..6) {
-        let gs = 1u32 << gs_pow;
+/// The ideal kernel's permuted offsets never alias, for any outer size.
+#[test]
+fn ideal_matches_reference() {
+    cases("ideal_matches_reference", 24, |rng| {
+        let outer = rng.range_usize(1, 200);
+        let seed = rng.next_u64();
+        let gs = 1u32 << rng.range_u32(0, 6);
         let w = ideal::IdealWorkload::generate(outer, seed);
         let want = w.reference();
         let mut dev = Device::a100();
         let ops = ideal::IdealDev::upload(&mut dev, &w);
         let k = ideal::build(4, 64, gs);
         let (out, _) = ideal::run(&mut dev, &k, &ops);
-        prop_assert_eq!(out, want);
-    }
+        assert_eq!(out, want);
+    });
+}
 
-    /// Fig 10 kernels agree with their references for arbitrary grids and
-    /// all variants.
-    #[test]
-    fn grid_kernels_match_reference(n in 4usize..28, variant_ix in 0usize..3) {
-        let variant = Fig10Variant::ALL[variant_ix];
-        let lw = laplace3d::Laplace3dWorkload::generate(n.max(5));
+/// Fig 10 kernels agree with their references for arbitrary grids and all
+/// variants.
+#[test]
+fn grid_kernels_match_reference() {
+    cases("grid_kernels_match_reference", 12, |rng| {
+        let n = rng.range_usize(5, 28);
+        let variant = *rng.pick(&Fig10Variant::ALL);
+        let lw = laplace3d::Laplace3dWorkload::generate(n);
         let want = lw.reference();
         let mut dev = Device::a100();
         let ops = laplace3d::Laplace3dDev::upload(&mut dev, &lw);
         let k = laplace3d::build(4, 64, variant);
         let (out, _) = laplace3d::run(&mut dev, &k, &ops);
-        prop_assert!(max_abs_err(&out, &want) < 1e-12);
+        assert!(max_abs_err(&out, &want) < 1e-12);
 
-        let mw = muram::MuramWorkload::generate(n.max(5));
+        let mw = muram::MuramWorkload::generate(n);
         for which in [muram::MuramKernel::Transpose, muram::MuramKernel::Interpol] {
             let want = mw.reference(which);
             let mut dev = Device::a100();
             let ops = muram::MuramDev::upload(&mut dev, &mw);
             let k = muram::build(which, 4, 64, variant);
             let (out, _) = muram::run(&mut dev, &k, &ops);
-            prop_assert_eq!(&out, &want);
+            assert_eq!(&out, &want);
         }
-    }
+    });
+}
 
-    /// Atomic and reduction spmv agree with each other bit-for-bit modulo
-    /// floating-point association order (checked against tolerance).
-    #[test]
-    fn spmv_reduce_agrees_with_atomic(seed in any::<u64>(), gs_pow in 1u32..6) {
-        let gs = 1u32 << gs_pow;
+/// Atomic and reduction spmv agree with each other within floating-point
+/// association-order tolerance.
+#[test]
+fn spmv_reduce_agrees_with_atomic() {
+    cases("spmv_reduce_agrees_with_atomic", 24, |rng| {
+        let seed = rng.next_u64();
+        let gs = 1u32 << rng.range_u32(1, 6);
         let mat = CsrMatrix::generate(128, 128, RowProfile::Banded { min: 2, max: 24 }, seed);
         let x: Vec<f64> = (0..128).map(|i| (i % 5) as f64).collect();
         let mut dev = Device::a100();
         let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
         let (ya, _) = spmv::run(&mut dev, &spmv::build_three_level(4, 64, gs), &ops);
         let (yr, _) = spmv::run(&mut dev, &spmv::build_three_level_reduce(4, 64, gs), &ops);
-        prop_assert!(max_abs_err(&ya, &yr) < 1e-9);
-    }
+        assert!(max_abs_err(&ya, &yr) < 1e-9);
+    });
 }

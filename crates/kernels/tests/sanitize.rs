@@ -1,0 +1,62 @@
+//! The paper's benchmark kernels run simtcheck-clean: every launch of the
+//! §6 workloads reports zero protocol violations with the sanitizer on.
+
+use gpu_sim::Device;
+use omp_kernels::harness::Fig10Variant;
+use omp_kernels::matrix::{CsrMatrix, RowProfile};
+use omp_kernels::{ideal, laplace3d, muram, spmv, su3};
+
+fn sanitized() -> Device {
+    let mut d = Device::a100();
+    d.enable_sanitizer();
+    d
+}
+
+#[test]
+fn spmv_runs_sanitizer_clean() {
+    let mat = CsrMatrix::generate(96, 96, RowProfile::Banded { min: 2, max: 24 }, 7);
+    let x: Vec<f64> = (0..96).map(|i| (i % 5) as f64).collect();
+    for gs in [1, 8, 32] {
+        let mut dev = sanitized();
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        let (_, stats) = spmv::run(&mut dev, &spmv::build_three_level(4, 64, gs), &ops);
+        assert!(stats.violations.is_empty(), "gs {gs}: {:#?}", stats.violations);
+        let (_, stats) =
+            spmv::run(&mut dev, &spmv::build_three_level_reduce(4, 64, gs.max(2)), &ops);
+        assert!(stats.violations.is_empty(), "reduce gs {gs}: {:#?}", stats.violations);
+    }
+}
+
+#[test]
+fn su3_and_ideal_run_sanitizer_clean() {
+    let w = su3::Su3Workload::generate(48, 3);
+    let mut dev = sanitized();
+    let ops = su3::Su3Dev::upload(&mut dev, &w);
+    let (_, stats) = su3::run(&mut dev, &su3::build(4, 64, 8), &ops);
+    assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+
+    let w = ideal::IdealWorkload::generate(64, 5);
+    let mut dev = sanitized();
+    let ops = ideal::IdealDev::upload(&mut dev, &w);
+    let (_, stats) = ideal::run(&mut dev, &ideal::build(4, 64, 8), &ops);
+    assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+}
+
+#[test]
+fn fig10_grid_kernels_run_sanitizer_clean() {
+    for variant in Fig10Variant::ALL {
+        let lw = laplace3d::Laplace3dWorkload::generate(10);
+        let mut dev = sanitized();
+        let ops = laplace3d::Laplace3dDev::upload(&mut dev, &lw);
+        let (_, stats) = laplace3d::run(&mut dev, &laplace3d::build(4, 64, variant), &ops);
+        assert!(stats.violations.is_empty(), "{variant:?}: {:#?}", stats.violations);
+
+        let mw = muram::MuramWorkload::generate(10);
+        for which in [muram::MuramKernel::Transpose, muram::MuramKernel::Interpol] {
+            let mut dev = sanitized();
+            let ops = muram::MuramDev::upload(&mut dev, &mw);
+            let (_, stats) = muram::run(&mut dev, &muram::build(which, 4, 64, variant), &ops);
+            assert!(stats.violations.is_empty(), "{which:?}/{variant:?}: {:#?}", stats.violations);
+        }
+    }
+}

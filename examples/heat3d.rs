@@ -7,10 +7,10 @@
 //! cargo run --release --example heat3d [n] [sweeps]
 //! ```
 
+use simt_omp::gpu::Slot;
 use simt_omp::host::HostRuntime;
 use simt_omp::kernels::harness::Fig10Variant;
 use simt_omp::kernels::laplace3d::{build, Laplace3dWorkload};
-use simt_omp::gpu::Slot;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -41,8 +41,7 @@ fn main() {
         // Ping-pong sweeps entirely on the device.
         for s in 0..sweeps {
             let (src, dst) = if s % 2 == 0 { (a, b_ptr) } else { (b_ptr, a) };
-            let args =
-                [Slot::from_ptr(src), Slot::from_ptr(dst), Slot::from_u64(n as u64)];
+            let args = [Slot::from_ptr(src), Slot::from_ptr(dst), Slot::from_u64(n as u64)];
             let stats = kernel.run(&mut md.dev, &args);
             total_cycles += stats.cycles;
             println!("sweep {s}: {} cycles", stats.cycles);
@@ -67,11 +66,7 @@ fn main() {
         next = hw.reference();
     }
     let result = if sweeps % 2 == 1 { &grid_b } else { &grid_a };
-    let max_err = result
-        .iter()
-        .zip(next.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = result.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!(
         "{sweeps} sweeps on {n}³ grid: {total_cycles} total device cycles, max err {max_err:.2e}"
     );

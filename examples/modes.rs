@@ -19,8 +19,7 @@ fn build(par_mode: Option<ExecMode>, teams_generic: bool) -> simt_omp::codegen::
     let rows = b.trip_const(2048);
     let inner = b.trip_const(32);
     b.build(|t| {
-        let body = move |p: &mut simt_omp::codegen::ParScope<'_>,
-                         row: simt_omp::codegen::RegH| {
+        let body = move |p: &mut simt_omp::codegen::ParScope<'_>, row: simt_omp::codegen::RegH| {
             p.simd(inner, move |lane, iv, v| {
                 let d = v.args[0].as_ptr::<f64>();
                 let i = v.regs[row.0].as_u64() * 32 + iv;

@@ -12,10 +12,7 @@ use simt_omp::kernels::matrix::{CsrMatrix, RowProfile};
 use simt_omp::kernels::spmv;
 
 fn main() {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16_384);
+    let rows: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
     let half = rows / 2;
 
     let mat = CsrMatrix::generate(rows, rows, RowProfile::Banded { min: 4, max: 44 }, 42);
@@ -41,8 +38,9 @@ fn main() {
     let rt = HostRuntime::with_archs(vec![DeviceArch::a100(), DeviceArch::a100()]);
     println!("devices: {}", rt.num_devices());
 
-    let results: Vec<std::sync::Arc<parking_lot::Mutex<(Vec<f64>, u64)>>> = (0..2)
-        .map(|_| std::sync::Arc::new(parking_lot::Mutex::new((Vec::new(), 0))))
+    type HalfResult = std::sync::Arc<simt_omp::host::sync::Mutex<(Vec<f64>, u64)>>;
+    let results: Vec<HalfResult> = (0..2)
+        .map(|_| std::sync::Arc::new(simt_omp::host::sync::Mutex::new((Vec::new(), 0))))
         .collect();
 
     let mut streams = Vec::new();

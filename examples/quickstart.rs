@@ -9,8 +9,8 @@
 //! spread across teams/SIMD-groups and the 64-element inner loop across the
 //! lanes of each group.
 
-use simt_omp::prelude::*;
 use simt_omp::gpu::Slot;
+use simt_omp::prelude::*;
 
 fn main() {
     let rows: u64 = 4096;

@@ -10,10 +10,7 @@ use simt_omp::kernels::harness::{max_abs_err, speedup};
 use simt_omp::kernels::su3::{build, run, Su3Dev, Su3Workload, INNER_TRIP};
 
 fn main() {
-    let sites: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(13_824);
+    let sites: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(13_824);
 
     let w = Su3Workload::generate(sites, 7);
     let want = w.reference();
@@ -39,8 +36,8 @@ fn main() {
         let k = build(108, 128, gs);
         let (c, stats) = run(&mut dev, &k, &ops);
         assert!(max_abs_err(&c, &want) < 1e-9);
-        let waste = (INNER_TRIP.div_ceil(gs as u64) * gs as u64 - INNER_TRIP) as f64
-            / INNER_TRIP as f64;
+        let waste =
+            (INNER_TRIP.div_ceil(gs as u64) * gs as u64 - INNER_TRIP) as f64 / INNER_TRIP as f64;
         println!(
             "simd group {gs:>2}: {:>9} cycles ({:.2}x, {:.0}% idle-lane waste on 36 iters)",
             stats.cycles,

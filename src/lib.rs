@@ -23,7 +23,7 @@ pub use omp_kernels as kernels;
 
 /// Convenience prelude: the types almost every user needs.
 pub mod prelude {
-    pub use gpu_sim::{Device, DeviceArch, DPtr, LaunchConfig, LaunchStats, Slot};
+    pub use gpu_sim::{DPtr, Device, DeviceArch, LaunchConfig, LaunchStats, Slot};
     pub use omp_codegen::builder::{Schedule, TargetBuilder};
     pub use omp_core::config::{ExecMode, KernelConfig};
     pub use omp_kernels::harness::KernelRun;

@@ -153,11 +153,7 @@ fn laplace_all_variants_verified_on_both_vendors() {
             let ops = laplace3d::Laplace3dDev::upload(&mut dev, &w);
             let k = laplace3d::build(8, 64, v);
             let (out, _) = laplace3d::run(&mut dev, &k, &ops);
-            assert!(
-                max_abs_err(&out, &want) < 1e-12,
-                "{} {v:?}",
-                arch.name
-            );
+            assert!(max_abs_err(&out, &want) < 1e-12, "{} {v:?}", arch.name);
         }
     }
 }
@@ -216,8 +212,7 @@ fn mode_inference_matches_paper_assignments() {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = || {
-        let mat =
-            CsrMatrix::generate(1024, 1024, RowProfile::Banded { min: 2, max: 30 }, 5);
+        let mat = CsrMatrix::generate(1024, 1024, RowProfile::Banded { min: 2, max: 30 }, 5);
         let x: Vec<f64> = (0..1024).map(|i| i as f64).collect();
         let mut dev = Device::a100();
         let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
