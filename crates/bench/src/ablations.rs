@@ -14,7 +14,7 @@ use gpu_sim::{Device, DeviceArch, Slot};
 use omp_codegen::builder::{Schedule, TargetBuilder};
 use omp_core::config::ExecMode;
 use omp_kernels::matrix::{CsrMatrix, RowProfile};
-use omp_kernels::{laplace3d, spmv};
+use omp_kernels::{ideal, laplace3d, spmv};
 
 use crate::report::{print_table, save_json};
 
@@ -276,6 +276,36 @@ pub fn sparsity(rows: usize) -> Vec<AblRow> {
     out
 }
 
+/// simtlint SPMD-ization — the fig9-style ideal kernel's offset lookup
+/// declares a pure footprint, so the lint pass promotes the inferred-
+/// generic parallel region to SPMD. Forced-generic vs auto-promoted, with
+/// simtcheck attached: the promotion must cut the state-machine/staging
+/// cycles and introduce zero sanitizer violations.
+pub fn promotion(outer: usize) -> Vec<AblRow> {
+    let w = ideal::IdealWorkload::generate(outer, 7);
+    let want = w.reference();
+    let mut out = Vec::new();
+    for gs in [8u32, 32] {
+        for (label, k) in [
+            ("forced generic", ideal::build_forced_generic(108, 128, gs)),
+            ("auto-promoted SPMD", ideal::build(108, 128, gs)),
+        ] {
+            let mut dev = Device::a100();
+            dev.enable_sanitizer();
+            let ops = ideal::IdealDev::upload(&mut dev, &w);
+            let (y, stats) = ideal::run(&mut dev, &k, &ops);
+            assert_eq!(y, want, "{label} gs={gs}: wrong result");
+            out.push(AblRow {
+                experiment: "promotion",
+                config: format!("{label}, gs {gs}"),
+                cycles: stats.cycles,
+                observable: stats.violations.len() as u64,
+            });
+        }
+    }
+    out
+}
+
 /// Run all ablations.
 pub fn run_all(quick: bool) -> Vec<AblRow> {
     let (rows, outer, grid) = if quick { (8_192, 8_192, 64) } else { (32_768, 27_648, 96) };
@@ -287,6 +317,7 @@ pub fn run_all(quick: bool) -> Vec<AblRow> {
     all.extend(reduction(rows));
     all.extend(amd_fallback(rows));
     all.extend(sparsity(rows / 2));
+    all.extend(promotion(if quick { 2_048 } else { 8_192 }));
     all
 }
 
@@ -300,6 +331,7 @@ pub fn report(rows: &[AblRow]) {
         "reduction",
         "amd_fallback",
         "sparsity",
+        "promotion",
     ] {
         let table: Vec<Vec<String>> = rows
             .iter()

@@ -18,11 +18,26 @@
 
 use omp_core::config::{ExecMode, KernelConfig, ParallelDesc};
 use omp_core::mapping::SimdMapping;
-use omp_core::sharing::SharingSpace;
+use omp_core::sharing::SlotLayout;
 
 /// Infer the teams-region mode from structural facts.
 pub fn infer_teams_mode(saw_team_seq: bool, distribute_contains_parallel: bool) -> ExecMode {
     if saw_team_seq || distribute_contains_parallel {
+        ExecMode::Generic
+    } else {
+        ExecMode::Spmd
+    }
+}
+
+/// Infer a `parallel` region's mode from structural facts (§3.2/§5.4):
+/// group size 1 always runs SPMD (the pre-existing two-level behavior);
+/// otherwise thread-sequential code or a per-worker trip count forces the
+/// generic model. This is the single truth table shared by the builder's
+/// inference and the mode tests.
+pub fn infer_parallel_mode(simdlen: u32, saw_seq: bool, nonuniform_trip: bool) -> ExecMode {
+    if simdlen == 1 {
+        ExecMode::Spmd
+    } else if saw_seq || nonuniform_trip {
         ExecMode::Generic
     } else {
         ExecMode::Spmd
@@ -34,13 +49,27 @@ pub fn infer_teams_mode(saw_team_seq: bool, distribute_contains_parallel: bool) 
 pub struct ParallelInfo {
     /// The mode and group size the region will run with.
     pub desc: ParallelDesc,
-    /// What the structural analysis inferred (may differ when forced).
+    /// What the structural analysis inferred (may differ when forced or
+    /// promoted).
     pub inferred: ExecMode,
     /// Whether an explicit override was applied.
     pub forced: bool,
+    /// Whether the SPMD-ization pass promoted an inferred-generic region
+    /// (see [`crate::lint`]): declared-pure sequential code and uniform
+    /// trip counts prove the state machine unnecessary.
+    pub promoted: bool,
     /// Thread-scope registers (the values staged per simd loop in generic
     /// mode).
     pub nregs: usize,
+}
+
+/// A structured optimization remark recorded by the SPMD-ization pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Promotion {
+    /// Which region was promoted (`teams` or `parallel #i`).
+    pub region: String,
+    /// Why the promotion is legal.
+    pub message: String,
 }
 
 /// Result of compiling a target region.
@@ -48,30 +77,33 @@ pub struct ParallelInfo {
 pub struct Analysis {
     /// Teams-region execution mode.
     pub teams_mode: ExecMode,
+    /// Whether the teams mode was explicitly forced (promotion never
+    /// overrides an author's choice).
+    pub teams_forced: bool,
     /// One record per `parallel` region, in program order.
     pub parallels: Vec<ParallelInfo>,
+    /// SPMD-ization promotions applied by the [`crate::lint`] pass, in the
+    /// order they were discovered.
+    pub promotions: Vec<Promotion>,
 }
 
 impl Analysis {
     /// Staging report for parallel region `i` under a given kernel config
     /// and warp size: how many slots each SIMD main must stage per simd
     /// loop, how many its sharing-space slice holds, and whether the global
-    /// fallback will trigger (§5.3.1).
+    /// fallback will trigger (§5.3.1). Uses the same [`SlotLayout`]
+    /// arithmetic the runtime executes, so the prediction cannot drift.
     pub fn staging_report(&self, cfg: &KernelConfig, warp_size: u32, i: usize) -> StagingReport {
         let info = &self.parallels[i];
         let m = SimdMapping::new(cfg.threads_per_team, info.desc.simdlen, warp_size);
-        // Mirror the runtime's layout computation without touching real
-        // shared memory.
-        let mut smem = gpu_sim::SharedMem::new(cfg.sharing_space_bytes);
-        let mut space = SharingSpace::reserve(&mut smem, cfg.sharing_space_bytes);
-        space.configure_groups(m.num_groups());
+        let layout = SlotLayout::for_bytes(cfg.sharing_space_bytes, m.num_groups());
         let stage_slots = 2 + info.nregs as u32;
         StagingReport {
             simdlen: info.desc.simdlen,
             num_groups: m.num_groups(),
-            slice_slots: space.group_slots(),
+            slice_slots: layout.group_slots,
             stage_slots,
-            falls_back: info.desc.mode == ExecMode::Generic && !space.group_fits(stage_slots),
+            falls_back: info.desc.mode == ExecMode::Generic && !layout.group_fits(stage_slots),
         }
     }
 }
@@ -104,6 +136,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_mode_truth_table() {
+        // (simdlen, saw_seq, nonuniform_trip) → mode. Group size 1 is
+        // always SPMD regardless of structure; otherwise any sequential
+        // code or per-worker trip count demands the generic state machine.
+        let table = [
+            (1, false, false, ExecMode::Spmd),
+            (1, true, false, ExecMode::Spmd),
+            (1, false, true, ExecMode::Spmd),
+            (1, true, true, ExecMode::Spmd),
+            (8, false, false, ExecMode::Spmd),
+            (8, true, false, ExecMode::Generic),
+            (8, false, true, ExecMode::Generic),
+            (8, true, true, ExecMode::Generic),
+            (32, false, false, ExecMode::Spmd),
+            (32, true, true, ExecMode::Generic),
+        ];
+        for (simdlen, saw_seq, nonuniform, want) in table {
+            assert_eq!(
+                infer_parallel_mode(simdlen, saw_seq, nonuniform),
+                want,
+                "simdlen={simdlen} saw_seq={saw_seq} nonuniform={nonuniform}"
+            );
+        }
+    }
+
+    #[test]
     fn staging_report_matches_paper_arithmetic() {
         // 128 threads, simdlen 2 → 64 groups; 2048 B = 256 slots, 224 after
         // the team slice → 3 slots per group; staging fn+trip+1 reg = 3
@@ -112,12 +170,15 @@ mod tests {
             KernelConfig { threads_per_team: 128, sharing_space_bytes: 2048, ..Default::default() };
         let mk = |nregs| Analysis {
             teams_mode: ExecMode::Spmd,
+            teams_forced: false,
             parallels: vec![ParallelInfo {
                 desc: ParallelDesc::generic(2),
                 inferred: ExecMode::Generic,
                 forced: false,
+                promoted: false,
                 nregs,
             }],
+            promotions: Vec::new(),
         };
         let r1 = mk(1).staging_report(&cfg, 32, 0);
         assert_eq!(r1.num_groups, 64);
@@ -134,12 +195,15 @@ mod tests {
             KernelConfig { threads_per_team: 128, sharing_space_bytes: 1024, ..Default::default() };
         let a = Analysis {
             teams_mode: ExecMode::Spmd,
+            teams_forced: false,
             parallels: vec![ParallelInfo {
                 desc: ParallelDesc::spmd(2),
                 inferred: ExecMode::Spmd,
                 forced: false,
+                promoted: false,
                 nregs: 8,
             }],
+            promotions: Vec::new(),
         };
         assert!(!a.staging_report(&cfg, 32, 0).falls_back);
     }

@@ -16,14 +16,15 @@
 //!   and trip-count uniformity (see [`crate::analysis`]), with explicit
 //!   overrides for experiments.
 
-use gpu_sim::{Device, LaunchError, LaunchStats, Slot};
+use gpu_sim::{Device, DeviceArch, LaunchError, LaunchStats, Slot};
 use omp_core::config::{ExecMode, KernelConfig, ParallelDesc};
-use omp_core::dispatch::Registry;
+use omp_core::dispatch::{Footprint, Registry};
 use omp_core::exec::launch_target;
 pub use omp_core::plan::Schedule;
 use omp_core::plan::{ParallelOp, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
 
-use crate::analysis::{infer_teams_mode, Analysis, ParallelInfo};
+use crate::analysis::{infer_parallel_mode, infer_teams_mode, Analysis, ParallelInfo};
+use crate::diag::LintReport;
 
 /// Handle to a trip-count callback plus its uniformity classification
 /// (uniform trip counts keep a region SPMD-eligible; varying ones — e.g.
@@ -127,16 +128,18 @@ impl TargetBuilder {
         &mut self,
         f: impl Fn(&mut gpu_sim::Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripH {
-        TripH { id: self.reg.trip(f), uniform: true }
+        TripH { id: self.reg.trip_with(f, true), uniform: true }
     }
 
     /// Register a trip count that varies per worker (e.g. CSR row lengths);
-    /// forces the enclosing parallel region into generic mode.
+    /// forces the enclosing parallel region into generic mode and blocks
+    /// SPMD-ization (the registry records the non-uniformity, so
+    /// [`crate::lint`] sees it too).
     pub fn trip_varying(
         &mut self,
         f: impl Fn(&mut gpu_sim::Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripH {
-        TripH { id: self.reg.trip(f), uniform: false }
+        TripH { id: self.reg.trip_with(f, false), uniform: false }
     }
 
     /// Build the target region: `f` populates the teams scope. Returns the
@@ -154,15 +157,23 @@ impl TargetBuilder {
         let teams_mode = self
             .teams_override
             .unwrap_or_else(|| infer_teams_mode(scope.saw_seq, scope.dist_with_parallel));
-        let plan = TargetPlan { ops: scope.ops, team_regs: scope.nregs };
-        let analysis = Analysis { teams_mode, parallels: scope.parallels };
-        let config = KernelConfig {
+        let mut plan = TargetPlan { ops: scope.ops, team_regs: scope.nregs };
+        let mut analysis = Analysis {
+            teams_mode,
+            teams_forced: self.teams_override.is_some(),
+            parallels: scope.parallels,
+            promotions: Vec::new(),
+        };
+        let mut config = KernelConfig {
             teams_mode,
             num_teams: self.params.num_teams,
             threads_per_team: self.params.threads_per_team,
             sharing_space_bytes: self.params.sharing_space_bytes,
             extra_smem_bytes: self.params.extra_smem_bytes,
         };
+        // OpenMPOpt-style SPMD-ization: declared-pure footprints can prove
+        // an inferred-generic region safe to promote (see crate::lint).
+        crate::lint::spmdize(&mut plan, &mut analysis, &mut config, &self.reg);
         CompiledKernel { plan, registry: self.reg, config, analysis }
     }
 }
@@ -193,6 +204,20 @@ impl<'b> TeamsScope<'b> {
     ) {
         self.saw_seq = true;
         let id = self.reg.seq(f);
+        self.ops.push(TeamOp::Seq(id));
+    }
+
+    /// Team-level sequential code with a declared effect [`Footprint`].
+    /// Still makes the teams region infer generic, but a *pure* declaration
+    /// lets the SPMD-ization pass promote the region (and drop the extra
+    /// main-thread warp) — simtcheck validates the claim at runtime.
+    pub fn seq_footprint(
+        &mut self,
+        fp: Footprint,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) {
+        self.saw_seq = true;
+        let id = self.reg.seq_with_footprint(fp, f);
         self.ops.push(TeamOp::Seq(id));
     }
 
@@ -249,6 +274,21 @@ impl<'b> TeamsScope<'b> {
         self.parallel_inner(simdlen, None, true, true, Some((trip, sched)), |p| {
             // The iv register is allocated by parallel_inner's For wrapper;
             // recover it: it is always register 0 of the parallel scope.
+            f(p, RegH(0));
+        });
+    }
+
+    /// [`Self::distribute_parallel_for`] with an explicit mode override
+    /// (for mode ablations: a forced mode is never SPMD-ized away).
+    pub fn distribute_parallel_for_with_mode(
+        &mut self,
+        trip: TripH,
+        sched: Schedule,
+        simdlen: u32,
+        mode: ExecMode,
+        f: impl FnOnce(&mut ParScope<'_>, RegH),
+    ) {
+        self.parallel_inner(simdlen, Some(mode), true, true, Some((trip, sched)), |p| {
             f(p, RegH(0));
         });
     }
@@ -310,21 +350,14 @@ impl<'b> TeamsScope<'b> {
             f(&mut p);
             std::mem::take(&mut p.ops)
         };
-        let inferred = if simdlen == 1 {
-            // §5.4: group size 1 always runs SPMD — the pre-existing
-            // two-level behavior, no SIMD machinery.
-            ExecMode::Spmd
-        } else if p.saw_seq || p.nonuniform_trip {
-            ExecMode::Generic
-        } else {
-            ExecMode::Spmd
-        };
+        let inferred = infer_parallel_mode(simdlen, p.saw_seq, p.nonuniform_trip);
         let mode = if simdlen == 1 { inferred } else { mode_override.unwrap_or(inferred) };
         let desc = ParallelDesc { mode, simdlen };
         self.parallels.push(ParallelInfo {
             desc,
             inferred,
             forced: mode_override.is_some(),
+            promoted: false,
             nregs: p.nregs,
         });
         self.ops.push(TeamOp::Parallel(ParallelOp { desc, known, nregs: p.nregs, ops: body_ops }));
@@ -374,6 +407,21 @@ impl<'b> ParScope<'b> {
         self.ops.push(ThreadOp::Seq(id));
     }
 
+    /// Thread-sequential code with a declared effect [`Footprint`]. Like
+    /// [`Self::seq`] it breaks tight nesting (the region infers generic),
+    /// but a *pure* declaration lets the SPMD-ization pass prove the state
+    /// machine unnecessary and promote the region back to SPMD. simtcheck
+    /// validates the declaration at runtime.
+    pub fn seq_footprint(
+        &mut self,
+        fp: Footprint,
+        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) {
+        self.saw_seq = true;
+        let id = self.reg.seq_with_footprint(fp, f);
+        self.ops.push(ThreadOp::Seq(id));
+    }
+
     /// `parallel for reduction(+)` finalization (§7 extension): combine the
     /// per-group partial held in `src` across the team and atomically add
     /// the team total into element `dst_idx` of the `DPtr<f64>` stored in
@@ -419,6 +467,22 @@ impl<'b> ParScope<'b> {
         self.ops.push(ThreadOp::Simd { trip: trip.id, body: id, known: true });
     }
 
+    /// `simd` with a declared effect [`Footprint`] on the body: simtlint
+    /// checks the declared register reads against what is actually staged,
+    /// and simtcheck validates the global-memory claims at runtime.
+    pub fn simd_footprint(
+        &mut self,
+        trip: TripH,
+        fp: Footprint,
+        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+    ) {
+        if !trip.uniform {
+            self.nonuniform_trip = true;
+        }
+        let id = self.reg.body_with_footprint(fp, body);
+        self.ops.push(ThreadOp::Simd { trip: trip.id, body: id, known: true });
+    }
+
     /// `simd` whose body lives in another translation unit: dispatched via
     /// indirect call instead of the if-cascade (§5.5).
     pub fn simd_extern(
@@ -453,6 +517,28 @@ impl<'b> ParScope<'b> {
         });
         dst
     }
+
+    /// [`Self::simd_reduce`] with a declared effect [`Footprint`] on the
+    /// reducing body.
+    pub fn simd_reduce_footprint(
+        &mut self,
+        trip: TripH,
+        fp: Footprint,
+        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+    ) -> RegH {
+        if !trip.uniform {
+            self.nonuniform_trip = true;
+        }
+        let dst = self.alloc_reg();
+        let id = self.reg.red_with_footprint(fp, body);
+        self.ops.push(ThreadOp::SimdReduce {
+            trip: trip.id,
+            body: id,
+            known: true,
+            dst_reg: dst.0,
+        });
+        dst
+    }
 }
 
 /// A compiled target region, ready to launch.
@@ -468,14 +554,35 @@ pub struct CompiledKernel {
 }
 
 impl CompiledKernel {
-    /// Launch on a device with the given argument payload.
+    /// Run the simtlint static verifier against this kernel (see
+    /// [`crate::lint::lint_kernel`]). `nargs` is the number of argument
+    /// slots the launch will pass.
+    pub fn lint(&self, arch: &DeviceArch, nargs: usize) -> LintReport {
+        crate::lint::lint_kernel(self, arch, nargs)
+    }
+
+    /// Launch on a device with the given argument payload. Does **not**
+    /// run the lint gate — the escape hatch for deliberately-broken plans
+    /// (negative tests, sanitizer demos).
     pub fn launch(&self, dev: &mut Device, args: &[Slot]) -> Result<LaunchStats, LaunchError> {
         launch_target(dev, &self.config, &self.plan, &self.registry, args)
     }
 
-    /// Launch and panic on configuration errors (convenience for examples
+    /// Lint, then launch; panics with the rendered report if simtlint
+    /// found `Error`-severity diagnostics (set `SIMT_LINT=0` to skip the
+    /// gate), and panics on configuration errors (convenience for examples
     /// and benches).
     pub fn run(&self, dev: &mut Device, args: &[Slot]) -> LaunchStats {
+        let gate = std::env::var("SIMT_LINT").map(|v| v != "0").unwrap_or(true);
+        if gate {
+            let report = self.lint(&dev.arch, args.len());
+            if report.has_errors() {
+                panic!(
+                    "simtlint rejected the launch (set SIMT_LINT=0 to override):\n{}",
+                    report.render("kernel")
+                );
+            }
+        }
         self.launch(dev, args).expect("kernel launch failed")
     }
 }

@@ -35,8 +35,14 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod diag;
+pub mod lint;
 
-pub use analysis::{Analysis, ParallelInfo, StagingReport};
+pub use analysis::{
+    infer_parallel_mode, infer_teams_mode, Analysis, ParallelInfo, Promotion, StagingReport,
+};
 pub use builder::{
     CompiledKernel, KernelParams, ParScope, RegH, Schedule, TargetBuilder, TeamsScope, TripH,
 };
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use lint::lint_kernel;

@@ -1,0 +1,558 @@
+//! simtlint — static verification and SPMD-ization of target plans.
+//!
+//! The real runtime can only diagnose a broken target region *while it is
+//! executing* (and the paper's runtime mostly cannot even do that — a team
+//! main deadlocking on a barrier its workers never reach simply hangs the
+//! GPU). This module is the compiler-side counterpart to the simtcheck
+//! sanitizer: a walk over the lowered [`TargetPlan`] that proves properties
+//! *before launch*, in the spirit of LLVM's OpenMPOpt:
+//!
+//! * **verification** — illegal worksharing nesting, statically detectable
+//!   barrier divergence, sharing-space capacity overflow (whole-plan
+//!   generalization of [`crate::analysis::Analysis::staging_report`]),
+//!   degenerate zero-trip/zero-chunk schedules, and reads of registers the
+//!   SIMD main never stages;
+//! * **optimization** — [`spmdize`] promotes inferred-generic regions to
+//!   [`ExecMode::Spmd`] when declared effect footprints prove no sequential
+//!   side effects need the state machine, recording each promotion as a
+//!   structured [`Promotion`] remark (rendered like `-Rpass` output). A
+//!   promoted teams region drops the extra main-thread warp entirely.
+//!
+//! Outlined bodies are opaque closures, so the analysis consumes the
+//! *declared* [`Footprint`]s from the [`Registry`]; simtcheck validates the
+//! declarations at runtime (`Violation::FootprintViolation`) — static
+//! claims are checked, not trusted.
+
+use gpu_sim::DeviceArch;
+use omp_core::config::{ExecMode, KernelConfig};
+use omp_core::dispatch::{Footprint, Registry};
+use omp_core::mapping::SimdMapping;
+use omp_core::plan::{ParallelOp, Schedule, TargetPlan, TeamOp, ThreadOp, TripId};
+use omp_core::sharing::SlotLayout;
+
+use crate::analysis::{Analysis, Promotion};
+use crate::builder::CompiledKernel;
+use crate::diag::{LintReport, Severity};
+
+/// Run every simtlint check against a compiled kernel. `nargs` is the
+/// number of kernel-argument slots the launch will pass (several checks
+/// validate declared argument indices and the team-post capacity against
+/// it).
+pub fn lint_kernel(k: &CompiledKernel, arch: &DeviceArch, nargs: usize) -> LintReport {
+    let mut cx = Cx {
+        reg: &k.registry,
+        cfg: &k.config,
+        arch,
+        nargs,
+        team_regs: k.plan.team_regs,
+        next_parallel: 0,
+        report: LintReport::default(),
+    };
+    // Surface the SPMD-ization pass's structured remarks first, the way a
+    // compiler prints optimization remarks ahead of diagnostics.
+    for p in &k.analysis.promotions {
+        let code = if p.region == "teams" { "R-TEAMS-SPMDIZE" } else { "R-SPMDIZE" };
+        cx.report.push(Severity::Remark, code, p.region.clone(), p.message.clone());
+    }
+    // Whole-plan capacity check: a generic teams region posts
+    // fn + args + team registers into the team slice before every parallel
+    // region (§5.3.1). Overflow forces a per-region global allocation the
+    // modeled runtime never frees.
+    if k.config.teams_mode == ExecMode::Generic && contains_parallel(&k.plan.ops) {
+        let layout = SlotLayout::for_bytes(k.config.sharing_space_bytes, 1);
+        let post_slots = 1 + nargs as u32 + k.plan.team_regs as u32;
+        if !layout.team_fits(post_slots) {
+            cx.report.push(
+                Severity::Error,
+                "E-TEAM-POST",
+                "teams".into(),
+                format!(
+                    "generic teams posts {post_slots} slots (fn + {nargs} args + {} team \
+                     registers) per parallel region but the team slice holds only {}; every \
+                     post spills to a global allocation the runtime leaks",
+                    k.plan.team_regs, layout.team_slots
+                ),
+            );
+        }
+    }
+    let mut team_written = vec![false; k.plan.team_regs];
+    cx.walk_team(&k.plan.ops, k.config.teams_mode, false, &mut team_written);
+    cx.report
+}
+
+fn contains_parallel(ops: &[TeamOp]) -> bool {
+    ops.iter().any(|op| match op {
+        TeamOp::Parallel(_) => true,
+        TeamOp::Distribute { ops, .. } => contains_parallel(ops),
+        TeamOp::Seq(_) => false,
+    })
+}
+
+struct Cx<'a> {
+    reg: &'a Registry,
+    cfg: &'a KernelConfig,
+    arch: &'a DeviceArch,
+    nargs: usize,
+    team_regs: usize,
+    next_parallel: usize,
+    report: LintReport,
+}
+
+impl Cx<'_> {
+    fn err(&mut self, code: &'static str, region: &str, message: String) {
+        self.report.push(Severity::Error, code, region.to_string(), message);
+    }
+
+    fn warn(&mut self, code: &'static str, region: &str, message: String) {
+        self.report.push(Severity::Warning, code, region.to_string(), message);
+    }
+
+    /// Degenerate-schedule checks shared by every worksharing level.
+    fn check_trip(&mut self, trip: TripId, sched: Option<Schedule>, region: &str, what: &str) {
+        if self.reg.trip_meta(trip).konst == Some(0) {
+            self.warn(
+                "W-ZERO-TRIP",
+                region,
+                format!("{what} has a constant trip count of 0: its body never runs"),
+            );
+        }
+        if let Some(Schedule::Cyclic(0) | Schedule::Dynamic(0)) = sched {
+            self.warn(
+                "W-CHUNK",
+                region,
+                format!("{what} uses a chunk size of 0; the runtime clamps it to 1"),
+            );
+        }
+    }
+
+    /// Validate a declared footprint's indices against the scope it runs
+    /// in, and track which registers the walk has seen written.
+    fn check_footprint(
+        &mut self,
+        fp: &Footprint,
+        nregs: usize,
+        written: &mut [bool],
+        staged: bool,
+        region: &str,
+        what: &str,
+    ) {
+        for &a in fp.args_read.iter().chain(&fp.args_written) {
+            if a >= self.nargs {
+                self.err(
+                    "E-REG",
+                    region,
+                    format!(
+                        "{what} declares kernel arg {a} but the launch passes only {} args",
+                        self.nargs
+                    ),
+                );
+            }
+        }
+        for &r in &fp.regs_read {
+            if r >= nregs {
+                let detail = if staged {
+                    format!(
+                        "only registers 0..{nregs} are staged to the SIMD workers — the read \
+                         sees a slot nothing ever wrote"
+                    )
+                } else {
+                    format!("the scope allocates only {nregs} registers")
+                };
+                self.err("E-REG", region, format!("{what} reads register {r}, but {detail}"));
+            } else if !written[r] {
+                self.warn(
+                    "W-UNWRITTEN",
+                    region,
+                    format!("{what} reads register {r} before anything writes it"),
+                );
+            }
+        }
+        for &r in &fp.regs_written {
+            if r >= nregs {
+                self.err(
+                    "E-REG",
+                    region,
+                    format!(
+                        "{what} writes register {r} but the scope allocates only {nregs} registers"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn mark_written(fp: &Footprint, nregs: usize, written: &mut [bool]) {
+        for &r in &fp.regs_written {
+            if r < nregs {
+                written[r] = true;
+            }
+        }
+    }
+
+    fn walk_team(
+        &mut self,
+        ops: &[TeamOp],
+        teams_mode: ExecMode,
+        in_distribute: bool,
+        written: &mut Vec<bool>,
+    ) {
+        for op in ops {
+            match op {
+                TeamOp::Seq(id) => {
+                    if let Some(fp) = self.reg.seq_footprint(*id).cloned() {
+                        let what = format!("team seq #{}", id.0);
+                        self.check_footprint(&fp, self.team_regs, written, false, "teams", &what);
+                        if teams_mode == ExecMode::Spmd && !fp.is_pure() {
+                            self.err(
+                                "E-SPMD-EFFECT",
+                                "teams",
+                                format!(
+                                    "{what} declares side effects ({}) but the teams region is \
+                                     SPMD: every warp executes team-sequential code redundantly",
+                                    effect_summary(&fp)
+                                ),
+                            );
+                        }
+                        Self::mark_written(&fp, self.team_regs, written);
+                    } else {
+                        // Unknown effects: assume it may initialize anything.
+                        written.iter_mut().for_each(|w| *w = true);
+                    }
+                }
+                TeamOp::Distribute { trip, sched, iv_reg, ops } => {
+                    self.check_trip(*trip, Some(*sched), "teams", "distribute loop");
+                    if in_distribute {
+                        self.err(
+                            "E-NEST",
+                            "teams",
+                            "distribute loop nested inside another distribute loop: team \
+                             iterations would be distributed twice"
+                                .into(),
+                        );
+                    }
+                    if *iv_reg >= self.team_regs {
+                        self.err(
+                            "E-REG",
+                            "teams",
+                            format!(
+                                "distribute loop stores its induction variable in team register \
+                                 {iv_reg} but the plan allocates only {}",
+                                self.team_regs
+                            ),
+                        );
+                    } else {
+                        written[*iv_reg] = true;
+                    }
+                    self.walk_team(ops, teams_mode, true, written);
+                }
+                TeamOp::Parallel(p) => self.lint_parallel(p, in_distribute),
+            }
+        }
+    }
+
+    fn lint_parallel(&mut self, p: &ParallelOp, in_distribute: bool) {
+        let i = self.next_parallel;
+        self.next_parallel += 1;
+        let region = format!("parallel #{i}");
+        // Whole-plan generalization of Analysis::staging_report: a generic
+        // region whose per-dispatch staging exceeds its group slice takes
+        // the global fallback on *every* simd loop (§5.3.1).
+        if p.desc.mode == ExecMode::Generic && p.desc.simdlen > 1 {
+            let m =
+                SimdMapping::new(self.cfg.threads_per_team, p.desc.simdlen, self.arch.warp_size);
+            let layout = SlotLayout::for_bytes(self.cfg.sharing_space_bytes, m.num_groups());
+            let stage = 2 + p.nregs as u32;
+            if !layout.group_fits(stage) {
+                self.warn(
+                    "W-FALLBACK",
+                    &region,
+                    format!(
+                        "generic-mode staging needs {stage} slots (fn + trip + {} registers) but \
+                         each of the {} group slices holds {}: every simd dispatch stages \
+                         through global memory",
+                        p.nregs,
+                        m.num_groups(),
+                        layout.group_slots
+                    ),
+                );
+            }
+        }
+        let mut written = vec![false; p.nregs];
+        self.walk_thread(
+            &p.ops,
+            &region,
+            p.desc.mode,
+            p.nregs,
+            &mut written,
+            0,
+            false,
+            in_distribute,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_thread(
+        &mut self,
+        ops: &[ThreadOp],
+        region: &str,
+        mode: ExecMode,
+        nregs: usize,
+        written: &mut Vec<bool>,
+        for_depth: usize,
+        varying_for: bool,
+        in_distribute: bool,
+    ) {
+        for op in ops {
+            match op {
+                ThreadOp::Seq(id) => {
+                    if let Some(fp) = self.reg.seq_footprint(*id).cloned() {
+                        let what = format!("seq #{}", id.0);
+                        self.check_footprint(&fp, nregs, written, false, region, &what);
+                        if mode == ExecMode::Spmd && !fp.is_pure() {
+                            self.err(
+                                "E-SPMD-EFFECT",
+                                region,
+                                format!(
+                                    "{what} declares side effects ({}) but the region is SPMD: \
+                                     every thread would apply them redundantly",
+                                    effect_summary(&fp)
+                                ),
+                            );
+                        }
+                        if fp.barriers && varying_for {
+                            self.err(
+                                "E-DIVERGE",
+                                region,
+                                format!(
+                                    "{what} declares barrier use inside a worksharing loop with \
+                                     a per-worker trip count: workers that finish early never \
+                                     reach the barrier"
+                                ),
+                            );
+                        }
+                        Self::mark_written(&fp, nregs, written);
+                    } else {
+                        written.iter_mut().for_each(|w| *w = true);
+                    }
+                }
+                ThreadOp::For { trip, sched, iv_reg, across_teams, ops } => {
+                    self.check_trip(*trip, Some(*sched), region, "for loop");
+                    if *across_teams && (for_depth > 0 || in_distribute) {
+                        self.err(
+                            "E-NEST",
+                            region,
+                            "`distribute parallel for` loop nested inside another worksharing \
+                             construct: iterations would be distributed twice"
+                                .into(),
+                        );
+                    }
+                    if *iv_reg >= nregs {
+                        self.err(
+                            "E-REG",
+                            region,
+                            format!(
+                                "for loop stores its induction variable in register {iv_reg} but \
+                                 the region allocates only {nregs}"
+                            ),
+                        );
+                    } else {
+                        written[*iv_reg] = true;
+                    }
+                    let varying = varying_for || !self.reg.trip_meta(*trip).uniform;
+                    self.walk_thread(
+                        ops,
+                        region,
+                        mode,
+                        nregs,
+                        written,
+                        for_depth + 1,
+                        varying,
+                        in_distribute,
+                    );
+                }
+                ThreadOp::Simd { trip, body, .. } => {
+                    self.check_trip(*trip, None, region, "simd loop");
+                    if let Some(fp) = self.reg.body_footprint(*body).cloned() {
+                        let what = format!("simd body #{}", body.0);
+                        let staged = mode == ExecMode::Generic;
+                        self.check_footprint(&fp, nregs, written, staged, region, &what);
+                    }
+                }
+                ThreadOp::SimdReduce { trip, body, dst_reg, .. } => {
+                    self.check_trip(*trip, None, region, "simd reduction loop");
+                    if let Some(fp) = self.reg.red_footprint(*body).cloned() {
+                        let what = format!("reduce body #{}", body.0);
+                        let staged = mode == ExecMode::Generic;
+                        self.check_footprint(&fp, nregs, written, staged, region, &what);
+                    }
+                    if *dst_reg >= nregs {
+                        self.err(
+                            "E-REG",
+                            region,
+                            format!(
+                                "simd reduction writes its result to register {dst_reg} but the \
+                                 region allocates only {nregs}"
+                            ),
+                        );
+                    } else {
+                        written[*dst_reg] = true;
+                    }
+                }
+                ThreadOp::ReduceAcross { src_reg, dst_arg, .. } => {
+                    if varying_for {
+                        self.err(
+                            "E-DIVERGE",
+                            region,
+                            "team-wide reduction inside a worksharing loop with a per-worker \
+                             trip count: workers that finish early never reach the block barrier"
+                                .into(),
+                        );
+                    }
+                    if *src_reg >= nregs {
+                        self.err(
+                            "E-REG",
+                            region,
+                            format!(
+                                "cross-team reduction reads register {src_reg} but the region \
+                                 allocates only {nregs}"
+                            ),
+                        );
+                    } else if !written[*src_reg] {
+                        self.warn(
+                            "W-UNWRITTEN",
+                            region,
+                            format!(
+                                "cross-team reduction reads register {src_reg} before anything \
+                                 writes it"
+                            ),
+                        );
+                    }
+                    if *dst_arg >= self.nargs {
+                        self.err(
+                            "E-REG",
+                            region,
+                            format!(
+                                "cross-team reduction targets kernel arg {dst_arg} but the \
+                                 launch passes only {} args",
+                                self.nargs
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn effect_summary(fp: &Footprint) -> String {
+    let mut parts = Vec::new();
+    if !fp.args_written.is_empty() {
+        parts.push(format!("writes args {:?}", fp.args_written));
+    }
+    if fp.atomics {
+        parts.push("atomics".into());
+    }
+    if fp.barriers {
+        parts.push("barriers".into());
+    }
+    parts.join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// SPMD-ization
+// ---------------------------------------------------------------------------
+
+/// OpenMPOpt-style SPMD-ization: promote inferred-generic regions to SPMD
+/// when declared footprints prove redundant execution is safe. Called by
+/// [`crate::builder::TargetBuilder::build`] after lowering; never overrides
+/// an explicitly forced mode.
+pub(crate) fn spmdize(
+    plan: &mut TargetPlan,
+    analysis: &mut Analysis,
+    config: &mut KernelConfig,
+    reg: &Registry,
+) {
+    let mut idx = 0;
+    spmdize_team_ops(&mut plan.ops, analysis, reg, &mut idx);
+    // The teams region itself: legal when every team-sequential chunk is
+    // declared pure and no distribute loop wraps a parallel region (the
+    // team main would otherwise run sequential iterations between posts).
+    if !analysis.teams_forced
+        && analysis.teams_mode == ExecMode::Generic
+        && team_seqs_pure(&plan.ops, reg)
+        && !distribute_wraps_parallel(&plan.ops)
+    {
+        analysis.teams_mode = ExecMode::Spmd;
+        config.teams_mode = ExecMode::Spmd;
+        analysis.promotions.push(Promotion {
+            region: "teams".into(),
+            message: "promoted to SPMD: all team-sequential code declares a pure footprint and \
+                      no distribute loop wraps a parallel region; the extra main-thread warp is \
+                      dropped"
+                .into(),
+        });
+    }
+}
+
+fn spmdize_team_ops(ops: &mut [TeamOp], analysis: &mut Analysis, reg: &Registry, idx: &mut usize) {
+    for op in ops {
+        match op {
+            TeamOp::Parallel(p) => {
+                let i = *idx;
+                *idx += 1;
+                let info = &mut analysis.parallels[i];
+                if !info.forced
+                    && p.desc.mode == ExecMode::Generic
+                    && p.desc.simdlen > 1
+                    && thread_ops_promotable(&p.ops, reg)
+                {
+                    p.desc.mode = ExecMode::Spmd;
+                    info.desc.mode = ExecMode::Spmd;
+                    info.promoted = true;
+                    analysis.promotions.push(Promotion {
+                        region: format!("parallel #{i}"),
+                        message: "promoted to SPMD: all sequential code declares a pure \
+                                  footprint, every trip count is uniform, and there is no \
+                                  cross-team reduction — the worker state machine and \
+                                  per-dispatch staging are unnecessary"
+                            .into(),
+                    });
+                }
+            }
+            TeamOp::Distribute { ops, .. } => spmdize_team_ops(ops, analysis, reg, idx),
+            TeamOp::Seq(_) => {}
+        }
+    }
+}
+
+/// Can this thread-op list run SPMD? Requires every sequential chunk to
+/// carry a *declared pure* footprint (undeclared chunks are conservatively
+/// opaque), uniform trip counts throughout (workers must agree on loop
+/// bounds), and no cross-team reduction (its combining phase relies on the
+/// generic protocol's arrival bookkeeping).
+fn thread_ops_promotable(ops: &[ThreadOp], reg: &Registry) -> bool {
+    ops.iter().all(|op| match op {
+        ThreadOp::Seq(id) => reg.seq_footprint(*id).is_some_and(|fp| fp.is_pure()),
+        ThreadOp::For { trip, ops, .. } => {
+            reg.trip_meta(*trip).uniform && thread_ops_promotable(ops, reg)
+        }
+        ThreadOp::Simd { trip, .. } | ThreadOp::SimdReduce { trip, .. } => {
+            reg.trip_meta(*trip).uniform
+        }
+        ThreadOp::ReduceAcross { .. } => false,
+    })
+}
+
+fn team_seqs_pure(ops: &[TeamOp], reg: &Registry) -> bool {
+    ops.iter().all(|op| match op {
+        TeamOp::Seq(id) => reg.seq_footprint(*id).is_some_and(|fp| fp.is_pure()),
+        TeamOp::Distribute { ops, .. } => team_seqs_pure(ops, reg),
+        TeamOp::Parallel(_) => true,
+    })
+}
+
+fn distribute_wraps_parallel(ops: &[TeamOp]) -> bool {
+    ops.iter().any(|op| match op {
+        TeamOp::Distribute { ops, .. } => contains_parallel(ops),
+        _ => false,
+    })
+}

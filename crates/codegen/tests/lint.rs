@@ -1,0 +1,348 @@
+//! simtlint acceptance tests.
+//!
+//! The static verifier and the simtcheck sanitizer look at the same plans
+//! from opposite sides: each seeded-illegal kernel here is flagged by
+//! `CompiledKernel::lint` *before* launch and — when run anyway through the
+//! ungated `launch` escape hatch — caught by the sanitizer *during* it.
+//! A property test then checks that the verdicts of the two agree on random
+//! legal plans: the W-FALLBACK prediction matches the runtime fallback
+//! counter, and SPMD-ized kernels run sanitizer-clean.
+
+use gpu_sim::mem::shared::SmOff;
+use gpu_sim::{Device, DeviceArch, Slot, Violation};
+use omp_codegen::builder::{Schedule, TargetBuilder};
+use omp_core::config::ExecMode;
+use omp_core::dispatch::Footprint;
+use testkit::{cases, SimRng};
+
+fn sanitized() -> Device {
+    let mut d = Device::a100();
+    d.enable_sanitizer();
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-illegal plans: static error ↔ runtime violation
+// ---------------------------------------------------------------------------
+
+/// A team-sequential chunk that honestly declares side effects inside a
+/// forced-SPMD teams region: simtlint rejects the plan (E-SPMD-EFFECT);
+/// running it anyway makes every thread apply the effect redundantly, which
+/// simtcheck sees as unsynchronized same-slot shared-memory writes.
+#[test]
+fn spmd_effect_error_pairs_with_runtime_race() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(64).force_teams_mode(ExecMode::Spmd);
+    let inner = b.trip_const(8);
+    let k = b.build(|t| {
+        t.seq_footprint(Footprint::new().writes_args(&[0]), |lane, _| {
+            lane.smem_write_slot(SmOff(0), 0, Slot::from_u64(1));
+        });
+        t.parallel(8, |p| {
+            p.simd(inner, |lane, _, _| lane.work(1));
+        });
+    });
+    let report = k.lint(&DeviceArch::a100(), 1);
+    assert_eq!(report.with_code("E-SPMD-EFFECT").count(), 1, "{}", report.render("kernel"));
+    assert!(report.has_errors());
+
+    let mut dev = sanitized();
+    let out = dev.global.alloc_zeroed::<f64>(1);
+    let stats = k.launch(&mut dev, &[Slot::from_ptr(out)]).unwrap();
+    assert!(
+        stats.violations.iter().any(|v| matches!(v, Violation::SharedMemRace { slot: 0, .. })),
+        "expected a shared-memory race on slot 0: {:#?}",
+        stats.violations
+    );
+}
+
+/// A `distribute parallel for` nested inside a `distribute` loop: team
+/// iterations would be distributed twice (static-only — at runtime this
+/// silently computes a subset of iterations per team, which no sanitizer
+/// can distinguish from intent).
+#[test]
+fn nested_worksharing_is_rejected() {
+    let mut b = TargetBuilder::new();
+    let rows = b.trip_const(4);
+    let cols = b.trip_const(4);
+    let inner = b.trip_const(2);
+    let k = b.build(|t| {
+        t.distribute(rows, Schedule::Static, |t, _r| {
+            t.distribute_parallel_for(cols, Schedule::Static, 4, |p, _c| {
+                p.simd(inner, |lane, _, _| lane.work(1));
+            });
+        });
+    });
+    let report = k.lint(&DeviceArch::a100(), 0);
+    assert_eq!(report.with_code("E-NEST").count(), 1, "{}", report.render("kernel"));
+}
+
+/// A generic teams region whose per-parallel-region post (fn + args + team
+/// registers) overflows the 32-slot team slice: simtlint proves every post
+/// spills to a global allocation (E-TEAM-POST); at runtime the allocations
+/// are never freed and simtcheck reports the leak at `__target_deinit`.
+#[test]
+fn team_post_overflow_error_pairs_with_runtime_leak() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(64);
+    let inner = b.trip_const(4);
+    let k = b.build(|t| {
+        t.seq(|lane, _| lane.work(1));
+        // 40 team registers: 1 + 1 arg + 40 = 42 slots > the 32-slot slice.
+        for _ in 0..40 {
+            t.alloc_reg();
+        }
+        t.parallel(1, |p| {
+            p.simd(inner, |lane, _, _| lane.work(1));
+        });
+    });
+    assert_eq!(k.analysis.teams_mode, ExecMode::Generic);
+    let report = k.lint(&DeviceArch::a100(), 1);
+    assert_eq!(report.with_code("E-TEAM-POST").count(), 1, "{}", report.render("kernel"));
+
+    let mut dev = sanitized();
+    let out = dev.global.alloc_zeroed::<f64>(1);
+    let stats = k.launch(&mut dev, &[Slot::from_ptr(out)]).unwrap();
+    assert!(
+        stats.violations.iter().any(|v| matches!(v, Violation::LeakedFallback { .. })),
+        "expected a leaked-fallback report: {:#?}",
+        stats.violations
+    );
+}
+
+/// A simd body declaring a register the generic-mode protocol never stages:
+/// simtlint flags the declaration against the staged range (E-REG); the
+/// body's matching raw read of the never-written slice slot is an
+/// unwritten-read violation at runtime.
+#[test]
+fn never_staged_read_error_pairs_with_runtime_unwritten_read() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(32);
+    let outer = b.trip_const(1);
+    let inner = b.trip_const(4);
+    let k = b.build(|t| {
+        t.distribute_parallel_for(outer, Schedule::Static, 32, |p, _i| {
+            p.seq(|lane, _| lane.work(1)); // opaque: keeps the region generic
+            p.simd_footprint(inner, Footprint::new().reads_regs(&[3]), |lane, _, _| {
+                // The staged payload occupies group-slice slots 0..3 (fn,
+                // trip, register 0); "register 3" would sit at slice slot 5
+                // — absolute slot 32 + 5 — which nothing ever writes.
+                lane.smem_read_slot(SmOff(0), 37);
+            });
+        });
+    });
+    assert_eq!(k.analysis.parallels[0].desc.mode, ExecMode::Generic);
+    let report = k.lint(&DeviceArch::a100(), 0);
+    assert_eq!(report.with_code("E-REG").count(), 1, "{}", report.render("kernel"));
+    let diag = report.with_code("E-REG").next().unwrap();
+    assert!(diag.message.contains("staged"), "{}", diag.message);
+
+    let mut dev = sanitized();
+    let stats = k.launch(&mut dev, &[]).unwrap();
+    assert!(
+        stats.violations.iter().any(|v| matches!(v, Violation::UnwrittenRead { slot: 37, .. })),
+        "expected an unwritten read of slot 37: {:#?}",
+        stats.violations
+    );
+}
+
+/// Barrier-bearing code and cross-team reductions under a worksharing loop
+/// with a per-worker trip count statically diverge: workers that finish
+/// early never reach the rendezvous.
+#[test]
+fn divergent_barrier_under_varying_trip_is_rejected() {
+    let mut b = TargetBuilder::new();
+    let varying = b.trip_varying(|_, _| 3);
+    let inner = b.trip_const(2);
+    let k = b.build(|t| {
+        t.parallel(4, |p| {
+            p.for_loop(varying, Schedule::Static, |p, _| {
+                let s = p.simd_reduce(inner, |lane, iv, _| {
+                    lane.work(1);
+                    iv as f64
+                });
+                p.reduce_across(s, 0, 0);
+            });
+        });
+    });
+    let report = k.lint(&DeviceArch::a100(), 1);
+    assert_eq!(report.with_code("E-DIVERGE").count(), 1, "{}", report.render("kernel"));
+}
+
+/// Degenerate schedules are legal but warned about.
+#[test]
+fn degenerate_schedules_warn() {
+    let mut b = TargetBuilder::new();
+    let zero = b.trip_const(0);
+    let inner = b.trip_const(4);
+    let k = b.build(|t| {
+        t.distribute_parallel_for(zero, Schedule::Cyclic(0), 4, |p, _| {
+            p.simd(inner, |lane, _, _| lane.work(1));
+        });
+    });
+    let report = k.lint(&DeviceArch::a100(), 0);
+    assert_eq!(report.with_code("W-ZERO-TRIP").count(), 1, "{}", report.render("kernel"));
+    assert_eq!(report.with_code("W-CHUNK").count(), 1, "{}", report.render("kernel"));
+    assert!(!report.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// The launch gate
+// ---------------------------------------------------------------------------
+
+/// `CompiledKernel::run` refuses to launch a plan with Error-severity
+/// diagnostics (the `SIMT_LINT=0` override is deliberately not exercised
+/// here: mutating the environment races with parallel tests).
+#[test]
+#[should_panic(expected = "simtlint rejected the launch")]
+fn run_gates_on_error_diagnostics() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(32);
+    let outer = b.trip_const(1);
+    let inner = b.trip_const(4);
+    let k = b.build(|t| {
+        t.distribute_parallel_for(outer, Schedule::Static, 32, |p, _i| {
+            p.seq(|lane, _| lane.work(1));
+            p.simd_footprint(inner, Footprint::new().reads_regs(&[3]), |lane, _, _| {
+                lane.work(1);
+            });
+        });
+    });
+    let mut dev = Device::a100();
+    k.run(&mut dev, &[]);
+}
+
+// ---------------------------------------------------------------------------
+// Teams-level SPMD-ization
+// ---------------------------------------------------------------------------
+
+/// A teams region that infers generic only because of a declared-pure
+/// team-sequential chunk is promoted to SPMD (dropping the extra
+/// main-thread warp), the promotion surfaces as an R-TEAMS-SPMDIZE remark,
+/// and the promoted kernel runs sanitizer-clean with correct output.
+#[test]
+fn pure_team_seq_promotes_teams_and_runs_clean() {
+    let n = 32u64;
+    let mut b = TargetBuilder::new().num_teams(2).threads(64);
+    let inner = b.trip_const(n);
+    let k = b.build(|t| {
+        let scale = t.alloc_reg();
+        t.seq_footprint(
+            Footprint::new().reads_args(&[1]).writes_regs(&[scale.0]),
+            move |lane, v| {
+                lane.work(1);
+                v.regs[scale.0] = Slot::from_u64(v.args[1].as_u64() * 2);
+            },
+        );
+        t.parallel(8, |p| {
+            p.simd(inner, move |lane, iv, v| {
+                let out = v.args[0].as_ptr::<f64>();
+                let s = v.outer[scale.0].as_u64();
+                lane.write(out, iv, (iv * s) as f64);
+            });
+        });
+    });
+    assert_eq!(k.analysis.teams_mode, ExecMode::Spmd);
+    assert_eq!(k.config.teams_mode, ExecMode::Spmd);
+    assert!(k.analysis.promotions.iter().any(|p| p.region == "teams"));
+    let report = k.lint(&DeviceArch::a100(), 2);
+    assert_eq!(report.with_code("R-TEAMS-SPMDIZE").count(), 1, "{}", report.render("kernel"));
+    assert!(!report.has_errors() && !report.has_warnings(), "{}", report.render("kernel"));
+
+    let mut dev = sanitized();
+    let out = dev.global.alloc_zeroed::<f64>(n as usize);
+    let stats = k.run(&mut dev, &[Slot::from_ptr(out), Slot::from_u64(3)]);
+    assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+    let got = dev.global.read_slice(out, n as usize);
+    for iv in 0..n {
+        assert_eq!(got[iv as usize], (iv * 6) as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: static verdicts agree with the runtime
+// ---------------------------------------------------------------------------
+
+/// Random legal `distribute parallel for` kernels across four body styles
+/// (tight SPMD, declared-pure seq that gets promoted, opaque seq that stays
+/// generic, varying inner trip): simtlint's W-FALLBACK verdict must equal
+/// the runtime's fallback counter, promotions must happen exactly when the
+/// footprints license them, every launch must be sanitizer-clean, and the
+/// output must match the host reference.
+#[test]
+fn lint_verdicts_agree_with_runtime() {
+    cases("lint_verdicts_agree_with_runtime", 32, |rng: &mut SimRng| {
+        let teams = *rng.pick(&[1u32, 2, 4]);
+        let threads = *rng.pick(&[32u32, 64, 128]);
+        let gs = *rng.pick(&[1u32, 2, 4, 8, 16, 32]);
+        let bytes = *rng.pick(&[288u32, 512, 1024, 2048]);
+        let rows = rng.range_u64(1, 20);
+        let inner = rng.range_u64(1, 12);
+        let style = rng.range_u32(0, 4);
+        let extra = rng.range_usize(0, 3);
+
+        let mut b = TargetBuilder::new().num_teams(teams).threads(threads).sharing_space(bytes);
+        let rows_t = b.trip_const(rows);
+        let inner_t = if style == 3 {
+            b.trip_varying(move |_, v| v.regs[0].as_u64() % inner + 1)
+        } else {
+            b.trip_const(inner)
+        };
+        let k = b.build(|t| {
+            t.distribute_parallel_for(rows_t, Schedule::Static, gs, |p, row| {
+                let pads: Vec<usize> = (0..extra).map(|_| p.alloc_reg().0).collect();
+                match style {
+                    0 | 3 => {}
+                    1 => {
+                        let wr = pads.clone();
+                        let wr2 = pads.clone();
+                        p.seq_footprint(
+                            Footprint::new().reads_regs(&[row.0]).writes_regs(&wr),
+                            move |lane, v| {
+                                lane.work(1);
+                                let r = v.regs[row.0].as_u64();
+                                for &reg in &wr2 {
+                                    v.regs[reg] = Slot::from_u64(r * 7 + reg as u64);
+                                }
+                            },
+                        );
+                    }
+                    _ => p.seq(|lane, _| lane.work(1)),
+                }
+                p.simd(inner_t, move |lane, iv, v| {
+                    let out = v.args[0].as_ptr::<f64>();
+                    let r = v.regs[row.0].as_u64();
+                    lane.write(out, r * inner + iv, (r * 31 + iv) as f64);
+                });
+            });
+        });
+
+        let report = k.lint(&DeviceArch::a100(), 1);
+        assert!(!report.has_errors(), "{}", report.render("kernel"));
+        let predicted_fallback = report.with_code("W-FALLBACK").count() > 0;
+        let promoted = k.analysis.parallels[0].promoted;
+        assert_eq!(
+            promoted,
+            style == 1 && gs > 1,
+            "style={style} gs={gs}: promotion verdict {:#?}",
+            k.analysis.promotions
+        );
+
+        let mut dev = sanitized();
+        let out = dev.global.alloc_zeroed::<f64>((rows * inner) as usize);
+        let stats = k.run(&mut dev, &[Slot::from_ptr(out)]);
+        let fell_back = stats.counters.sharing_global_fallbacks > 0;
+        assert_eq!(
+            predicted_fallback, fell_back,
+            "teams={teams} threads={threads} gs={gs} bytes={bytes} style={style} \
+             extra={extra}: lint predicted {predicted_fallback}, runtime counted {}",
+            stats.counters.sharing_global_fallbacks
+        );
+        assert!(stats.violations.is_empty(), "style={style}: {:#?}", stats.violations);
+
+        let got = dev.global.read_slice(out, (rows * inner) as usize);
+        for r in 0..rows {
+            let trips = if style == 3 { r % inner + 1 } else { inner };
+            for iv in 0..inner {
+                let want = if iv < trips { (r * 31 + iv) as f64 } else { 0.0 };
+                assert_eq!(got[(r * inner + iv) as usize], want, "r={r} iv={iv}");
+            }
+        }
+    });
+}

@@ -105,6 +105,44 @@ fn overrides_win_over_inference() {
 }
 
 #[test]
+fn forced_generic_parallel_is_never_promoted() {
+    // A forced mode is an experiment control: even a body the SPMD-ization
+    // pass could prove safe stays generic when the author pinned it.
+    let mut b = TargetBuilder::new();
+    let inner = b.trip_const(32);
+    let k = b.build(|t| {
+        t.parallel_with_mode(8, ExecMode::Generic, |p| {
+            p.simd(inner, |lane, _, _| lane.work(1));
+        });
+    });
+    assert_eq!(k.analysis.parallels[0].desc.mode, ExecMode::Generic);
+    assert!(k.analysis.parallels[0].forced);
+    assert!(!k.analysis.parallels[0].promoted);
+    assert!(k.analysis.promotions.is_empty());
+}
+
+#[test]
+fn forced_generic_teams_is_never_promoted() {
+    use omp_core::dispatch::Footprint;
+    let mut b = TargetBuilder::new().force_teams_mode(ExecMode::Generic);
+    let inner = b.trip_const(16);
+    let k = b.build(|t| {
+        let r = t.alloc_reg();
+        // Declared pure — promotable on the merits, but the forced mode wins.
+        t.seq_footprint(Footprint::new().writes_regs(&[r.0]), move |lane, v| {
+            lane.work(1);
+            v.regs[r.0] = gpu_sim::Slot::from_u64(7);
+        });
+        t.parallel(8, |p| {
+            p.simd(inner, |lane, _, _| lane.work(1));
+        });
+    });
+    assert_eq!(k.analysis.teams_mode, ExecMode::Generic);
+    assert!(k.analysis.teams_forced);
+    assert!(k.analysis.promotions.is_empty());
+}
+
+#[test]
 fn compiled_kernel_runs_end_to_end() {
     // Dot product with the simd_reduce extension, written entirely through
     // the builder, verified against a host computation.

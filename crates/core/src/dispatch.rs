@@ -27,13 +27,97 @@ pub type BodyFn = Box<dyn Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync>;
 /// Reducing loop body: returns the iteration's additive contribution.
 pub type RedFn = Box<dyn Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync>;
 
+/// Declared effect footprint of an outlined function.
+///
+/// Outlined bodies are opaque Rust closures, so a static analysis cannot
+/// inspect them the way OpenMPOpt inspects LLVM IR. A registration may
+/// instead *declare* what the closure touches; simtlint consumes the
+/// declaration (e.g. to prove a region SPMD-izable) and simtcheck validates
+/// it at runtime — static claims are checked, not trusted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Kernel-arg slots read (indices into the launch `args`).
+    pub args_read: Vec<usize>,
+    /// Kernel-arg slots whose pointed-to memory is written.
+    pub args_written: Vec<usize>,
+    /// Scope registers read.
+    pub regs_read: Vec<usize>,
+    /// Scope registers written.
+    pub regs_written: Vec<usize>,
+    /// Whether the function performs atomic RMW operations.
+    pub atomics: bool,
+    /// Whether the function contains its own barriers.
+    pub barriers: bool,
+}
+
+impl Footprint {
+    /// Empty footprint (reads/writes nothing).
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Declare kernel-arg slots read.
+    pub fn reads_args(mut self, idx: &[usize]) -> Self {
+        self.args_read.extend_from_slice(idx);
+        self
+    }
+
+    /// Declare kernel-arg slots written through.
+    pub fn writes_args(mut self, idx: &[usize]) -> Self {
+        self.args_written.extend_from_slice(idx);
+        self
+    }
+
+    /// Declare scope registers read.
+    pub fn reads_regs(mut self, idx: &[usize]) -> Self {
+        self.regs_read.extend_from_slice(idx);
+        self
+    }
+
+    /// Declare scope registers written.
+    pub fn writes_regs(mut self, idx: &[usize]) -> Self {
+        self.regs_written.extend_from_slice(idx);
+        self
+    }
+
+    /// Declare atomic RMW use.
+    pub fn uses_atomics(mut self) -> Self {
+        self.atomics = true;
+        self
+    }
+
+    /// Declare barrier use.
+    pub fn uses_barriers(mut self) -> Self {
+        self.barriers = true;
+        self
+    }
+
+    /// Whether the declared effects are safe to execute redundantly:
+    /// nothing outside scope registers is written, no atomics, no barriers.
+    /// (Register writes are private per executing thread/group, so they do
+    /// not block SPMD-ization.)
+    pub fn is_pure(&self) -> bool {
+        self.args_written.is_empty() && !self.atomics && !self.barriers
+    }
+}
+
+/// Static metadata about a registered trip-count callback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TripMeta {
+    /// Whether the trip count is the same for every worker (SPMD-eligible).
+    pub uniform: bool,
+    /// Compile-time-known constant value, when registered via
+    /// [`Registry::trip_const`].
+    pub konst: Option<u64>,
+}
+
 /// Module-level table of outlined functions.
 #[derive(Default)]
 pub struct Registry {
-    seqs: Vec<SeqFn>,
-    trips: Vec<TripFn>,
-    bodies: Vec<(BodyFn, bool)>,
-    reds: Vec<(RedFn, bool)>,
+    seqs: Vec<(SeqFn, Option<Footprint>)>,
+    trips: Vec<(TripFn, TripMeta)>,
+    bodies: Vec<(BodyFn, bool, Option<Footprint>)>,
+    reds: Vec<(RedFn, bool, Option<Footprint>)>,
 }
 
 impl Registry {
@@ -42,27 +126,48 @@ impl Registry {
         Registry::default()
     }
 
-    /// Register a thread-sequential chunk.
+    /// Register a thread-sequential chunk (no declared footprint — the
+    /// static analysis must treat its effects conservatively).
     pub fn seq(
         &mut self,
         f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) -> SeqId {
-        self.seqs.push(Box::new(f));
+        self.seqs.push((Box::new(f), None));
         SeqId(self.seqs.len() as u32 - 1)
     }
 
-    /// Register a trip-count callback.
+    /// Register a thread-sequential chunk with a declared effect footprint.
+    pub fn seq_with_footprint(
+        &mut self,
+        fp: Footprint,
+        f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+    ) -> SeqId {
+        self.seqs.push((Box::new(f), Some(fp)));
+        SeqId(self.seqs.len() as u32 - 1)
+    }
+
+    /// Register a trip-count callback (uniform across workers).
     pub fn trip(
         &mut self,
         f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripId {
-        self.trips.push(Box::new(f));
+        self.trip_with(f, true)
+    }
+
+    /// Register a trip-count callback with an explicit uniformity claim.
+    pub fn trip_with(
+        &mut self,
+        f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+        uniform: bool,
+    ) -> TripId {
+        self.trips.push((Box::new(f), TripMeta { uniform, konst: None }));
         TripId(self.trips.len() as u32 - 1)
     }
 
     /// Register a constant trip count.
     pub fn trip_const(&mut self, n: u64) -> TripId {
-        self.trip(move |_, _| n)
+        self.trips.push((Box::new(move |_, _| n), TripMeta { uniform: true, konst: Some(n) }));
+        TripId(self.trips.len() as u32 - 1)
     }
 
     /// Register an outlined loop body reachable through the if-cascade.
@@ -70,7 +175,17 @@ impl Registry {
         &mut self,
         f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
-        self.bodies.push((Box::new(f), true));
+        self.bodies.push((Box::new(f), true, None));
+        BodyId(self.bodies.len() as u32 - 1)
+    }
+
+    /// Register a cascade-known loop body with a declared effect footprint.
+    pub fn body_with_footprint(
+        &mut self,
+        fp: Footprint,
+        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+    ) -> BodyId {
+        self.bodies.push((Box::new(f), true, Some(fp)));
         BodyId(self.bodies.len() as u32 - 1)
     }
 
@@ -81,7 +196,7 @@ impl Registry {
         &mut self,
         f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
-        self.bodies.push((Box::new(f), false));
+        self.bodies.push((Box::new(f), false, None));
         BodyId(self.bodies.len() as u32 - 1)
     }
 
@@ -90,30 +205,60 @@ impl Registry {
         &mut self,
         f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RedId {
-        self.reds.push((Box::new(f), true));
+        self.reds.push((Box::new(f), true, None));
+        RedId(self.reds.len() as u32 - 1)
+    }
+
+    /// Register a reducing loop body with a declared effect footprint.
+    pub fn red_with_footprint(
+        &mut self,
+        fp: Footprint,
+        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+    ) -> RedId {
+        self.reds.push((Box::new(f), true, Some(fp)));
         RedId(self.reds.len() as u32 - 1)
     }
 
     /// Look up a sequential chunk.
     pub fn get_seq(&self, id: SeqId) -> &SeqFn {
-        &self.seqs[id.0 as usize]
+        &self.seqs[id.0 as usize].0
+    }
+
+    /// Declared footprint of a sequential chunk, if any.
+    pub fn seq_footprint(&self, id: SeqId) -> Option<&Footprint> {
+        self.seqs[id.0 as usize].1.as_ref()
     }
 
     /// Look up a trip-count callback.
     pub fn get_trip(&self, id: TripId) -> &TripFn {
-        &self.trips[id.0 as usize]
+        &self.trips[id.0 as usize].0
+    }
+
+    /// Static metadata of a trip-count callback.
+    pub fn trip_meta(&self, id: TripId) -> TripMeta {
+        self.trips[id.0 as usize].1
     }
 
     /// Look up a loop body and whether it is cascade-known.
     pub fn get_body(&self, id: BodyId) -> (&BodyFn, bool) {
-        let (f, known) = &self.bodies[id.0 as usize];
+        let (f, known, _) = &self.bodies[id.0 as usize];
         (f, *known)
+    }
+
+    /// Declared footprint of a loop body, if any.
+    pub fn body_footprint(&self, id: BodyId) -> Option<&Footprint> {
+        self.bodies[id.0 as usize].2.as_ref()
     }
 
     /// Look up a reducing body and whether it is cascade-known.
     pub fn get_red(&self, id: RedId) -> (&RedFn, bool) {
-        let (f, known) = &self.reds[id.0 as usize];
+        let (f, known, _) = &self.reds[id.0 as usize];
         (f, *known)
+    }
+
+    /// Declared footprint of a reducing body, if any.
+    pub fn red_footprint(&self, id: RedId) -> Option<&Footprint> {
+        self.reds[id.0 as usize].2.as_ref()
     }
 
     /// Number of registered loop bodies (diagnostics).
@@ -140,5 +285,34 @@ mod tests {
         assert_eq!(r.num_bodies(), 2);
         assert!(r.get_body(b0).1, "body() entries are cascade-known");
         assert!(!r.get_body(b1).1, "body_extern() entries are not");
+    }
+
+    #[test]
+    fn trip_meta_tracks_uniformity_and_constants() {
+        let mut r = Registry::new();
+        let tc = r.trip_const(10);
+        let tu = r.trip(|_, _| 5);
+        let tv = r.trip_with(|_, _| 5, false);
+        assert_eq!(r.trip_meta(tc), TripMeta { uniform: true, konst: Some(10) });
+        assert_eq!(r.trip_meta(tu), TripMeta { uniform: true, konst: None });
+        assert_eq!(r.trip_meta(tv), TripMeta { uniform: false, konst: None });
+    }
+
+    #[test]
+    fn footprints_are_stored_and_purity_follows_the_rules() {
+        let mut r = Registry::new();
+        let s0 = r.seq(|_, _| {});
+        let fp = Footprint::new().reads_args(&[0]).writes_regs(&[1]);
+        let s1 = r.seq_with_footprint(fp.clone(), |_, _| {});
+        assert!(r.seq_footprint(s0).is_none());
+        assert_eq!(r.seq_footprint(s1), Some(&fp));
+        assert!(fp.is_pure(), "reg writes and arg reads are redundancy-safe");
+        assert!(!Footprint::new().writes_args(&[0]).is_pure());
+        assert!(!Footprint::new().uses_atomics().is_pure());
+        assert!(!Footprint::new().uses_barriers().is_pure());
+        let b = r.body_with_footprint(Footprint::new().writes_args(&[1]), |_, _, _| {});
+        assert!(!r.body_footprint(b).unwrap().is_pure());
+        let rd = r.red_with_footprint(Footprint::new().reads_args(&[0]), |_, _, _| 0.0);
+        assert!(r.red_footprint(rd).unwrap().is_pure());
     }
 }

@@ -29,10 +29,11 @@
 //! the paper's group-size experiments (Fig 9) trade against parallelism.
 
 use gpu_sim::mem::ptr::DPtr;
-use gpu_sim::{Device, LaunchConfig, LaunchError, LaunchStats, Slot, TeamCtx};
+use gpu_sim::sanitize::Violation;
+use gpu_sim::{Device, LaunchConfig, LaunchError, LaunchStats, ObservedEffects, Slot, TeamCtx};
 
 use crate::config::{ExecMode, KernelConfig, ParallelDesc};
-use crate::dispatch::Registry;
+use crate::dispatch::{Footprint, Registry};
 use crate::mapping::SimdMapping;
 use crate::plan::{ParallelOp, SeqId, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
 use crate::sharing::SharingSpace;
@@ -174,7 +175,51 @@ impl<'a, 'g> Interp<'a, 'g> {
         }
     }
 
+    /// Validate declared register writes against an observed before/after
+    /// snapshot (only called while sanitizing, for footprint-declared
+    /// functions): the static analysis *trusts* these declarations when it
+    /// SPMD-izes, so simtcheck verifies them dynamically.
+    fn validate_reg_writes(&mut self, func: &str, fp: &Footprint, before: &[Slot], after: &[Slot]) {
+        let block = self.tc.block_id;
+        for (i, (b, a)) in before.iter().zip(after).enumerate() {
+            if b.as_u64() != a.as_u64() && !fp.regs_written.contains(&i) {
+                self.tc.report_violation(Violation::FootprintViolation {
+                    block,
+                    func: func.to_string(),
+                    detail: format!(
+                        "wrote register {i}, which is not in its declared regs_written {:?}",
+                        fp.regs_written
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Validate observed global-memory effects against a declaration.
+    fn validate_observed(&mut self, func: &str, fp: &Footprint, obs: ObservedEffects) {
+        let block = self.tc.block_id;
+        if obs.global_writes && fp.args_written.is_empty() {
+            self.tc.report_violation(Violation::FootprintViolation {
+                block,
+                func: func.to_string(),
+                detail: "performed global-memory writes but declares no args_written".into(),
+            });
+        }
+        if obs.global_atomics && !fp.atomics {
+            self.tc.report_violation(Violation::FootprintViolation {
+                block,
+                func: func.to_string(),
+                detail: "performed atomic RMW but does not declare atomics".into(),
+            });
+        }
+    }
+
     fn team_seq(&mut self, id: SeqId, team_regs: &mut Vec<Slot>) {
+        let fp = if self.tc.sanitizing() { self.reg.seq_footprint(id).cloned() } else { None };
+        let before = fp.as_ref().map(|_| team_regs.clone());
+        if fp.is_some() {
+            let _ = self.tc.take_observed();
+        }
         let f = self.reg.get_seq(id);
         let args = self.args;
         match self.main_warp {
@@ -205,6 +250,12 @@ impl<'a, 'g> Interp<'a, 'g> {
                     });
                 }
             }
+        }
+        if let (Some(fp), Some(before)) = (fp, before) {
+            let obs = self.tc.take_observed();
+            let func = format!("team seq #{}", id.0);
+            self.validate_reg_writes(&func, &fp, &before, team_regs);
+            self.validate_observed(&func, &fp, obs);
         }
     }
 
@@ -452,6 +503,12 @@ impl<'a, 'g> Interp<'a, 'g> {
         active: &[u32],
         team_regs: &[Slot],
     ) {
+        let fp = if self.tc.sanitizing() { self.reg.seq_footprint(id).cloned() } else { None };
+        let before: Option<Vec<Vec<Slot>>> =
+            fp.as_ref().map(|_| active.iter().map(|&g| regs[g as usize].clone()).collect());
+        if fp.is_some() {
+            let _ = self.tc.take_observed();
+        }
         let f = self.reg.get_seq(id);
         let args = self.args;
         let ws = self.ws();
@@ -471,6 +528,14 @@ impl<'a, 'g> Interp<'a, 'g> {
                     f(lane, &mut vm);
                 }
             });
+        }
+        if let (Some(fp), Some(before)) = (fp, before) {
+            let obs = self.tc.take_observed();
+            let func = format!("seq #{}", id.0);
+            for (k, &g) in active.iter().enumerate() {
+                self.validate_reg_writes(&func, &fp, &before[k], &regs[g as usize]);
+            }
+            self.validate_observed(&func, &fp, obs);
         }
     }
 
@@ -758,6 +823,17 @@ impl<'a, 'g> Interp<'a, 'g> {
         gs: u64,
         fetch: Fetch<'_>,
     ) {
+        let fp = if self.tc.sanitizing() {
+            match body {
+                SimdBody::Plain(b) => self.reg.body_footprint(b).cloned(),
+                SimdBody::Reduce(b) => self.reg.red_footprint(b).cloned(),
+            }
+        } else {
+            None
+        };
+        if fp.is_some() {
+            let _ = self.tc.take_observed();
+        }
         let args = self.args;
         let ws = self.ws();
         let sharing = &self.sharing;
@@ -796,6 +872,14 @@ impl<'a, 'g> Interp<'a, 'g> {
                     }
                 });
             }
+        }
+        if let Some(fp) = fp {
+            let obs = self.tc.take_observed();
+            let func = match body {
+                SimdBody::Plain(b) => format!("simd body #{}", b.0),
+                SimdBody::Reduce(b) => format!("reduce body #{}", b.0),
+            };
+            self.validate_observed(&func, &fp, obs);
         }
     }
 }

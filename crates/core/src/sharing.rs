@@ -17,6 +17,59 @@ use gpu_sim::mem::shared::{SharedMem, SmOff};
 /// posts (the pre-existing single-writer use of the space).
 const TEAM_SLICE_SLOTS: u32 = 32;
 
+/// Pure slot arithmetic of the sharing space: how many slots the team slice
+/// and each group slice get for a given capacity and group count.
+///
+/// This is the single source of truth for the layout math — the runtime
+/// ([`SharingSpace`]) and the static analysis (`simtlint`,
+/// `Analysis::staging_report`) both use it, so report arithmetic can never
+/// drift from execution. No shared memory is touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Total capacity in 8-byte slots.
+    pub total_slots: u32,
+    /// Slots of the leading team-main slice.
+    pub team_slots: u32,
+    /// Slots per SIMD-group slice (0 when groups outnumber slots).
+    pub group_slots: u32,
+    /// Number of SIMD groups the space is divided among.
+    pub num_groups: u32,
+}
+
+impl SlotLayout {
+    /// Layout for a space of `total_slots` slots divided among
+    /// `num_groups` SIMD groups (§5.3.1: the space after the team slice is
+    /// divided evenly).
+    pub fn new(total_slots: u32, num_groups: u32) -> SlotLayout {
+        assert!(num_groups >= 1);
+        let team_slots = TEAM_SLICE_SLOTS.min(total_slots);
+        let group_slots = total_slots.saturating_sub(TEAM_SLICE_SLOTS) / num_groups;
+        SlotLayout { total_slots, team_slots, group_slots, num_groups }
+    }
+
+    /// Layout for a sharing space of `bytes` bytes (8-byte slots).
+    pub fn for_bytes(bytes: u32, num_groups: u32) -> SlotLayout {
+        SlotLayout::new(bytes / 8, num_groups)
+    }
+
+    /// Whether a group slice can hold `slots` slots; `false` means the
+    /// runtime must allocate the global fallback (§5.3.1).
+    pub fn group_fits(&self, slots: u32) -> bool {
+        slots <= self.group_slots
+    }
+
+    /// Whether the team slice can hold `slots` slots.
+    pub fn team_fits(&self, slots: u32) -> bool {
+        slots <= self.team_slots
+    }
+
+    /// Start slot (relative to the space base) of group `g`'s slice.
+    pub fn group_start(&self, g: u32) -> u32 {
+        assert!(g < self.num_groups, "group {g} out of range");
+        self.team_slots + g * self.group_slots
+    }
+}
+
 /// Layout of the variable sharing space for one team.
 #[derive(Clone, Copy, Debug)]
 pub struct SharingSpace {
@@ -38,12 +91,11 @@ impl SharingSpace {
     }
 
     /// Slice layout for a `parallel` region with `num_groups` SIMD groups:
-    /// the space after the team slice is divided evenly (§5.3.1).
+    /// delegates the arithmetic to [`SlotLayout`] (§5.3.1).
     pub fn configure_groups(&mut self, num_groups: u32) {
-        assert!(num_groups >= 1);
-        self.num_groups = num_groups;
-        let avail = self.total_slots.saturating_sub(TEAM_SLICE_SLOTS);
-        self.group_slots = avail / num_groups;
+        let l = SlotLayout::new(self.total_slots, num_groups);
+        self.num_groups = l.num_groups;
+        self.group_slots = l.group_slots;
     }
 
     /// The team main thread's slice (offset, slots).
@@ -54,8 +106,8 @@ impl SharingSpace {
     /// Group `g`'s slice (offset, slots). Slots may be 0 when many groups
     /// share a small space — every use then needs the global fallback.
     pub fn group_slice(&self, g: u32) -> (SmOff, u32) {
-        assert!(g < self.num_groups, "group {g} out of range");
-        let start = TEAM_SLICE_SLOTS.min(self.total_slots) + g * self.group_slots;
+        let l = SlotLayout::new(self.total_slots, self.num_groups.max(1));
+        let start = l.group_start(g);
         (SmOff(self.base.0 + start), self.group_slots)
     }
 
@@ -150,5 +202,29 @@ mod tests {
         let (_m, mut s) = space(2048);
         s.configure_groups(4);
         s.group_slice(4);
+    }
+
+    #[test]
+    fn slot_layout_agrees_with_runtime_space() {
+        // The pure layout and the runtime space must produce identical
+        // arithmetic for every configuration (the analysis relies on it).
+        for bytes in [256u32, 512, 1024, 2048, 4096] {
+            for ng in [1u32, 2, 4, 16, 64, 128] {
+                let l = SlotLayout::for_bytes(bytes, ng);
+                let (_m, mut s) = space(bytes);
+                s.configure_groups(ng);
+                assert_eq!(l.total_slots, s.total_slots());
+                assert_eq!(l.group_slots, s.group_slots(), "bytes={bytes} ng={ng}");
+                assert_eq!(l.team_slots, s.team_slice().1);
+                for g in 0..ng.min(8) {
+                    let (off, _) = s.group_slice(g);
+                    assert_eq!(off.0 - s.team_slice().0 .0, l.group_start(g));
+                }
+                for n in 0..6 {
+                    assert_eq!(l.group_fits(n), s.group_fits(n));
+                    assert_eq!(l.team_fits(n), s.team_fits(n));
+                }
+            }
+        }
     }
 }

@@ -32,6 +32,16 @@ struct Access {
     addr: u64,
     bytes: u32,
     atomic: bool,
+    write: bool,
+}
+
+/// How a lane touched a shared-memory slot (feeds the bank-conflict model
+/// and the sanitizer's race rules — atomics never race with each other).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SmemKind {
+    Read,
+    Write,
+    Atomic,
 }
 
 /// Per-lane cost trace captured while a lane program runs.
@@ -39,10 +49,22 @@ struct Access {
 struct LaneTrace {
     alu: u64,
     smem_ops: u64,
-    /// Shared-memory slot indices with a write flag, in program order (for
-    /// bank-conflict analysis across lockstep lanes and the sanitizer).
-    smem_slots: Vec<(u32, bool)>,
+    /// Shared-memory slot indices with an access kind, in program order
+    /// (for bank-conflict analysis across lockstep lanes and the
+    /// sanitizer).
+    smem_slots: Vec<(u32, SmemKind)>,
     accesses: Vec<Access>,
+}
+
+/// Side effects observed while running lanes with the sanitizer attached,
+/// accumulated per [`TeamCtx`] and drained with [`TeamCtx::take_observed`].
+/// The runtime interpreter diffs these against declared effect footprints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObservedEffects {
+    /// Any plain global-memory write happened.
+    pub global_writes: bool,
+    /// Any global-memory atomic RMW happened.
+    pub global_atomics: bool,
 }
 
 impl LaneTrace {
@@ -99,6 +121,7 @@ impl<'a> Lane<'a> {
             addr: self.global.addr_of(p, idx),
             bytes: std::mem::size_of::<T>() as u32,
             atomic: false,
+            write: false,
         });
         self.global.read(p, idx)
     }
@@ -110,6 +133,7 @@ impl<'a> Lane<'a> {
             addr: self.global.addr_of(p, idx),
             bytes: std::mem::size_of::<T>() as u32,
             atomic: false,
+            write: true,
         });
         self.global.write(p, idx, v);
     }
@@ -122,6 +146,7 @@ impl<'a> Lane<'a> {
             addr: self.global.addr_of(p, idx),
             bytes: 8,
             atomic: true,
+            write: true,
         });
         let old = self.global.read(p, idx);
         self.global.write(p, idx, old + v);
@@ -135,6 +160,7 @@ impl<'a> Lane<'a> {
             addr: self.global.addr_of(p, idx),
             bytes: 8,
             atomic: true,
+            write: true,
         });
         let old = self.global.read(p, idx);
         self.global.write(p, idx, old.wrapping_add(v));
@@ -145,7 +171,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_read_slot(&mut self, off: SmOff, idx: u32) -> Slot {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, false));
+        self.trace.smem_slots.push((off.0 + idx, SmemKind::Read));
         self.smem.read_slot(off, idx)
     }
 
@@ -153,7 +179,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_write_slot(&mut self, off: SmOff, idx: u32, v: Slot) {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, true));
+        self.trace.smem_slots.push((off.0 + idx, SmemKind::Write));
         self.smem.write_slot(off, idx, v);
     }
 
@@ -161,7 +187,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_read_f64(&mut self, off: SmOff, idx: u32) -> f64 {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, false));
+        self.trace.smem_slots.push((off.0 + idx, SmemKind::Read));
         self.smem.read_f64(off, idx)
     }
 
@@ -169,8 +195,21 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn smem_write_f64(&mut self, off: SmOff, idx: u32, v: f64) {
         self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, true));
+        self.trace.smem_slots.push((off.0 + idx, SmemKind::Write));
         self.smem.write_f64(off, idx, v);
+    }
+
+    /// Atomic `fetch_add` on a shared-memory slot holding an `f64`; returns
+    /// the old value. Atomics to the same slot never race with each other,
+    /// but an atomic unsynchronized with a *plain* access to the same slot
+    /// is a protocol violation (simtcheck's atomic/plain rule).
+    #[inline]
+    pub fn smem_atomic_add_f64(&mut self, off: SmOff, idx: u32, v: f64) -> f64 {
+        self.trace.smem_ops += 1;
+        self.trace.smem_slots.push((off.0 + idx, SmemKind::Atomic));
+        let old = self.smem.read_f64(off, idx);
+        self.smem.write_f64(off, idx, old + v);
+        old
     }
 }
 
@@ -198,6 +237,7 @@ pub struct TeamCtx<'g> {
     scratch_atomic: Vec<u64>,
     event_trace: Option<crate::trace::Trace>,
     sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
+    observed: ObservedEffects,
 }
 
 impl<'g> TeamCtx<'g> {
@@ -228,6 +268,7 @@ impl<'g> TeamCtx<'g> {
             scratch_atomic: Vec::new(),
             event_trace: None,
             sanitizer: None,
+            observed: ObservedEffects::default(),
         }
     }
 
@@ -258,6 +299,23 @@ impl<'g> TeamCtx<'g> {
     /// protocol metadata is worth emitting).
     pub fn sanitizing(&self) -> bool {
         self.sanitizer.is_some()
+    }
+
+    /// Drain the side effects observed since the last call (only tracked
+    /// while a sanitizer is attached). The runtime interpreter brackets
+    /// footprint-declared outlined calls with this to validate the
+    /// declaration against what actually happened.
+    pub fn take_observed(&mut self) -> ObservedEffects {
+        std::mem::take(&mut self.observed)
+    }
+
+    /// Report an externally-detected violation (e.g. a footprint mismatch
+    /// found by the runtime interpreter) through the attached sanitizer.
+    /// No-op when not sanitizing.
+    pub fn report_violation(&mut self, v: crate::sanitize::Violation) {
+        if let Some(s) = &mut self.sanitizer {
+            s.report_external(v);
+        }
     }
 
     /// Number of warps in this block.
@@ -321,8 +379,19 @@ impl<'g> TeamCtx<'g> {
         if let Some(mut san) = self.sanitizer.take() {
             for (i, &lane_id) in lanes.iter().enumerate() {
                 let tid = warp * self.arch.warp_size + lane_id;
-                for &(slot, write) in &self.trace_pool[i].smem_slots {
-                    san.record_smem(tid, slot, write);
+                for &(slot, kind) in &self.trace_pool[i].smem_slots {
+                    match kind {
+                        SmemKind::Read => san.record_smem(tid, slot, false),
+                        SmemKind::Write => san.record_smem(tid, slot, true),
+                        SmemKind::Atomic => san.record_smem_atomic(tid, slot),
+                    }
+                }
+                for a in &self.trace_pool[i].accesses {
+                    if a.atomic {
+                        self.observed.global_atomics = true;
+                    } else if a.write {
+                        self.observed.global_writes = true;
+                    }
                 }
             }
             self.sanitizer = Some(san);

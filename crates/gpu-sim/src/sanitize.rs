@@ -107,6 +107,30 @@ pub enum Violation {
         /// Allocations never freed.
         outstanding: u64,
     },
+    /// An atomic RMW and a plain (non-atomic) access touched the same
+    /// shared-memory slot with no synchronization between them. Atomics
+    /// never race with each other, but mixing them with unordered plain
+    /// accesses is undefined on real hardware.
+    AtomicPlainRace {
+        /// Block id.
+        block: u32,
+        /// Shared-memory slot index.
+        slot: u32,
+        /// The atomic access.
+        atomic: AccessLabel,
+        /// The conflicting plain access.
+        plain: AccessLabel,
+    },
+    /// An outlined function's observed behavior contradicted its declared
+    /// effect footprint (static claims are checked, not trusted).
+    FootprintViolation {
+        /// Block id.
+        block: u32,
+        /// Which outlined function (e.g. `seq #2`, `simd body #0`).
+        func: String,
+        /// What the declaration missed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -147,6 +171,18 @@ impl std::fmt::Display for Violation {
                 "block {block}: {outstanding} sharing-space global fallback \
                  allocation(s) leaked past __target_deinit"
             ),
+            Violation::AtomicPlainRace { block, slot, atomic, plain } => {
+                let kind = if plain.write { "write" } else { "read" };
+                write!(
+                    f,
+                    "block {block}: unsynchronized atomic RMW by thread {} vs plain \
+                     {kind} by thread {} on shared slot {slot}",
+                    atomic.thread, plain.thread
+                )
+            }
+            Violation::FootprintViolation { block, func, detail } => {
+                write!(f, "block {block}: {func} violated its declared footprint: {detail}")
+            }
         }
     }
 }
@@ -175,6 +211,9 @@ struct SlotState {
     last_write: Option<AccessLabel>,
     /// Readers since the last write (one entry per thread, latest epoch).
     readers: Vec<AccessLabel>,
+    /// Most recent atomic RMW on the slot (atomics never race with each
+    /// other, only with unordered plain accesses).
+    last_atomic: Option<AccessLabel>,
 }
 
 /// Cap on stored violations per block (further ones are counted, not kept).
@@ -241,6 +280,12 @@ impl Sanitizer {
     /// Violations found beyond the storage cap.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Report a violation detected outside the sanitizer itself (the
+    /// runtime interpreter's footprint validation uses this).
+    pub fn report_external(&mut self, v: Violation) {
+        self.report(v);
     }
 
     // ----- metadata from the runtime interpreter -----------------------
@@ -367,6 +412,12 @@ impl Sanitizer {
 
         let Some(state) = self.slots.get(slot as usize) else { return };
         let mut found: Vec<Violation> = Vec::new();
+        // Plain access vs an unordered atomic RMW: the atomic/plain rule.
+        if let Some(a) = state.last_atomic {
+            if !self.ordered_before(a.thread, a.epoch, thread) {
+                found.push(Violation::AtomicPlainRace { block, slot, atomic: a, plain: label });
+            }
+        }
         if write {
             // A write conflicts with the previous write and with every read
             // since it, unless a covering sync ordered them before us.
@@ -393,7 +444,9 @@ impl Sanitizer {
                     }
                 }
                 None => {
-                    if in_sharing {
+                    // An atomic counts as initialization: reading after only
+                    // atomic writes is not an unwritten read.
+                    if in_sharing && state.last_atomic.is_none() {
                         found.push(Violation::UnwrittenRead { block, slot, thread });
                     }
                 }
@@ -403,12 +456,43 @@ impl Sanitizer {
         if write {
             state.last_write = Some(label);
             state.readers.clear();
+            // The plain write supersedes the atomic history; if it raced
+            // with the atomic we reported it above.
+            state.last_atomic = None;
         } else {
             match state.readers.iter_mut().find(|r| r.thread == thread) {
                 Some(r) => *r = label,
                 None => state.readers.push(label),
             }
         }
+        for v in found {
+            self.report(v);
+        }
+    }
+
+    /// Record one shared-memory atomic RMW by global thread `thread`.
+    /// Atomics never race with each other; they conflict only with plain
+    /// accesses not ordered before them.
+    pub fn record_smem_atomic(&mut self, thread: u32, slot: u32) {
+        let epoch = self.epochs.get(thread as usize).copied().unwrap_or(0);
+        let label = AccessLabel { thread, write: true, epoch };
+        let block = self.block;
+        if let Some(v) = self.check_overflow(thread, slot) {
+            self.report(v);
+        }
+        let Some(state) = self.slots.get(slot as usize) else { return };
+        let mut found: Vec<Violation> = Vec::new();
+        if let Some(w) = state.last_write {
+            if !self.ordered_before(w.thread, w.epoch, thread) {
+                found.push(Violation::AtomicPlainRace { block, slot, atomic: label, plain: w });
+            }
+        }
+        for r in &state.readers {
+            if !self.ordered_before(r.thread, r.epoch, thread) {
+                found.push(Violation::AtomicPlainRace { block, slot, atomic: label, plain: *r });
+            }
+        }
+        self.slots[slot as usize].last_atomic = Some(label);
         for v in found {
             self.report(v);
         }
@@ -674,5 +758,80 @@ mod tests {
     fn display_is_readable() {
         let v = Violation::LeakedFallback { block: 3, outstanding: 2 };
         assert!(format!("{v}").contains("leaked"));
+        let fp = Violation::FootprintViolation {
+            block: 1,
+            func: "seq #0".into(),
+            detail: "undeclared global write".into(),
+        };
+        assert!(format!("{fp}").contains("footprint"));
+    }
+
+    #[test]
+    fn atomic_vs_plain_unsynchronized_races() {
+        let mut s = san();
+        s.record_smem(0, 7, true); // plain write
+        s.record_smem_atomic(1, 7); // same epoch: atomic/plain race
+        let v = s.finish();
+        assert!(
+            matches!(v[0], Violation::AtomicPlainRace { slot: 7, .. }),
+            "expected atomic/plain race, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn plain_after_unordered_atomic_races() {
+        let mut s = san();
+        s.record_smem_atomic(0, 7);
+        s.record_smem(1, 7, false); // plain read, same epoch
+        let v = s.finish();
+        assert!(matches!(v[0], Violation::AtomicPlainRace { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn atomics_never_race_with_each_other() {
+        let mut s = san();
+        s.record_smem_atomic(0, 7);
+        s.record_smem_atomic(1, 7);
+        s.record_smem_atomic(40, 7); // other warp, same epoch
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn barrier_separates_atomic_and_plain() {
+        let mut s = san();
+        s.record_smem_atomic(0, 7);
+        s.on_block_barrier();
+        s.record_smem(40, 7, false); // ordered after the atomic: clean
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn read_after_only_atomics_is_not_unwritten() {
+        let mut s = san();
+        s.declare_sharing(SharingLayout {
+            base: 0,
+            total_slots: 64,
+            team_slots: 8,
+            group_slots: 4,
+            num_groups: 8,
+            simdlen: 8,
+        });
+        // Slot 8 is in thread 0's own group slice (group 0 owns 8..12).
+        s.record_smem_atomic(0, 8);
+        s.on_block_barrier();
+        s.record_smem(1, 8, false);
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn report_external_surfaces_in_findings() {
+        let mut s = san();
+        s.report_external(Violation::FootprintViolation {
+            block: 0,
+            func: "seq #1".into(),
+            detail: "undeclared atomic".into(),
+        });
+        let v = s.finish();
+        assert!(matches!(v[0], Violation::FootprintViolation { .. }));
     }
 }

@@ -10,12 +10,19 @@
 //! The two-level baseline therefore must run the inner loop serially in
 //! each thread (group size 1) — with badly strided memory accesses —
 //! while the `simd` version assigns the inner loop to adjacent lanes.
-//! Teams are SPMD; the parallel region is generic (the sequential offset
-//! lookup breaks tight nesting), matching §6.3.
+//! Teams are SPMD. The parallel region *infers* generic (the sequential
+//! offset lookup breaks tight nesting, §6.3) — but the lookup declares a
+//! pure effect footprint (it only reads `offsets` and writes a scope
+//! register), so the simtlint SPMD-ization pass promotes the region back
+//! to SPMD: the state machine and per-dispatch staging are provably
+//! unnecessary. [`build_forced_generic`] keeps the un-promoted variant for
+//! the promotion ablation.
 
 use gpu_sim::{DPtr, Device, LaunchStats, Slot};
 use omp_codegen::builder::{Schedule, TargetBuilder};
 use omp_codegen::CompiledKernel;
+use omp_core::config::ExecMode;
+use omp_core::dispatch::Footprint;
 
 const A_IN: usize = 0;
 const A_OUT: usize = 1;
@@ -107,32 +114,66 @@ impl IdealDev {
 }
 
 /// Build the ideal kernel: `simdlen == 1` is the serial-inner baseline;
-/// larger sizes vectorize the 32-iteration loop over the SIMD group.
+/// larger sizes vectorize the 32-iteration loop over the SIMD group. The
+/// parallel region carries declared effect footprints, so the SPMD-ization
+/// pass promotes it (see module docs).
 pub fn build(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
+    build_inner(num_teams, threads, simdlen, None)
+}
+
+/// The un-promoted variant: the parallel region is pinned to generic mode
+/// (a forced mode is never SPMD-ized), preserving the state machine and
+/// staging costs for the promotion ablation. `simdlen` must be > 1.
+pub fn build_forced_generic(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
+    assert!(simdlen > 1, "group size 1 always runs SPMD (§5.4)");
+    build_inner(num_teams, threads, simdlen, Some(ExecMode::Generic))
+}
+
+fn build_inner(
+    num_teams: u32,
+    threads: u32,
+    simdlen: u32,
+    force: Option<ExecMode>,
+) -> CompiledKernel {
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
     let outer = b.trip_uniform(|_, v| v.args[A_OUTER].as_u64());
     let inner = b.trip_const(INNER);
     b.build(|t| {
-        t.distribute_parallel_for(outer, Schedule::Cyclic(1), simdlen, |p, o| {
-            // Sequential offset lookup: the non-collapsible part. Makes the
-            // parallel region generic (§6.3: teams SPMD, parallel generic).
+        let body = |p: &mut omp_codegen::ParScope<'_>, o: omp_codegen::RegH| {
+            // Sequential offset lookup: the non-collapsible part. Breaks
+            // tight nesting, but the declared footprint is pure (reads the
+            // offsets table, writes only a scope register) so the region is
+            // promotable back to SPMD.
             let base = p.alloc_reg();
-            p.seq(move |lane, v| {
-                let offs = v.args[A_OFFSETS].as_ptr::<u64>();
-                let i = v.regs[o.0].as_u64();
-                let b = lane.read(offs, i);
-                lane.work(2);
-                v.regs[base.0] = Slot::from_u64(b);
-            });
-            p.simd(inner, move |lane, iv, v| {
-                let input = v.args[A_IN].as_ptr::<f64>();
-                let out = v.args[A_OUT].as_ptr::<f64>();
-                let idx = v.regs[base.0].as_u64() + iv;
-                let x = lane.read(input, idx);
-                lane.work(BODY_CYCLES);
-                lane.write(out, idx, body_fn(x));
-            });
-        });
+            p.seq_footprint(
+                Footprint::new().reads_args(&[A_OFFSETS]).reads_regs(&[o.0]).writes_regs(&[base.0]),
+                move |lane, v| {
+                    let offs = v.args[A_OFFSETS].as_ptr::<u64>();
+                    let i = v.regs[o.0].as_u64();
+                    let b = lane.read(offs, i);
+                    lane.work(2);
+                    v.regs[base.0] = Slot::from_u64(b);
+                },
+            );
+            p.simd_footprint(
+                inner,
+                Footprint::new().reads_args(&[A_IN]).writes_args(&[A_OUT]).reads_regs(&[base.0]),
+                move |lane, iv, v| {
+                    let input = v.args[A_IN].as_ptr::<f64>();
+                    let out = v.args[A_OUT].as_ptr::<f64>();
+                    let idx = v.regs[base.0].as_u64() + iv;
+                    let x = lane.read(input, idx);
+                    lane.work(BODY_CYCLES);
+                    lane.write(out, idx, body_fn(x));
+                },
+            );
+        };
+        match force {
+            Some(mode) => {
+                t.distribute_parallel_for_with_mode(outer, Schedule::Cyclic(1), simdlen, mode, body)
+            }
+            None => t.distribute_parallel_for(outer, Schedule::Cyclic(1), simdlen, body),
+        }
     })
 }
 
@@ -164,10 +205,29 @@ mod tests {
             let ops = IdealDev::upload(&mut dev, &w);
             let k = build(4, 64, gs);
             assert_eq!(k.analysis.teams_mode, ExecMode::Spmd);
-            let expect_mode = if gs == 1 { ExecMode::Spmd } else { ExecMode::Generic };
-            assert_eq!(k.analysis.parallels[0].desc.mode, expect_mode, "gs={gs}");
+            // The declared-pure offset lookup lets SPMD-ization promote the
+            // inferred-generic region for every group size > 1.
+            assert_eq!(k.analysis.parallels[0].desc.mode, ExecMode::Spmd, "gs={gs}");
+            let expect_inferred = if gs == 1 { ExecMode::Spmd } else { ExecMode::Generic };
+            assert_eq!(k.analysis.parallels[0].inferred, expect_inferred, "gs={gs}");
+            assert_eq!(k.analysis.parallels[0].promoted, gs > 1, "gs={gs}");
             let (out, _) = run(&mut dev, &k, &ops);
             assert_eq!(out, want, "gs={gs}");
         }
+    }
+
+    #[test]
+    fn forced_generic_variant_is_never_promoted() {
+        let w = IdealWorkload::generate(16, 5);
+        let want = w.reference();
+        let mut dev = Device::a100();
+        let ops = IdealDev::upload(&mut dev, &w);
+        let k = build_forced_generic(2, 64, 8);
+        assert_eq!(k.analysis.parallels[0].desc.mode, ExecMode::Generic);
+        assert!(k.analysis.parallels[0].forced);
+        assert!(!k.analysis.parallels[0].promoted);
+        assert!(k.analysis.promotions.is_empty());
+        let (out, _) = run(&mut dev, &k, &ops);
+        assert_eq!(out, want);
     }
 }
