@@ -1,0 +1,8 @@
+//! `cargo bench -p simt-omp-bench --bench pipeline` — double-buffered
+//! chunked offload vs the serialized baseline (streams, events, and the
+//! virtual timeline's transfer/compute overlap).
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::pipeline::run_all(quick);
+    simt_omp_bench::pipeline::report(&rows);
+}

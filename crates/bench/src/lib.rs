@@ -10,6 +10,9 @@
 //! * [`ablations`] — design-choice experiments DESIGN.md calls out
 //!   (sharing-space size, dispatch strategy, extra team-main warp,
 //!   trip-count divisibility, reductions vs atomics, AMD fallback).
+//! * [`pipeline`] — double-buffered chunked offload vs the serialized
+//!   baseline on the virtual timeline (streams + events + per-device
+//!   resource overlap).
 //! * [`report`] — table printing + JSON persistence so EXPERIMENTS.md
 //!   numbers are regenerable.
 //!
@@ -20,6 +23,7 @@
 pub mod ablations;
 pub mod fig10;
 pub mod fig9;
+pub mod pipeline;
 pub mod report;
 
 /// Parse the common `--quick` flag from bench argv.

@@ -51,5 +51,5 @@ pub use mem::global::GlobalMem;
 pub use mem::ptr::{DPtr, Slot};
 pub use mem::shared::SharedMem;
 pub use sanitize::{Sanitizer, SharingLayout, Violation};
-pub use stats::{BlockProfile, LaunchStats};
+pub use stats::{BlockProfile, LaunchStats, Resource, ResourceCycles};
 pub use trace::{Trace, TraceEvent};

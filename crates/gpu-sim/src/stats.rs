@@ -1,5 +1,83 @@
 //! Profiling counters produced by simulated execution.
 
+/// A schedulable per-device resource in the host runtime's timeline model.
+///
+/// A device overlaps three independent engines: the host→device DMA link,
+/// the device→host DMA link (PCIe is full duplex), and the compute core.
+/// Kernel launches consume [`Resource::Compute`]; the host runtime tags
+/// transfers with the two link resources so its virtual-timeline scheduler
+/// can overlap them with kernels (and with each other) in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Host→device DMA engine.
+    H2D,
+    /// Device→host DMA engine.
+    D2H,
+    /// The compute core (kernel execution).
+    Compute,
+}
+
+/// Every resource, in a fixed display/iteration order.
+pub const RESOURCES: [Resource; 3] = [Resource::H2D, Resource::D2H, Resource::Compute];
+
+impl Resource {
+    /// Dense index for per-resource tables (`0..RESOURCES.len()`).
+    pub fn index(self) -> usize {
+        match self {
+            Resource::H2D => 0,
+            Resource::D2H => 1,
+            Resource::Compute => 2,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resource::H2D => "h2d",
+            Resource::D2H => "d2h",
+            Resource::Compute => "compute",
+        }
+    }
+}
+
+/// Cycles consumed per device resource — the shape a launch (or transfer)
+/// reports its cost in so the host runtime can attribute it to the right
+/// engine on the virtual timeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceCycles {
+    /// Host→device link cycles.
+    pub h2d: u64,
+    /// Device→host link cycles.
+    pub d2h: u64,
+    /// Compute-core cycles.
+    pub compute: u64,
+}
+
+impl ResourceCycles {
+    /// Cycles charged to one resource.
+    pub fn get(&self, r: Resource) -> u64 {
+        match r {
+            Resource::H2D => self.h2d,
+            Resource::D2H => self.d2h,
+            Resource::Compute => self.compute,
+        }
+    }
+
+    /// Add cycles to one resource.
+    pub fn add(&mut self, r: Resource, cycles: u64) {
+        match r {
+            Resource::H2D => self.h2d += cycles,
+            Resource::D2H => self.d2h += cycles,
+            Resource::Compute => self.compute += cycles,
+        }
+    }
+
+    /// Sum over all resources — the fully serialized cost.
+    pub fn total(&self) -> u64 {
+        self.h2d + self.d2h + self.compute
+    }
+}
+
 /// Resource profile of one executed thread block.
 #[derive(Clone, Debug, Default)]
 pub struct BlockProfile {
@@ -92,9 +170,44 @@ pub struct LaunchStats {
     pub violations: Vec<crate::sanitize::Violation>,
 }
 
+impl LaunchStats {
+    /// The launch's cost attributed to device resources: a kernel occupies
+    /// the compute engine for its whole makespan and neither DMA link. The
+    /// host runtime feeds this into its virtual-timeline scheduler so
+    /// transfers it tags [`Resource::H2D`]/[`Resource::D2H`] genuinely
+    /// overlap kernel execution in simulated time.
+    pub fn resources(&self) -> ResourceCycles {
+        ResourceCycles { h2d: 0, d2h: 0, compute: self.cycles }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resource_cycles_accumulate_and_total() {
+        let mut rc = ResourceCycles::default();
+        rc.add(Resource::H2D, 100);
+        rc.add(Resource::Compute, 50);
+        rc.add(Resource::H2D, 10);
+        assert_eq!(rc.get(Resource::H2D), 110);
+        assert_eq!(rc.get(Resource::D2H), 0);
+        assert_eq!(rc.get(Resource::Compute), 50);
+        assert_eq!(rc.total(), 160);
+        // Dense indices cover the table without collision.
+        let idx: Vec<usize> = RESOURCES.iter().map(|r| r.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn launch_stats_charge_the_compute_engine() {
+        let s = LaunchStats { cycles: 1234, ..Default::default() };
+        let rc = s.resources();
+        assert_eq!(rc.compute, 1234);
+        assert_eq!(rc.h2d + rc.d2h, 0);
+        assert_eq!(rc.total(), 1234);
+    }
 
     #[test]
     fn counters_merge_adds_fields() {

@@ -14,17 +14,33 @@
 //!   ([`task::HelperPool`]), reproducing the concurrency substrate of the
 //!   paper's reference \[26\];
 //! * **streams** ([`stream::Stream`]): in-order asynchronous per-device
-//!   work queues with simulated-cycle accounting.
+//!   work queues;
+//! * **events** ([`event::Event`]): recorded on streams and waited on by
+//!   others, forming a dependence DAG across streams and devices
+//!   (`target nowait` + `depend` analog);
+//! * the **virtual timeline** ([`timeline::Timeline`]): a deterministic
+//!   scheduler that replays the recorded DAG against three resources per
+//!   device (H2D link, D2H link, compute), so transfers overlap kernels —
+//!   and each other, duplex — in simulated cycles, with per-resource busy
+//!   time, critical path, and overlap ratio in
+//!   [`timeline::TimelineStats`];
+//! * **pipelined map transfers** ([`map::pipelined_to_compute`]):
+//!   double-buffered chunked `map(to:)` interleaving H2D of chunk *k+1*
+//!   with compute on chunk *k*.
 
 pub mod device;
+pub mod event;
 pub mod map;
 pub mod stream;
 pub mod sync;
 pub mod task;
+pub mod timeline;
 pub mod xfer;
 
 pub use device::HostRuntime;
-pub use map::ManagedDevice;
+pub use event::Event;
+pub use map::{pipelined_map_to, pipelined_to_compute, ManagedDevice};
 pub use stream::Stream;
 pub use task::HelperPool;
+pub use timeline::{DeviceBusy, OpView, Timeline, TimelineStats};
 pub use xfer::{XferModel, XferStats};

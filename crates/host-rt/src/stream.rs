@@ -4,59 +4,156 @@
 //! operations execute in order but asynchronously to the host; operations
 //! on the same device serialize on the device lock exactly like same-device
 //! kernels do on real hardware.
+//!
+//! Simulated time is *not* what the helper threads measure: every enqueue
+//! is also recorded on a [`Timeline`], ops are tagged with the device
+//! resource they occupy ([`Resource::H2D`], [`Resource::D2H`],
+//! [`Resource::Compute`]), and [`Event`]s recorded here / waited there add
+//! cross-stream dependence edges. The timeline's scheduler then lets
+//! transfers overlap kernels (and each other) in simulated cycles — see
+//! [`crate::timeline`] for the model.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use gpu_sim::Resource;
+
+use crate::event::{Event, StreamDone};
 use crate::map::ManagedDevice;
 use crate::sync::Mutex;
 use crate::task::HelperPool;
+use crate::timeline::Timeline;
 
 /// An in-order asynchronous queue of device operations.
 pub struct Stream {
     dev: Arc<Mutex<ManagedDevice>>,
     pool: HelperPool,
-    /// Simulated device cycles accumulated by completed operations.
-    cycles: Arc<AtomicU64>,
-    /// Operations enqueued so far.
+    timeline: Timeline,
+    /// This stream's id on the timeline.
+    id: u32,
+    /// Real-completion tracker events wait on.
+    done: Arc<StreamDone>,
+    /// Real operations enqueued so far (wait markers excluded).
     enqueued: AtomicU64,
 }
 
 impl Stream {
-    /// Create a stream bound to a device.
+    /// Create a stream bound to a device, on a private timeline (device
+    /// index 0). Use [`crate::HostRuntime::stream`] to put several streams
+    /// on one shared timeline so their overlap is modeled jointly.
     pub fn new(dev: Arc<Mutex<ManagedDevice>>) -> Stream {
+        Stream::on_timeline(dev, &Timeline::new(), 0)
+    }
+
+    /// Create a stream bound to a device, recording on `timeline` as
+    /// `device` (the index the timeline attributes resource busy-time to).
+    pub fn on_timeline(dev: Arc<Mutex<ManagedDevice>>, timeline: &Timeline, device: u32) -> Stream {
+        let timeline = timeline.clone();
+        let id = timeline.register_stream(device);
         Stream {
             dev,
             pool: HelperPool::new(1), // one thread ⇒ in-order execution
-            cycles: Arc::new(AtomicU64::new(0)),
+            timeline,
+            id,
+            done: StreamDone::new(),
             enqueued: AtomicU64::new(0),
         }
     }
 
-    /// Enqueue an operation. `op` receives the locked device and returns
-    /// the simulated cycles it consumed (kernel launches return
-    /// `stats.cycles`; transfers return link cycles).
-    pub fn enqueue(&self, op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static) {
+    /// Enqueue an operation occupying `resource`. `op` receives the locked
+    /// device and returns the simulated cycles it consumed (kernel launches
+    /// return `stats.cycles`; transfers return link cycles).
+    pub fn enqueue_on(
+        &self,
+        resource: Resource,
+        op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static,
+    ) {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let op_id = self.timeline.begin_op(self.id, resource);
         let dev = Arc::clone(&self.dev);
-        let cycles = Arc::clone(&self.cycles);
+        let timeline = self.timeline.clone();
+        let done = Arc::clone(&self.done);
         self.pool.submit(move || {
-            let mut md = dev.lock();
-            let c = op(&mut md);
-            cycles.fetch_add(c, Ordering::Relaxed);
+            let cycles = {
+                let mut md = dev.lock();
+                op(&mut md)
+            };
+            timeline.finish_op(op_id, cycles);
+            done.bump();
+        });
+    }
+
+    /// Enqueue a compute operation (kernel launch). Equivalent to
+    /// [`Stream::enqueue_on`] with [`Resource::Compute`].
+    pub fn enqueue(&self, op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static) {
+        self.enqueue_on(Resource::Compute, op);
+    }
+
+    /// Enqueue a host→device transfer (occupies the H2D DMA link).
+    pub fn enqueue_h2d(&self, op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static) {
+        self.enqueue_on(Resource::H2D, op);
+    }
+
+    /// Enqueue a device→host transfer (occupies the D2H DMA link).
+    pub fn enqueue_d2h(&self, op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static) {
+        self.enqueue_on(Resource::D2H, op);
+    }
+
+    /// Record an event capturing everything enqueued on this stream so far
+    /// (`cudaEventRecord`).
+    pub fn record_event(&self) -> Event {
+        Event {
+            stream: self.id,
+            watermark: self.timeline.watermark(self.id),
+            done: Arc::clone(&self.done),
+        }
+    }
+
+    /// Make every operation enqueued on this stream *after* this call wait
+    /// for `event` (`cudaStreamWaitEvent`): the helper thread really blocks
+    /// until the producer's covered ops completed, and the timeline gains
+    /// the dependence edge. Waiting on an event recorded later on this very
+    /// stream (or any event cycle) deadlocks, as on real hardware; with a
+    /// single enqueueing host thread program order makes cycles impossible.
+    pub fn wait_event(&self, event: &Event) {
+        let op_id = self.timeline.begin_wait(self.id, (event.stream, event.watermark));
+        let ev = event.clone();
+        let timeline = self.timeline.clone();
+        let done = Arc::clone(&self.done);
+        self.pool.submit(move || {
+            ev.synchronize();
+            timeline.finish_op(op_id, 0);
+            done.bump();
         });
     }
 
     /// Block until every enqueued operation completed; returns the stream's
-    /// total simulated cycles so far.
+    /// finish time on the simulated timeline (for a lone stream starting at
+    /// zero this equals the sum of its op cycles).
     pub fn sync(&self) -> u64 {
         self.pool.wait_all();
-        self.cycles.load(Ordering::Relaxed)
+        self.timeline.stream_finish(self.id)
     }
 
-    /// Number of operations enqueued over the stream's lifetime.
+    /// Number of real operations enqueued over the stream's lifetime (wait
+    /// markers are not counted).
     pub fn ops_enqueued(&self) -> u64 {
         self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// The timeline this stream records on.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// This stream's id on its timeline.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The device handle this stream is bound to.
+    pub fn device(&self) -> &Arc<Mutex<ManagedDevice>> {
+        &self.dev
     }
 }
 
@@ -95,8 +192,7 @@ mod tests {
         let dev = rt.device(0);
         let p = dev.lock().dev.global.alloc_zeroed::<f64>(256);
 
-        s.enqueue(move |md| {
-            // "H2D": write + charge link cycles.
+        s.enqueue_h2d(move |md| {
             md.dev.global.write_slice(p, &host2);
             let model = md.model;
             md.xfer.record_h2d(&model, 256 * 8);
@@ -121,6 +217,10 @@ mod tests {
         assert!(total > 0);
         let got = dev.lock().dev.global.read_slice(p, 4);
         assert_eq!(got, vec![0.0, 2.0, 4.0, 6.0]);
+        // Same stream: the kernel queued behind the transfer, no overlap.
+        let st = s.timeline().stats();
+        assert_eq!(st.makespan, st.serialized);
+        assert_eq!(st.overlap_ratio, 0.0);
     }
 
     #[test]
@@ -144,5 +244,67 @@ mod tests {
         s1.sync();
         s2.sync();
         assert_eq!(rt.device(0).lock().dev.global.read(p, 0), 100.0);
+    }
+
+    #[test]
+    fn wait_event_orders_real_execution_across_streams() {
+        let rt = HostRuntime::new();
+        let p = rt.device(0).lock().dev.global.alloc_zeroed::<f64>(1);
+        let producer = rt.stream(0);
+        let consumer = rt.stream(0);
+        producer.enqueue(move |md| {
+            // Slow producer: the consumer must still see its write.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            md.dev.global.write(p, 0, 42.0);
+            100
+        });
+        let ev = producer.record_event();
+        consumer.wait_event(&ev);
+        let seen = Arc::new(Mutex::new(0.0f64));
+        let seen2 = Arc::clone(&seen);
+        consumer.enqueue(move |md| {
+            *seen2.lock() = md.dev.global.read(p, 0);
+            50
+        });
+        consumer.sync();
+        producer.sync();
+        assert_eq!(*seen.lock(), 42.0);
+        // Virtual time: the consumer op starts at the producer's finish.
+        assert_eq!(consumer.sync(), 150);
+    }
+
+    #[test]
+    fn one_event_gates_many_consumers() {
+        let rt = HostRuntime::new();
+        let producer = rt.stream(0);
+        producer.enqueue_h2d(|_| 200);
+        let ev = producer.record_event();
+        let consumers: Vec<Stream> = (0..3).map(|_| rt.stream(0)).collect();
+        for c in &consumers {
+            c.wait_event(&ev);
+            c.enqueue(|_| 100);
+        }
+        let finishes: Vec<u64> = consumers.iter().map(|c| c.sync()).collect();
+        // All computes start at 200 and serialize on the compute engine.
+        assert_eq!(finishes.iter().min(), Some(&300));
+        assert_eq!(finishes.iter().max(), Some(&500));
+        assert_eq!(rt.timeline_stats().makespan, 500);
+    }
+
+    #[test]
+    fn event_synchronize_blocks_the_host() {
+        let rt = HostRuntime::new();
+        let s = rt.stream(0);
+        let flag = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        s.enqueue(move |_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            f2.store(7, Ordering::SeqCst);
+            10
+        });
+        let ev = s.record_event();
+        ev.synchronize();
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+        assert!(ev.is_ready());
     }
 }

@@ -23,9 +23,12 @@ impl Default for XferModel {
 }
 
 impl XferModel {
-    /// Cycles to move `bytes` across the link.
+    /// Cycles to move `bytes` across the link. The link-time term rounds
+    /// up: any nonzero payload occupies the link for at least one cycle
+    /// (plain truncation would charge a 10-byte transfer at 11 B/cycle
+    /// zero link cycles).
     pub fn cycles_for(&self, bytes: u64) -> u64 {
-        self.latency + bytes / self.bytes_per_cycle.max(1)
+        self.latency + bytes.div_ceil(self.bytes_per_cycle.max(1))
     }
 }
 
@@ -70,6 +73,24 @@ mod tests {
         assert_eq!(m.cycles_for(0), m.latency);
         assert!(m.cycles_for(1 << 20) > m.cycles_for(1 << 10));
         assert_eq!(m.cycles_for(1100), m.latency + 100);
+    }
+
+    #[test]
+    fn sub_bandwidth_transfers_round_up_to_one_link_cycle() {
+        let m = XferModel { bytes_per_cycle: 11, latency: 7 };
+        // Zero bytes: latency only, no link occupancy.
+        assert_eq!(m.cycles_for(0), 7);
+        // bytes < bytes_per_cycle must still occupy the link for a cycle.
+        assert_eq!(m.cycles_for(1), 8);
+        assert_eq!(m.cycles_for(10), 8);
+        // Exact multiples are unchanged by the ceiling.
+        assert_eq!(m.cycles_for(11), 8);
+        assert_eq!(m.cycles_for(22), 9);
+        // Partial trailing beat rounds up.
+        assert_eq!(m.cycles_for(23), 10);
+        // Degenerate zero-bandwidth model clamps to 1 B/cycle.
+        let z = XferModel { bytes_per_cycle: 0, latency: 0 };
+        assert_eq!(z.cycles_for(5), 5);
     }
 
     #[test]

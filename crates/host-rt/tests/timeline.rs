@@ -1,0 +1,227 @@
+//! Property tests for the virtual timeline: random stream/event DAGs must
+//! schedule consistently with every dependence edge, match an independent
+//! longest-path computation of the makespan, and really complete in a
+//! topological order of the DAG.
+
+use std::collections::HashMap;
+
+use gpu_sim::{DeviceArch, Resource};
+use omp_host::{Event, HostRuntime, OpView, Stream};
+use testkit::{cases, SimRng};
+
+const RESOURCES: [Resource; 3] = [Resource::H2D, Resource::D2H, Resource::Compute];
+
+/// Build a random stream/event program on `rt`, returning the streams and
+/// (for reference) the total number of real ops enqueued.
+fn random_program(rng: &mut SimRng, rt: &HostRuntime) -> (Vec<Stream>, u64) {
+    let nstreams = rng.range_usize(1, 5);
+    let streams: Vec<Stream> = (0..nstreams).map(|s| rt.stream(s % rt.num_devices())).collect();
+    let rounds = rng.range_usize(2, 8);
+    let mut events: Vec<Event> = Vec::new();
+    let mut real_ops = 0u64;
+    for _ in 0..rounds {
+        for s in &streams {
+            // Sometimes pull in a dependence on work recorded earlier —
+            // possibly on another stream, possibly on this one.
+            if !events.is_empty() && rng.flip() {
+                s.wait_event(rng.pick(&events));
+            }
+            let resource = *rng.pick(&RESOURCES);
+            let cost = rng.range_u64(1, 500);
+            s.enqueue_on(resource, move |_| cost);
+            real_ops += 1;
+            if rng.flip() {
+                events.push(s.record_event());
+            }
+        }
+    }
+    (streams, real_ops)
+}
+
+/// Index the scheduled ops by (stream, seq) for edge lookups.
+fn by_position(views: &[OpView]) -> HashMap<(u32, u32), &OpView> {
+    views.iter().map(|v| ((v.stream, v.seq), v)).collect()
+}
+
+/// Finish time of the dependence prefix `(stream, watermark)`.
+fn prefix_finish(pos: &HashMap<(u32, u32), &OpView>, stream: u32, watermark: u32) -> u64 {
+    (0..watermark).map(|q| pos[&(stream, q)].finish).max().unwrap_or(0)
+}
+
+/// Independent makespan reference: longest path (by summed cost) over the
+/// *augmented* DAG — stream-order edges, event dependence edges, and the
+/// realized per-resource execution order. The scheduler's recurrence
+/// `start = max(preds' finish)` has no other slack, so its makespan must
+/// equal this longest path exactly.
+fn longest_path_makespan(views: &[OpView]) -> u64 {
+    let pos = by_position(views);
+    // preds[id] = op ids that must finish before id starts.
+    let mut preds: HashMap<usize, Vec<usize>> = HashMap::new();
+    for v in views {
+        let e = preds.entry(v.id).or_default();
+        if v.seq > 0 {
+            e.push(pos[&(v.stream, v.seq - 1)].id);
+        }
+        for &(ps, w) in &v.deps {
+            for q in 0..w {
+                e.push(pos[&(ps, q)].id);
+            }
+        }
+    }
+    // Resource edges from the realized schedule: ops on one (device,
+    // resource) engine execute back to back in start order.
+    let mut engines: HashMap<(u32, Resource), Vec<&OpView>> = HashMap::new();
+    for v in views {
+        if let Some(r) = v.resource {
+            engines.entry((v.device, r)).or_default().push(v);
+        }
+    }
+    for queue in engines.values_mut() {
+        queue.sort_by_key(|v| (v.start, v.stream, v.seq));
+        for pair in queue.windows(2) {
+            preds.entry(pair[1].id).or_default().push(pair[0].id);
+        }
+    }
+    let cost: HashMap<usize, u64> = views.iter().map(|v| (v.id, v.cost)).collect();
+    // Memoized longest path ending at each node (explicit stack: the DAG is
+    // small but recursion depth is unbounded in theory).
+    let mut memo: HashMap<usize, u64> = HashMap::new();
+    let mut total = 0u64;
+    for v in views {
+        let mut stack = vec![v.id];
+        while let Some(&id) = stack.last() {
+            if memo.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            let unresolved: Vec<usize> =
+                preds[&id].iter().copied().filter(|p| !memo.contains_key(p)).collect();
+            if unresolved.is_empty() {
+                let best = preds[&id].iter().map(|p| memo[p]).max().unwrap_or(0);
+                memo.insert(id, best + cost[&id]);
+                stack.pop();
+            } else {
+                stack.extend(unresolved);
+            }
+        }
+        total = total.max(memo[&v.id]);
+    }
+    total
+}
+
+#[test]
+fn timeline_respects_every_dependence_edge() {
+    cases("timeline-edges", 48, |rng| {
+        let ndev = rng.range_usize(1, 3);
+        let rt = HostRuntime::with_archs(vec![DeviceArch::a100(); ndev]);
+        let (streams, real_ops) = random_program(rng, &rt);
+        for s in &streams {
+            s.sync();
+        }
+        let stats = rt.timeline_stats();
+        assert_eq!(stats.pending, 0, "everything must be scheduled after sync");
+        assert_eq!(stats.ops, real_ops);
+        let total_enqueued: u64 = streams.iter().map(|s| s.ops_enqueued()).sum();
+        assert_eq!(total_enqueued, stats.ops, "ops_enqueued conservation");
+
+        let views = rt.timeline().scheduled_ops();
+        let pos = by_position(&views);
+        for v in &views {
+            // In-order stream queue: start after the predecessor's finish.
+            if v.seq > 0 {
+                let pred = pos[&(v.stream, v.seq - 1)];
+                assert!(
+                    v.start >= pred.finish,
+                    "stream {} op {} starts {} before predecessor finish {}",
+                    v.stream,
+                    v.seq,
+                    v.start,
+                    pred.finish
+                );
+            }
+            // Event edges: start after every op below the watermark.
+            for &(ps, w) in &v.deps {
+                let ready = prefix_finish(&pos, ps, w);
+                assert!(
+                    v.start >= ready,
+                    "op ({},{}) starts {} before dep ({ps},<{w}) ready {ready}",
+                    v.stream,
+                    v.seq,
+                    v.start
+                );
+            }
+            assert_eq!(v.finish, v.start + v.cost);
+        }
+        // Per-resource busy totals are exactly the op costs.
+        for d in &stats.per_device {
+            for r in RESOURCES {
+                let want: u64 = views
+                    .iter()
+                    .filter(|v| v.device == d.device && v.resource == Some(r))
+                    .map(|v| v.cost)
+                    .sum();
+                assert_eq!(d.busy.get(r), want, "device {} {}", d.device, r.label());
+            }
+        }
+    });
+}
+
+#[test]
+fn timeline_makespan_matches_longest_path_reference() {
+    cases("timeline-longest-path", 48, |rng| {
+        let ndev = rng.range_usize(1, 3);
+        let rt = HostRuntime::with_archs(vec![DeviceArch::a100(); ndev]);
+        let (streams, _) = random_program(rng, &rt);
+        for s in &streams {
+            s.sync();
+        }
+        let stats = rt.timeline_stats();
+        let views = rt.timeline().scheduled_ops();
+        let reference = longest_path_makespan(&views);
+        assert_eq!(
+            stats.makespan, reference,
+            "scheduler makespan diverged from longest-path reference"
+        );
+        // Resource contention can only lengthen the dependence-only bound,
+        // and nothing can beat full serialization.
+        assert!(stats.critical_path <= stats.makespan);
+        assert!(stats.makespan <= stats.serialized);
+        let cost_sum: u64 = views.iter().map(|v| v.cost).sum();
+        assert_eq!(stats.serialized, cost_sum);
+    });
+}
+
+#[test]
+fn real_completion_order_is_a_topological_order_of_the_dag() {
+    cases("timeline-completion-topo", 32, |rng| {
+        let ndev = rng.range_usize(1, 3);
+        let rt = HostRuntime::with_archs(vec![DeviceArch::a100(); ndev]);
+        let (streams, _) = random_program(rng, &rt);
+        for s in &streams {
+            s.sync();
+        }
+        let views = rt.timeline().scheduled_ops();
+        let pos = by_position(&views);
+        for v in &views {
+            let done = v.completed_at.expect("synced op must have really completed");
+            // Stream order is a real order (one helper thread per stream).
+            if v.seq > 0 {
+                let pred = pos[&(v.stream, v.seq - 1)].completed_at.unwrap();
+                assert!(done > pred, "op completed before its stream predecessor");
+            }
+            // Event edges are real orders: the wait blocked until every op
+            // below the watermark had completed.
+            for &(ps, w) in &v.deps {
+                for q in 0..w {
+                    let dep_done = pos[&(ps, q)].completed_at.unwrap();
+                    assert!(
+                        done > dep_done,
+                        "op ({},{}) completed at {done} before dep ({ps},{q}) at {dep_done}",
+                        v.stream,
+                        v.seq
+                    );
+                }
+            }
+        }
+    });
+}

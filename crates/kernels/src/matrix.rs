@@ -126,6 +126,23 @@ impl CsrMatrix {
         y
     }
 
+    /// Extract rows `[lo, hi)` as a standalone CSR matrix (`row_ptr`
+    /// rebased to start at zero, column space unchanged). This is how
+    /// multi-device and pipelined harnesses shard a matrix: each slice is a
+    /// self-contained operand for one device or one stream chunk.
+    pub fn row_slice(&self, lo: usize, hi: usize) -> CsrMatrix {
+        assert!(lo <= hi && hi <= self.nrows, "row slice {lo}..{hi} out of 0..{}", self.nrows);
+        let base = self.row_ptr[lo];
+        let (b, e) = (base as usize, self.row_ptr[hi] as usize);
+        CsrMatrix {
+            nrows: hi - lo,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr[lo..=hi].iter().map(|r| r - base).collect(),
+            col_idx: self.col_idx[b..e].to_vec(),
+            values: self.values[b..e].to_vec(),
+        }
+    }
+
     /// Structural invariants (used by tests and property tests).
     pub fn validate(&self) {
         assert_eq!(self.row_ptr.len(), self.nrows + 1);
@@ -180,6 +197,21 @@ mod tests {
         ] {
             CsrMatrix::generate(300, 2000, profile, 7).validate();
         }
+    }
+
+    #[test]
+    fn row_slices_partition_the_product() {
+        let m = CsrMatrix::generate(300, 300, RowProfile::Banded { min: 2, max: 30 }, 11);
+        let x: Vec<f64> = (0..300).map(|i| (i % 7) as f64 - 3.0).collect();
+        let want = m.spmv_ref(&x);
+        let mut got = Vec::new();
+        for (lo, hi) in [(0, 100), (100, 101), (101, 101), (101, 300)] {
+            let s = m.row_slice(lo, hi);
+            s.validate();
+            assert_eq!(s.nrows, hi - lo);
+            got.extend(s.spmv_ref(&x));
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

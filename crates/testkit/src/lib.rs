@@ -109,6 +109,45 @@ pub fn replay(seed: u64, mut prop: impl FnMut(&mut SimRng)) {
     prop(&mut rng);
 }
 
+/// Watchdog: run `f` on its own thread and panic with `label` if it has
+/// not finished within `timeout`. Concurrency stress tests wrap their
+/// scenarios in this so a deadlock fails the test with a clear message
+/// instead of hanging the whole suite (CI adds an outer `timeout(1)` as a
+/// second line of defense). A panic inside `f` propagates unchanged.
+///
+/// On timeout the worker thread is leaked (std offers no cancellation) —
+/// acceptable for a failing test process that is about to die anyway.
+pub fn with_deadline<F>(label: &str, timeout: std::time::Duration, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::Builder::new()
+        .name(format!("deadline-{label}"))
+        .spawn(move || {
+            f();
+            let _ = tx.send(());
+        })
+        .expect("spawn watchdog worker");
+    match rx.recv_timeout(timeout) {
+        Ok(()) => {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            // Worker panicked before signalling: surface its panic.
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+            unreachable!("worker disconnected without panicking");
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: '{label}' exceeded {timeout:?} (possible deadlock)");
+        }
+    }
+}
+
 fn case_seed(name: &str, case: u64) -> u64 {
     // FNV-1a over the name, mixed with the case index.
     let mut h = 0xCBF2_9CE4_8422_2325u64;
@@ -176,5 +215,35 @@ mod tests {
             cases("always-fails", 4, |_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn with_deadline_passes_fast_work_through() {
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let d = std::sync::Arc::clone(&done);
+        with_deadline("fast", std::time::Duration::from_secs(10), move || {
+            d.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(done.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn with_deadline_flags_a_hang() {
+        let r = std::panic::catch_unwind(|| {
+            with_deadline("hang", std::time::Duration::from_millis(20), || {
+                std::thread::sleep(std::time::Duration::from_secs(600));
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("watchdog"), "{msg}");
+    }
+
+    #[test]
+    fn with_deadline_propagates_worker_panics() {
+        let r = std::panic::catch_unwind(|| {
+            with_deadline("boom", std::time::Duration::from_secs(10), || panic!("inner failure"));
+        });
+        let msg = *r.unwrap_err().downcast::<&str>().unwrap();
+        assert!(msg.contains("inner failure"));
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use simt_omp::gpu::DeviceArch;
-use simt_omp::host::{HostRuntime, Stream};
+use simt_omp::host::HostRuntime;
 use simt_omp::kernels::matrix::{CsrMatrix, RowProfile};
 use simt_omp::kernels::spmv;
 
@@ -20,18 +20,8 @@ fn main() {
     let want = mat.spmv_ref(&x);
 
     // Row-split the matrix into two halves (row_ptr rebased per half).
-    let split = |lo: usize, hi: usize| {
-        let base = mat.row_ptr[lo];
-        CsrMatrix {
-            nrows: hi - lo,
-            ncols: mat.ncols,
-            row_ptr: mat.row_ptr[lo..=hi].iter().map(|r| r - base).collect(),
-            col_idx: mat.col_idx[base as usize..mat.row_ptr[hi] as usize].to_vec(),
-            values: mat.values[base as usize..mat.row_ptr[hi] as usize].to_vec(),
-        }
-    };
-    let top = split(0, half);
-    let bottom = split(half, rows);
+    let top = mat.row_slice(0, half);
+    let bottom = mat.row_slice(half, rows);
     top.validate();
     bottom.validate();
 
@@ -43,9 +33,11 @@ fn main() {
         .map(|_| std::sync::Arc::new(simt_omp::host::sync::Mutex::new((Vec::new(), 0))))
         .collect();
 
+    // Streams from the runtime share one virtual timeline, so the two
+    // devices' overlap shows up in `rt.timeline_stats()` below.
     let mut streams = Vec::new();
     for (d, part) in [top, bottom].into_iter().enumerate() {
-        let stream = Stream::new(rt.device(d));
+        let stream = rt.stream(d);
         let xs = x.clone();
         let out = std::sync::Arc::clone(&results[d]);
         stream.enqueue(move |md| {
@@ -71,6 +63,12 @@ fn main() {
         cycles.iter().max().unwrap()
     );
     assert!(max_err < 1e-9);
+
+    // The shared timeline sees both devices: end-to-end simulated time is
+    // the slower half, not the sum.
+    let tl = rt.timeline_stats();
+    println!("{tl}");
+    assert_eq!(tl.makespan, *cycles.iter().max().unwrap());
 
     // Single-device reference for comparison.
     let single = {
