@@ -1,0 +1,7 @@
+//! `cargo bench -p simt-omp-bench --bench simspeed` — simulator throughput
+//! across block-execution thread counts and sanitizer modes.
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::simspeed::run(quick);
+    simt_omp_bench::simspeed::report(&rows);
+}

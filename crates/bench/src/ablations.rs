@@ -90,14 +90,15 @@ pub fn dispatch(n: u64) -> Vec<AblRow> {
                     lane.work(2);
                     v.regs[base.0] = Slot::from_u64(v.regs[row.0].as_u64() * 32);
                 });
-                let body =
-                    move |lane: &mut gpu_sim::Lane<'_>, iv: u64, v: &omp_core::plan::Vars<'_>| {
-                        let d = v.args[0].as_ptr::<f64>();
-                        let i = v.regs[base.0].as_u64() + iv;
-                        let x = lane.read(d, i);
-                        lane.work(4);
-                        lane.write(d, i, x + 1.0);
-                    };
+                let body = move |lane: &mut gpu_sim::Lane<'_, '_>,
+                                 iv: u64,
+                                 v: &omp_core::plan::Vars<'_>| {
+                    let d = v.args[0].as_ptr::<f64>();
+                    let i = v.regs[base.0].as_u64() + iv;
+                    let x = lane.read(d, i);
+                    lane.work(4);
+                    lane.write(d, i, x + 1.0);
+                };
                 if extern_body {
                     p.simd_extern(inner, body);
                 } else {

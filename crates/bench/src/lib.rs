@@ -13,6 +13,9 @@
 //! * [`pipeline`] — double-buffered chunked offload vs the serialized
 //!   baseline on the virtual timeline (streams + events + per-device
 //!   resource overlap).
+//! * [`simspeed`] — throughput of the simulator itself: wall-clock and
+//!   simulated-cycles-per-second across block-execution thread counts
+//!   (`SIMT_SIM_THREADS`) and sanitizer modes.
 //! * [`report`] — table printing + JSON persistence so EXPERIMENTS.md
 //!   numbers are regenerable.
 //!
@@ -25,6 +28,7 @@ pub mod fig10;
 pub mod fig9;
 pub mod pipeline;
 pub mod report;
+pub mod simspeed;
 
 /// Parse the common `--quick` flag from bench argv.
 pub fn quick_from_args() -> bool {

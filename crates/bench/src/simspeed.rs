@@ -1,0 +1,335 @@
+//! simspeed — throughput of the simulator itself.
+//!
+//! Every other harness in this crate reports *simulated* cycles; this one
+//! measures how fast the host produces them. The parallel block execution
+//! engine (`SIMT_SIM_THREADS`, see `gpu_sim::sched`) executes independent
+//! blocks concurrently with bit-identical `LaunchStats`, so the interesting
+//! questions are (a) how wall-clock scales with worker threads and (b) what
+//! the simtcheck sanitizer costs — with its adaptive epoch representation
+//! versus the dense O(warps·lanes²) table it replaced.
+//!
+//! The sweep runs {1,2,4,8} host threads × {ideal, spmv, laplace3d} ×
+//! sanitizer {off, adaptive, dense (1 thread, as the overhead baseline)}
+//! and emits `target/figures/BENCH_simspeed.json` with wall-clock,
+//! simulated-cycles-per-second, per-kernel speedup over the 1-thread run,
+//! and sanitizer overhead relative to the unsanitized run at the same
+//! thread count.
+
+use std::time::Instant;
+
+use gpu_sim::Device;
+use omp_kernels::harness::Fig10Variant;
+use omp_kernels::matrix::{CsrMatrix, RowProfile};
+use omp_kernels::{ideal, laplace3d, spmv};
+
+use crate::report::{print_table, save_json, JsonRow, JsonValue};
+
+/// Host thread counts swept.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct SimspeedRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Block-execution host threads.
+    pub threads: usize,
+    /// Sanitizer mode: `off`, `adaptive`, or `dense`.
+    pub sanitizer: &'static str,
+    /// Wall-clock milliseconds for the launch (best of the repetitions).
+    pub wall_ms: f64,
+    /// Simulated cycles the launch produced (identical across threads).
+    pub cycles: u64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Wall-clock of the 1-thread run with the same kernel + sanitizer,
+    /// divided by this run's wall-clock.
+    pub speedup_vs_1t: f64,
+    /// Wall-clock relative to the unsanitized run at the same kernel and
+    /// thread count (1.0 for unsanitized rows).
+    pub overhead_vs_off: f64,
+    /// Host cores available to this process when the row was measured —
+    /// wall-clock speedup is bounded by this, so readers (and CI archives)
+    /// can tell a scheduler limit from an engine limit.
+    pub host_cores: usize,
+}
+
+impl JsonRow for SimspeedRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("kernel", JsonValue::Str(self.kernel.to_string())),
+            ("threads", JsonValue::U64(self.threads as u64)),
+            ("sanitizer", JsonValue::Str(self.sanitizer.to_string())),
+            ("wall_ms", JsonValue::F64(self.wall_ms)),
+            ("cycles", JsonValue::U64(self.cycles)),
+            ("cycles_per_sec", JsonValue::F64(self.cycles_per_sec)),
+            ("speedup_vs_1t", JsonValue::F64(self.speedup_vs_1t)),
+            ("overhead_vs_off", JsonValue::F64(self.overhead_vs_off)),
+            ("host_cores", JsonValue::U64(self.host_cores as u64)),
+        ]
+    }
+}
+
+/// Sanitizer mode of one measurement.
+#[derive(Clone, Copy, PartialEq)]
+enum San {
+    Off,
+    Adaptive,
+    Dense,
+}
+
+impl San {
+    fn label(self) -> &'static str {
+        match self {
+            San::Off => "off",
+            San::Adaptive => "adaptive",
+            San::Dense => "dense",
+        }
+    }
+}
+
+struct Sizes {
+    ideal_outer: usize,
+    spmv_rows: usize,
+    laplace_n: usize,
+    teams: u32,
+    threads_per_team: u32,
+    reps: u32,
+}
+
+fn sizes(quick: bool) -> Sizes {
+    if quick {
+        Sizes {
+            ideal_outer: 13_824,
+            spmv_rows: 16_384,
+            laplace_n: 24,
+            teams: 108,
+            threads_per_team: 128,
+            reps: 1,
+        }
+    } else {
+        Sizes {
+            ideal_outer: 55_296,
+            spmv_rows: 65_536,
+            laplace_n: 48,
+            teams: 216,
+            // Large blocks (16 warps) so the dense sanitizer baseline pays
+            // its O(warps * ws^2) per-barrier refill where the adaptive
+            // representation stays O(warps).
+            threads_per_team: 512,
+            reps: 3,
+        }
+    }
+}
+
+/// A launch runner: returns the simulated cycle count of one full launch on
+/// a freshly prepared device (setup excluded from timing).
+type Runner<'a> = Box<dyn FnMut(usize, San) -> (u64, f64) + 'a>;
+
+fn time_one(
+    dev: &mut Device,
+    threads: usize,
+    san: San,
+    mut launch: impl FnMut(&mut Device) -> u64,
+) -> (u64, f64) {
+    dev.set_sim_threads(Some(threads));
+    match san {
+        San::Off => dev.disable_sanitizer(),
+        San::Adaptive => {
+            dev.enable_sanitizer();
+            dev.use_dense_sanitizer(false);
+        }
+        San::Dense => {
+            dev.enable_sanitizer();
+            dev.use_dense_sanitizer(true);
+        }
+    }
+    let t0 = Instant::now();
+    let cycles = launch(dev);
+    (cycles, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run the sweep. `quick` shrinks problem sizes and repetitions.
+pub fn run(quick: bool) -> Vec<SimspeedRow> {
+    let sz = sizes(quick);
+
+    // --- per-kernel runners, each timing exactly one launch ------------
+    let ideal_w = ideal::IdealWorkload::generate(sz.ideal_outer, 7);
+    let ideal_k = ideal::build(sz.teams, sz.threads_per_team, 8);
+
+    let mat =
+        CsrMatrix::generate(sz.spmv_rows, sz.spmv_rows, RowProfile::Banded { min: 4, max: 44 }, 42);
+    let x: Vec<f64> = (0..mat.ncols).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
+    let spmv_k = spmv::build_three_level(sz.teams, sz.threads_per_team, 8);
+
+    let lap_w = laplace3d::Laplace3dWorkload::generate(sz.laplace_n);
+    let lap_k = laplace3d::build(sz.teams, sz.threads_per_team, Fig10Variant::SpmdSimd);
+
+    let mut runners: Vec<(&'static str, Runner<'_>)> = vec![
+        (
+            "ideal",
+            Box::new(|threads, san| {
+                let mut dev = Device::a100();
+                let ops = ideal::IdealDev::upload(&mut dev, &ideal_w);
+                time_one(&mut dev, threads, san, |d| ideal::run(d, &ideal_k, &ops).1.cycles)
+            }),
+        ),
+        (
+            "spmv",
+            Box::new(|threads, san| {
+                let mut dev = Device::a100();
+                let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+                time_one(&mut dev, threads, san, |d| spmv::run(d, &spmv_k, &ops).1.cycles)
+            }),
+        ),
+        (
+            "laplace3d",
+            Box::new(|threads, san| {
+                let mut dev = Device::a100();
+                let ops = laplace3d::Laplace3dDev::upload(&mut dev, &lap_w);
+                time_one(&mut dev, threads, san, |d| laplace3d::run(d, &lap_k, &ops).1.cycles)
+            }),
+        ),
+    ];
+
+    // --- the sweep -----------------------------------------------------
+    struct Raw {
+        kernel: &'static str,
+        threads: usize,
+        san: San,
+        wall_ms: f64,
+        cycles: u64,
+    }
+    let mut raw = Vec::new();
+    for (kernel, runner) in &mut runners {
+        // Warm-up: populate code/data caches before any timed run.
+        let _ = runner(1, San::Off);
+        // One cell per (sanitizer, threads) pair; the dense table is the
+        // serial-era baseline, so measuring it at 1 thread is enough for
+        // the overhead comparison.
+        let mut cells: Vec<(San, usize, f64, u64)> = Vec::new();
+        for san in [San::Off, San::Adaptive, San::Dense] {
+            for &threads in &THREADS {
+                if san == San::Dense && threads != 1 {
+                    continue;
+                }
+                cells.push((san, threads, f64::INFINITY, 0));
+            }
+        }
+        // Measure the cells round-robin (not cell-by-cell) so slow host
+        // minutes penalize every sanitizer mode equally instead of biasing
+        // whichever cell happened to be up; best-of per cell across rounds.
+        let mut spent_ms = 0.0;
+        let mut rounds = 0u32;
+        while rounds < sz.reps || (spent_ms < 4000.0 && rounds < 8 * sz.reps) {
+            for cell in &mut cells {
+                let (c, ms) = runner(cell.1, cell.0);
+                assert!(cell.3 == 0 || cell.3 == c, "cycles must not depend on threads");
+                cell.3 = c;
+                cell.2 = cell.2.min(ms);
+                spent_ms += ms;
+            }
+            rounds += 1;
+        }
+        for (san, threads, wall_ms, cycles) in cells {
+            raw.push(Raw { kernel, threads, san, wall_ms, cycles });
+        }
+    }
+
+    // --- derived columns ------------------------------------------------
+    let wall_of = |rows: &[Raw], kernel: &str, threads: usize, san: San| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.threads == threads && r.san == san)
+            .map(|r| r.wall_ms)
+    };
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    raw.iter()
+        .map(|r| {
+            let base_1t = wall_of(&raw, r.kernel, 1, r.san).unwrap_or(r.wall_ms);
+            let off_same = wall_of(&raw, r.kernel, r.threads, San::Off).unwrap_or(r.wall_ms);
+            SimspeedRow {
+                kernel: r.kernel,
+                threads: r.threads,
+                sanitizer: r.san.label(),
+                wall_ms: r.wall_ms,
+                cycles: r.cycles,
+                cycles_per_sec: r.cycles as f64 / (r.wall_ms / 1e3),
+                speedup_vs_1t: base_1t / r.wall_ms,
+                overhead_vs_off: r.wall_ms / off_same,
+                host_cores,
+            }
+        })
+        .collect()
+}
+
+/// Print the table and persist `BENCH_simspeed.json`.
+pub fn report(rows: &[SimspeedRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                r.threads.to_string(),
+                r.sanitizer.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.2e}", r.cycles_per_sec),
+                format!("{:.2}x", r.speedup_vs_1t),
+                format!("{:.2}x", r.overhead_vs_off),
+            ]
+        })
+        .collect();
+    print_table(
+        "simspeed: simulator throughput (wall-clock, by host threads)",
+        &["kernel", "threads", "sanitizer", "wall_ms", "sim_cycles/s", "vs_1t", "san_overhead"],
+        &table,
+    );
+    if let Some(best) = rows
+        .iter()
+        .filter(|r| r.threads == 4 && r.sanitizer == "off")
+        .max_by(|a, b| a.speedup_vs_1t.total_cmp(&b.speedup_vs_1t))
+    {
+        println!(
+            "best 4-thread speedup: {:.2}x on {} ({} host core(s) available)",
+            best.speedup_vs_1t, best.kernel, best.host_cores
+        );
+        if best.host_cores < 4 {
+            println!(
+                "note: wall-clock speedup is capped by the {} available core(s); \
+                 blocks are independent, so the engine scales with cores",
+                best.host_cores
+            );
+        }
+    }
+    for r in rows.iter().filter(|r| r.threads == 1 && r.sanitizer != "off") {
+        println!(
+            "sanitizer {} on {}: {:.2}x overhead at 1 thread",
+            r.sanitizer, r.kernel, r.overhead_vs_off
+        );
+    }
+    save_json("BENCH_simspeed", rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick sweep runs end to end, cycles are thread-invariant, and
+    /// every (kernel, threads, sanitizer) cell is present.
+    #[test]
+    fn quick_sweep_is_complete_and_consistent() {
+        let rows = run(true);
+        // 3 kernels × (4 off + 4 adaptive + 1 dense).
+        assert_eq!(rows.len(), 3 * 9);
+        for kernel in ["ideal", "spmv", "laplace3d"] {
+            let cycles: Vec<u64> =
+                rows.iter().filter(|r| r.kernel == kernel).map(|r| r.cycles).collect();
+            assert!(cycles.windows(2).all(|w| w[0] == w[1]), "{kernel}: {cycles:?}");
+        }
+        for r in &rows {
+            assert!(r.wall_ms >= 0.0 && r.cycles > 0);
+            if r.sanitizer == "off" {
+                assert!((r.overhead_vs_off - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

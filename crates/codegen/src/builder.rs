@@ -126,7 +126,7 @@ impl TargetBuilder {
     /// region SPMD-eligible), e.g. a loop bound read from the kernel args.
     pub fn trip_uniform(
         &mut self,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripH {
         TripH { id: self.reg.trip_with(f, true), uniform: true }
     }
@@ -137,7 +137,7 @@ impl TargetBuilder {
     /// [`crate::lint`] sees it too).
     pub fn trip_varying(
         &mut self,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripH {
         TripH { id: self.reg.trip_with(f, false), uniform: false }
     }
@@ -200,7 +200,7 @@ impl<'b> TeamsScope<'b> {
     /// generic (side effects cannot be executed redundantly, §3.1).
     pub fn seq(
         &mut self,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) {
         self.saw_seq = true;
         let id = self.reg.seq(f);
@@ -214,7 +214,7 @@ impl<'b> TeamsScope<'b> {
     pub fn seq_footprint(
         &mut self,
         fp: Footprint,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) {
         self.saw_seq = true;
         let id = self.reg.seq_with_footprint(fp, f);
@@ -387,7 +387,7 @@ impl<'b> ParScope<'b> {
     /// (§5.4: SPMD requires no sequential side effects).
     pub fn seq(
         &mut self,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) {
         self.saw_seq = true;
         let id = self.reg.seq(f);
@@ -401,7 +401,7 @@ impl<'b> ParScope<'b> {
     /// region can stay SPMD.
     pub fn seq_pure(
         &mut self,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) {
         let id = self.reg.seq(f);
         self.ops.push(ThreadOp::Seq(id));
@@ -415,7 +415,7 @@ impl<'b> ParScope<'b> {
     pub fn seq_footprint(
         &mut self,
         fp: Footprint,
-        f: impl Fn(&mut gpu_sim::Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) {
         self.saw_seq = true;
         let id = self.reg.seq_with_footprint(fp, f);
@@ -458,7 +458,7 @@ impl<'b> ParScope<'b> {
     pub fn simd(
         &mut self,
         trip: TripH,
-        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+        body: impl Fn(&mut gpu_sim::Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) {
         if !trip.uniform {
             self.nonuniform_trip = true;
@@ -474,7 +474,7 @@ impl<'b> ParScope<'b> {
         &mut self,
         trip: TripH,
         fp: Footprint,
-        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+        body: impl Fn(&mut gpu_sim::Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) {
         if !trip.uniform {
             self.nonuniform_trip = true;
@@ -488,7 +488,7 @@ impl<'b> ParScope<'b> {
     pub fn simd_extern(
         &mut self,
         trip: TripH,
-        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+        body: impl Fn(&mut gpu_sim::Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) {
         if !trip.uniform {
             self.nonuniform_trip = true;
@@ -502,7 +502,7 @@ impl<'b> ParScope<'b> {
     pub fn simd_reduce(
         &mut self,
         trip: TripH,
-        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+        body: impl Fn(&mut gpu_sim::Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RegH {
         if !trip.uniform {
             self.nonuniform_trip = true;
@@ -524,7 +524,7 @@ impl<'b> ParScope<'b> {
         &mut self,
         trip: TripH,
         fp: Footprint,
-        body: impl Fn(&mut gpu_sim::Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+        body: impl Fn(&mut gpu_sim::Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RegH {
         if !trip.uniform {
             self.nonuniform_trip = true;

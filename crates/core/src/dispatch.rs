@@ -17,15 +17,15 @@ use gpu_sim::Lane;
 use crate::plan::{BodyId, RedId, SeqId, TripId, Vars, VarsMut};
 
 /// Thread-sequential chunk: arbitrary lane work plus register updates.
-pub type SeqFn = Box<dyn Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync>;
+pub type SeqFn = Box<dyn Fn(&mut Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync>;
 /// Trip-count callback (§4.1: "1) to generate the trip count of the loop").
-pub type TripFn = Box<dyn Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync>;
+pub type TripFn = Box<dyn Fn(&mut Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync>;
 /// Outlined loop body (§4.1: "2) to generate the body of the loop"); invoked
 /// once per iteration with the iteration number, like Fig 8's
 /// `WorkFn(omp_iv, Args)`.
-pub type BodyFn = Box<dyn Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync>;
+pub type BodyFn = Box<dyn Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync>;
 /// Reducing loop body: returns the iteration's additive contribution.
-pub type RedFn = Box<dyn Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync>;
+pub type RedFn = Box<dyn Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync>;
 
 /// Declared effect footprint of an outlined function.
 ///
@@ -130,7 +130,7 @@ impl Registry {
     /// static analysis must treat its effects conservatively).
     pub fn seq(
         &mut self,
-        f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) -> SeqId {
         self.seqs.push((Box::new(f), None));
         SeqId(self.seqs.len() as u32 - 1)
@@ -140,7 +140,7 @@ impl Registry {
     pub fn seq_with_footprint(
         &mut self,
         fp: Footprint,
-        f: impl Fn(&mut Lane<'_>, &mut VarsMut<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync + 'static,
     ) -> SeqId {
         self.seqs.push((Box::new(f), Some(fp)));
         SeqId(self.seqs.len() as u32 - 1)
@@ -149,7 +149,7 @@ impl Registry {
     /// Register a trip-count callback (uniform across workers).
     pub fn trip(
         &mut self,
-        f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripId {
         self.trip_with(f, true)
     }
@@ -157,7 +157,7 @@ impl Registry {
     /// Register a trip-count callback with an explicit uniformity claim.
     pub fn trip_with(
         &mut self,
-        f: impl Fn(&mut Lane<'_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
         uniform: bool,
     ) -> TripId {
         self.trips.push((Box::new(f), TripMeta { uniform, konst: None }));
@@ -173,7 +173,7 @@ impl Registry {
     /// Register an outlined loop body reachable through the if-cascade.
     pub fn body(
         &mut self,
-        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
         self.bodies.push((Box::new(f), true, None));
         BodyId(self.bodies.len() as u32 - 1)
@@ -183,7 +183,7 @@ impl Registry {
     pub fn body_with_footprint(
         &mut self,
         fp: Footprint,
-        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
         self.bodies.push((Box::new(f), true, Some(fp)));
         BodyId(self.bodies.len() as u32 - 1)
@@ -194,7 +194,7 @@ impl Registry {
     /// indirect-call cost.
     pub fn body_extern(
         &mut self,
-        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
         self.bodies.push((Box::new(f), false, None));
         BodyId(self.bodies.len() as u32 - 1)
@@ -203,7 +203,7 @@ impl Registry {
     /// Register a reducing loop body (cascade-known).
     pub fn red(
         &mut self,
-        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RedId {
         self.reds.push((Box::new(f), true, None));
         RedId(self.reds.len() as u32 - 1)
@@ -213,7 +213,7 @@ impl Registry {
     pub fn red_with_footprint(
         &mut self,
         fp: Footprint,
-        f: impl Fn(&mut Lane<'_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
+        f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RedId {
         self.reds.push((Box::new(f), true, Some(fp)));
         RedId(self.reds.len() as u32 - 1)

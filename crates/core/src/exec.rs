@@ -748,9 +748,8 @@ impl<'a, 'g> Interp<'a, 'g> {
                         // memory (fully charged loads/stores).
                         for &g in &wg {
                             if fallback[g as usize].is_none() {
-                                self.tc.charge_global_alloc(w);
                                 let seg =
-                                    self.tc.global().alloc_zeroed::<u64>(stage_slots as usize);
+                                    self.tc.alloc_shared_fallback::<u64>(w, stage_slots as usize);
                                 fallback[g as usize] = Some(seg);
                             }
                         }
@@ -904,7 +903,7 @@ enum Fetch<'f> {
 }
 
 impl Fetch<'_> {
-    fn fetch(&self, lane: &mut gpu_sim::Lane<'_>, sharing: &SharingSpace, g: u32) {
+    fn fetch(&self, lane: &mut gpu_sim::Lane<'_, '_>, sharing: &SharingSpace, g: u32) {
         match self {
             Fetch::None => {}
             Fetch::Smem(slots) => {

@@ -21,7 +21,7 @@
 
 use crate::arch::DeviceArch;
 use crate::cost::CostModel;
-use crate::mem::global::GlobalMem;
+use crate::mem::global::{FallbackRange, GlobalMem, GlobalView};
 use crate::mem::pod::DevValue;
 use crate::mem::ptr::{DPtr, Slot};
 use crate::mem::shared::{SharedMem, SmOff};
@@ -101,13 +101,13 @@ struct WarpState {
 
 /// Execution context handed to a per-lane program: typed access to global
 /// and shared memory, with every operation recorded for cost accounting.
-pub struct Lane<'a> {
-    global: &'a mut GlobalMem,
+pub struct Lane<'a, 'g> {
+    global: &'a mut GlobalView<'g>,
     smem: &'a mut SharedMem,
     trace: &'a mut LaneTrace,
 }
 
-impl<'a> Lane<'a> {
+impl<'a, 'g> Lane<'a, 'g> {
     /// Charge `cycles` of ALU work.
     #[inline]
     pub fn work(&mut self, cycles: u64) {
@@ -139,7 +139,8 @@ impl<'a> Lane<'a> {
     }
 
     /// Atomic `fetch_add` on an `f64` in global memory; returns the old
-    /// value. Same-address conflicts within a super-step serialize.
+    /// value. Same-address conflicts within a super-step serialize for cost;
+    /// the update itself is genuinely atomic across concurrent blocks.
     #[inline]
     pub fn atomic_add_f64(&mut self, p: DPtr<f64>, idx: u64, v: f64) -> f64 {
         self.trace.accesses.push(Access {
@@ -148,9 +149,7 @@ impl<'a> Lane<'a> {
             atomic: true,
             write: true,
         });
-        let old = self.global.read(p, idx);
-        self.global.write(p, idx, old + v);
-        old
+        self.global.atomic_add_f64(p, idx, v)
     }
 
     /// Atomic `fetch_add` on a `u64` in global memory; returns the old value.
@@ -162,9 +161,7 @@ impl<'a> Lane<'a> {
             atomic: true,
             write: true,
         });
-        let old = self.global.read(p, idx);
-        self.global.write(p, idx, old.wrapping_add(v));
-        old
+        self.global.atomic_add_u64(p, idx, v)
     }
 
     /// Read an 8-byte slot from shared memory.
@@ -226,7 +223,7 @@ pub struct TeamCtx<'g> {
     nwarps: u32,
     /// This block's shared memory.
     pub smem: SharedMem,
-    global: &'g mut GlobalMem,
+    gview: GlobalView<'g>,
     cost: &'g CostModel,
     arch: &'g DeviceArch,
     warps: Vec<WarpState>,
@@ -248,7 +245,7 @@ impl<'g> TeamCtx<'g> {
         num_blocks: u32,
         nwarps: u32,
         smem_bytes: u32,
-        global: &'g mut GlobalMem,
+        global: &'g GlobalMem,
         cost: &'g CostModel,
         arch: &'g DeviceArch,
     ) -> TeamCtx<'g> {
@@ -258,7 +255,7 @@ impl<'g> TeamCtx<'g> {
             num_blocks,
             nwarps,
             smem: SharedMem::new(smem_bytes),
-            global,
+            gview: global.view(block_id),
             cost,
             arch,
             warps: vec![WarpState::default(); nwarps as usize],
@@ -338,15 +335,22 @@ impl<'g> TeamCtx<'g> {
         self.cost
     }
 
-    /// Mutable access to global memory (runtime-internal allocations, e.g.
-    /// the sharing-space global fallback).
-    pub fn global(&mut self) -> &mut GlobalMem {
-        self.global
+    /// This block's view of global memory (runtime-internal allocations,
+    /// e.g. the sharing-space global fallback, go through it and land in
+    /// the block's deterministic arena).
+    pub fn global(&mut self) -> &mut GlobalView<'g> {
+        &mut self.gview
     }
 
     /// Shared access to global memory.
     pub fn global_ref(&self) -> &GlobalMem {
-        self.global
+        self.gview.mem()
+    }
+
+    /// Fallback allocations this block performed, for the launch merge
+    /// step's cross-team race analysis.
+    pub fn fallback_ranges(&self) -> Vec<FallbackRange> {
+        self.gview.fallback_ranges().to_vec()
     }
 
     /// Current clock of a warp, cycles.
@@ -360,7 +364,7 @@ impl<'g> TeamCtx<'g> {
     /// of all lanes coalesce together.
     pub fn run_lanes<F>(&mut self, warp: u32, lanes: &[u32], mut f: F)
     where
-        F: FnMut(&mut Lane<'_>, u32),
+        F: FnMut(&mut Lane<'_, '_>, u32),
     {
         assert!(warp < self.nwarps, "warp {warp} out of range");
         if lanes.is_empty() {
@@ -373,7 +377,7 @@ impl<'g> TeamCtx<'g> {
             debug_assert!(lane_id < self.arch.warp_size);
             let trace = &mut self.trace_pool[i];
             trace.clear();
-            let mut lane = Lane { global: self.global, smem: &mut self.smem, trace };
+            let mut lane = Lane { global: &mut self.gview, smem: &mut self.smem, trace };
             f(&mut lane, lane_id);
         }
         if let Some(mut san) = self.sanitizer.take() {
@@ -392,6 +396,7 @@ impl<'g> TeamCtx<'g> {
                     } else if a.write {
                         self.observed.global_writes = true;
                     }
+                    san.record_global_access(tid, a.addr, a.write);
                 }
             }
             self.sanitizer = Some(san);
@@ -485,7 +490,7 @@ impl<'g> TeamCtx<'g> {
                 let line = scratch_sectors[i] / spl;
                 let mut smask = 0u8;
                 while i < scratch_sectors.len() && scratch_sectors[i] / spl == line {
-                    if self.global.first_touch(scratch_sectors[i]) {
+                    if self.gview.first_touch(scratch_sectors[i]) {
                         dram_add += 1;
                     }
                     smask |= 1 << (scratch_sectors[i] % spl).min(7);
@@ -722,7 +727,19 @@ impl<'g> TeamCtx<'g> {
         if let Some(s) = &mut self.sanitizer {
             s.on_fallback_free();
         }
-        self.global.free(p);
+        self.gview.free(p);
+    }
+
+    /// Allocate a zero-initialized sharing-space fallback segment in this
+    /// block's global-memory arena, charging [`charge_global_alloc`] and
+    /// registering the range for the cross-team race analysis. Pair with
+    /// [`free_shared_fallback`] at the end of the parallel region.
+    ///
+    /// [`charge_global_alloc`]: TeamCtx::charge_global_alloc
+    /// [`free_shared_fallback`]: TeamCtx::free_shared_fallback
+    pub fn alloc_shared_fallback<T: DevValue + Default>(&mut self, warp: u32, n: usize) -> DPtr<T> {
+        self.charge_global_alloc(warp);
+        self.gview.alloc_zeroed(n)
     }
 
     /// Finish the block: produce its resource profile. `threads` and
@@ -815,9 +832,9 @@ mod tests {
 
     #[test]
     fn atomic_same_address_serializes() {
-        let (mut g, c, a) = setup();
+        let (g, c, a) = setup();
         let p = g.alloc_zeroed::<f64>(4);
-        let mut t0 = TeamCtx::new(0, 1, 1, 0, &mut g, &c, &a);
+        let mut t0 = TeamCtx::new(0, 1, 1, 0, &g, &c, &a);
         // 8 lanes atomically add to the SAME element.
         let lanes: Vec<u32> = (0..8).collect();
         t0.run_lanes(0, &lanes, |lane, _| {
@@ -826,9 +843,9 @@ mod tests {
         let same_clock = t0.warp_clock(0);
         let (_, _) = t0.finish(32, 0);
 
-        let mut g2 = GlobalMem::new();
+        let g2 = GlobalMem::new();
         let q = g2.alloc_zeroed::<f64>(8);
-        let mut t1 = TeamCtx::new(0, 1, 1, 0, &mut g2, &c, &a);
+        let mut t1 = TeamCtx::new(0, 1, 1, 0, &g2, &c, &a);
         // 8 lanes add to DIFFERENT elements.
         t1.run_lanes(0, &lanes, |lane, id| {
             lane.atomic_add_f64(q, id as u64, 1.0);

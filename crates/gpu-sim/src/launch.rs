@@ -1,16 +1,34 @@
 //! Devices and kernel launches.
 //!
-//! A [`Device`] owns its global memory and executes kernel launches: blocks
-//! run one at a time in block-id order (deterministic), each against a fresh
-//! [`TeamCtx`]; the launch result combines the per-block profiles into a
+//! A [`Device`] owns its global memory and executes kernel launches. Blocks
+//! are mutually independent (no inter-block synchronization exists within a
+//! launch), so they execute concurrently on a spawn-at-launch worker pool
+//! ([`crate::sched::run_blocks`], sized by `SIMT_SIM_THREADS`; 1 = serial),
+//! each against a fresh isolated [`TeamCtx`]. Per-block profiles, counters,
+//! traces and sanitizer findings are merged in block-index order, so the
+//! resulting [`LaunchStats`] is bit-identical to a serial run at any thread
+//! count; the launch result combines the per-block profiles into a
 //! simulated makespan via [`crate::sched`].
 
 use crate::arch::DeviceArch;
 use crate::cost::CostModel;
 use crate::exec::TeamCtx;
-use crate::mem::global::GlobalMem;
+use crate::mem::global::{FallbackRange, GlobalMem};
+use crate::sanitize::{ForeignTouch, Sanitizer, Violation};
 use crate::sched;
-use crate::stats::{LaunchStats, RtCounters};
+use crate::stats::{BlockProfile, LaunchStats, RtCounters};
+use crate::trace::Trace;
+
+/// Everything one block's execution produced, collected by the worker pool
+/// and merged on the launching thread in block-index order.
+struct BlockOutcome {
+    profile: BlockProfile,
+    counters: RtCounters,
+    violations: Vec<Violation>,
+    foreign: Vec<ForeignTouch>,
+    fallbacks: Vec<FallbackRange>,
+    trace: Option<Trace>,
+}
 
 /// Geometry of one kernel launch.
 #[derive(Clone, Copy, Debug)]
@@ -71,7 +89,14 @@ pub struct Device {
     /// Event trace of the most recent launch (empty unless enabled).
     pub trace: crate::trace::Trace,
     trace_enabled: bool,
+    trace_cap: usize,
     sanitize_enabled: bool,
+    /// Use the dense pre-compression sync table in the sanitizer (baseline
+    /// for the `simspeed` bench; also via `SIMT_SAN_DENSE=1`).
+    san_dense: bool,
+    /// Block-execution thread count override; `None` = `SIMT_SIM_THREADS`
+    /// env or available parallelism (see [`sched::resolve_threads`]).
+    sim_threads: Option<usize>,
 }
 
 impl Device {
@@ -82,13 +107,18 @@ impl Device {
         // sanitized without touching individual call sites.
         let sanitize_env =
             std::env::var("SIMT_SANITIZE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+        let dense_env =
+            std::env::var("SIMT_SAN_DENSE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
         Device {
             arch,
             cost: CostModel::default(),
             global: GlobalMem::new(),
             trace: crate::trace::Trace::default(),
             trace_enabled: false,
+            trace_cap: 0,
             sanitize_enabled: sanitize_env,
+            san_dense: dense_env,
+            sim_threads: None,
         }
     }
 
@@ -97,6 +127,26 @@ impl Device {
     pub fn enable_trace(&mut self, cap: usize) {
         self.trace = crate::trace::Trace::with_capacity(cap);
         self.trace_enabled = true;
+        self.trace_cap = cap;
+    }
+
+    /// Pin the number of host threads used to execute blocks, overriding
+    /// `SIMT_SIM_THREADS`. `Some(1)` forces the serial path; `None` returns
+    /// to environment/auto sizing.
+    pub fn set_sim_threads(&mut self, threads: Option<usize>) {
+        self.sim_threads = threads;
+    }
+
+    /// Thread count the next launch will use.
+    pub fn sim_threads(&self) -> usize {
+        sched::resolve_threads(self.sim_threads)
+    }
+
+    /// Select the sanitizer's sync-history representation: `true` = the
+    /// dense pre-compression `nwarps * ws^2` table (bench baseline),
+    /// `false` = the adaptive epoch representation (default).
+    pub fn use_dense_sanitizer(&mut self, dense: bool) {
+        self.san_dense = dense;
     }
 
     /// Enable the simtcheck sanitizer (see [`crate::sanitize`]) for
@@ -148,55 +198,96 @@ impl Device {
     }
 
     /// Launch a kernel: `entry` is called once per block with that block's
-    /// [`TeamCtx`]. Returns the simulated launch statistics.
-    pub fn launch<F>(
-        &mut self,
-        cfg: &LaunchConfig,
-        mut entry: F,
-    ) -> Result<LaunchStats, LaunchError>
+    /// [`TeamCtx`], possibly from several worker threads at once (`entry`
+    /// must be `Fn + Sync`; blocks may not communicate except through
+    /// global-memory atomics). Returns the simulated launch statistics,
+    /// which are bit-identical for every thread count.
+    pub fn launch<F>(&mut self, cfg: &LaunchConfig, entry: F) -> Result<LaunchStats, LaunchError>
     where
-        F: FnMut(&mut TeamCtx<'_>),
+        F: Fn(&mut TeamCtx<'_>) + Sync,
     {
         let resident = self.validate(cfg)?;
         self.global.reset_touched();
-        if self.trace_enabled {
-            self.trace.clear();
-        }
         let nwarps = cfg.threads_per_block / self.arch.warp_size;
-        let mut profiles = Vec::with_capacity(cfg.num_blocks as usize);
-        let mut counters = RtCounters::default();
-        let mut violations = Vec::new();
-        for block_id in 0..cfg.num_blocks {
-            let mut team = TeamCtx::new(
-                block_id,
-                cfg.num_blocks,
-                nwarps,
-                cfg.smem_bytes,
-                &mut self.global,
-                &self.cost,
-                &self.arch,
-            );
-            if self.trace_enabled {
-                team.attach_trace(std::mem::take(&mut self.trace));
+        let threads = sched::resolve_threads(self.sim_threads);
+        // Shared, immutable launch state the worker closure captures.
+        let global = &self.global;
+        let cost = &self.cost;
+        let arch = &self.arch;
+        let (trace_enabled, trace_cap) = (self.trace_enabled, self.trace_cap);
+        let (sanitize, dense) = (self.sanitize_enabled, self.san_dense);
+        let warp_size = self.arch.warp_size;
+        let outcomes = sched::run_blocks(cfg.num_blocks, threads, |block_id| {
+            let mut team =
+                TeamCtx::new(block_id, cfg.num_blocks, nwarps, cfg.smem_bytes, global, cost, arch);
+            if trace_enabled {
+                team.attach_trace(Trace::with_capacity(trace_cap));
             }
-            if self.sanitize_enabled {
-                team.attach_sanitizer(Box::new(crate::sanitize::Sanitizer::new(
-                    block_id,
-                    nwarps,
-                    self.arch.warp_size,
-                    cfg.smem_bytes / 8,
-                )));
+            if sanitize {
+                let san = if dense {
+                    Sanitizer::new_dense(block_id, nwarps, warp_size, cfg.smem_bytes / 8)
+                } else {
+                    Sanitizer::new(block_id, nwarps, warp_size, cfg.smem_bytes / 8)
+                };
+                team.attach_sanitizer(Box::new(san));
             }
             entry(&mut team);
-            if self.trace_enabled {
-                self.trace = team.detach_trace();
+            let trace = trace_enabled.then(|| team.detach_trace());
+            let (violations, foreign) = match team.detach_sanitizer() {
+                Some(mut san) => {
+                    let foreign = san.take_foreign();
+                    (san.finish(), foreign)
+                }
+                None => (Vec::new(), Vec::new()),
+            };
+            let fallbacks = team.fallback_ranges();
+            let (profile, counters) = team.finish(cfg.threads_per_block, cfg.smem_bytes);
+            BlockOutcome { profile, counters, violations, foreign, fallbacks, trace }
+        });
+
+        // Deterministic merge: `run_blocks` returns outcomes sorted by
+        // block id, so every reduction below sees them in the same order a
+        // serial run would have produced them.
+        let mut profiles = Vec::with_capacity(outcomes.len());
+        let mut counters = RtCounters::default();
+        let mut violations = Vec::new();
+        let mut merged_trace = trace_enabled.then(|| Trace::with_capacity(trace_cap));
+        let mut fallbacks_by_block: Vec<Vec<FallbackRange>> = Vec::with_capacity(outcomes.len());
+        let mut foreign_by_block: Vec<Vec<ForeignTouch>> = Vec::with_capacity(outcomes.len());
+        for (_, o) in outcomes {
+            counters.merge(&o.counters);
+            violations.extend(o.violations);
+            if let (Some(m), Some(t)) = (merged_trace.as_mut(), o.trace) {
+                m.absorb(t);
             }
-            if let Some(san) = team.detach_sanitizer() {
-                violations.extend(san.finish());
+            profiles.push(o.profile);
+            fallbacks_by_block.push(o.fallbacks);
+            foreign_by_block.push(o.foreign);
+        }
+        if let Some(m) = merged_trace {
+            self.trace = m;
+        }
+        // Cross-team pass: join each block's foreign-arena *writes* against
+        // the owner's leaked (never-freed) fallback ranges. Blocks never
+        // synchronize with each other, so any such write raced with the
+        // owner. Accessor-major order keeps the report deterministic.
+        for (accessor, touches) in foreign_by_block.iter().enumerate() {
+            for t in touches {
+                if !t.write {
+                    continue;
+                }
+                let leaked = fallbacks_by_block
+                    .get(t.owner as usize)
+                    .is_some_and(|fb| fb.iter().any(|r| !r.freed && r.contains(t.addr)));
+                if leaked {
+                    violations.push(Violation::CrossTeamFallbackRace {
+                        owner: t.owner,
+                        accessor: accessor as u32,
+                        thread: t.thread,
+                        addr: t.addr,
+                    });
+                }
             }
-            let (profile, c) = team.finish(cfg.threads_per_block, cfg.smem_bytes);
-            counters.merge(&c);
-            profiles.push(profile);
         }
         // Findings are part of LaunchStats either way; the stderr echo exists
         // for callers (examples, benches) that never look at `violations`.

@@ -24,10 +24,13 @@
 //!   shared-memory race freedom, and sharing-space usage — see [`sanitize`]
 //!   and [`launch::Device::enable_sanitizer`].
 //!
-//! Execution is fully deterministic: blocks run one at a time in block-id
-//! order and all cost accounting is integer cycle arithmetic, so a given
-//! kernel + workload always produces the *same* simulated cycle count. Wall
-//! time is irrelevant; the benchmarks report simulated cycles.
+//! Execution is fully deterministic: independent blocks may execute
+//! concurrently on host worker threads (`SIMT_SIM_THREADS`, see [`sched`]),
+//! but every block's work is self-contained, results merge in block-id
+//! order, and all cost accounting is integer cycle arithmetic — so a given
+//! kernel + workload always produces the *same* simulated cycle count at
+//! any thread count. Wall time is irrelevant; the benchmarks report
+//! simulated cycles.
 //!
 //! The crate is intentionally independent of OpenMP concepts; the OpenMP
 //! device runtime lives in `simt-omp-core` on top of these primitives.
@@ -47,9 +50,9 @@ pub use arch::{DeviceArch, Vendor};
 pub use exec::{Lane, ObservedEffects, TeamCtx};
 pub use launch::{Device, LaunchConfig, LaunchError};
 pub use mask::LaneMask;
-pub use mem::global::GlobalMem;
+pub use mem::global::{FallbackRange, GlobalMem, GlobalView};
 pub use mem::ptr::{DPtr, Slot};
 pub use mem::shared::SharedMem;
-pub use sanitize::{Sanitizer, SharingLayout, Violation};
+pub use sanitize::{ForeignTouch, Sanitizer, SharingLayout, Violation};
 pub use stats::{BlockProfile, LaunchStats, Resource, ResourceCycles};
 pub use trace::{Trace, TraceEvent};

@@ -1,176 +1,469 @@
-//! Simulated global (device) memory.
+//! Simulated global (device) memory, shareable across concurrently
+//! executing thread blocks.
 //!
 //! Global memory is a set of typed segments. Each segment gets a synthetic
 //! byte address range so that the cost model can analyze coalescing: the
 //! address of element `i` of a segment is `base + i * size_of::<T>()`, and
 //! bases are spaced so distinct segments never share a 32-byte sector.
 //!
+//! Since the parallel block engine runs blocks on several host threads,
+//! global memory is the one genuinely shared resource of a launch and is
+//! built for `&self` access throughout:
+//!
+//! * element storage is 64-bit words behind relaxed atomics (the
+//!   [`DevValue`] codec maps every element type onto words), so plain
+//!   reads/writes never take a lock;
+//! * the segment table is append-only and snapshot-swapped: allocation
+//!   clones the `Arc` table under a short mutex, while accessors go through
+//!   a cached [`GlobalView`] snapshot refreshed only when a lookup misses;
+//! * the first-touch (compulsory DRAM) tracker is striped by sector across
+//!   [`TOUCH_STRIPES`] mutexes — insert-exactly-once semantics keep the
+//!   *sum* of first touches deterministic under any block interleaving;
+//! * device-side fallback allocations land in per-block **arenas** at
+//!   deterministic synthetic addresses (`ARENA_BASE + block_id *
+//!   ARENA_STRIDE`), so cache-set hashing and coalescing never depend on
+//!   cross-block allocation order.
+//!
 //! Besides user buffers, the OpenMP runtime allocates *fallback* blocks here
 //! when a SIMD group's shared-memory variable-sharing slice overflows
 //! (paper §5.3.1); those go through the same API and are freed at the end of
 //! the parallel region.
 
-use super::pod::{AnyBuf, DevValue};
+use std::any::TypeId;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::pod::DevValue;
 use super::ptr::DPtr;
 
 /// Alignment of segment base addresses (also guarantees sector alignment).
 const SEG_ALIGN: u64 = 256;
 
-struct Segment {
+/// Base synthetic address of the per-block fallback arenas. Host-side
+/// allocations bump upward from low addresses and stay far below this.
+pub(crate) const ARENA_BASE: u64 = 1 << 44;
+
+/// Synthetic address space reserved per block arena (16 MiB of fallback
+/// allocations per block — far beyond what a sharing space can spill).
+pub(crate) const ARENA_STRIDE: u64 = 1 << 24;
+
+/// Number of first-touch tracker stripes.
+const TOUCH_STRIPES: usize = 64;
+
+/// One typed segment: metadata plus word storage behind relaxed atomics.
+pub(crate) struct Segment {
     base: u64,
-    data: Option<Box<dyn AnyBuf>>,
+    /// Elements in the segment.
+    len: usize,
+    /// Logical bytes per element (drives synthetic addressing).
+    elem_bytes: usize,
+    /// Storage words per element.
+    elem_words: usize,
+    type_id: TypeId,
+    alive: AtomicBool,
+    words: Vec<AtomicU64>,
 }
 
-/// The device's global memory: typed segments with synthetic addresses.
-#[derive(Default)]
-pub struct GlobalMem {
-    segs: Vec<Segment>,
+impl Segment {
+    fn check<T: DevValue>(&self, seg: u32) {
+        if !self.alive.load(Ordering::Relaxed) {
+            panic!("use after free of segment {seg}");
+        }
+        if self.type_id != TypeId::of::<T>() {
+            panic!("type confusion on segment {seg}: expected Vec<{}>", std::any::type_name::<T>());
+        }
+    }
+
+    #[inline]
+    fn read<T: DevValue>(&self, seg: u32, i: usize) -> T {
+        self.check::<T>(seg);
+        assert!(i < self.len, "device OOB read: idx {i} >= len {}", self.len);
+        let base = i * self.elem_words;
+        T::load_words(&mut |j| self.words[base + j].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn write<T: DevValue>(&self, seg: u32, i: usize, v: T) {
+        self.check::<T>(seg);
+        assert!(i < self.len, "device OOB write: idx {i} >= len {}", self.len);
+        let base = i * self.elem_words;
+        v.store_words(&mut |j, w| self.words[base + j].store(w, Ordering::Relaxed));
+    }
+
+    /// Atomic read-modify-write of the single storage word of element `i`.
+    /// Only valid for 1-word element types (`f64`/`u64` atomics).
+    #[inline]
+    fn rmw_word<T: DevValue>(&self, seg: u32, i: usize, f: impl Fn(u64) -> u64) -> u64 {
+        self.check::<T>(seg);
+        assert!(i < self.len, "device OOB write: idx {i} >= len {}", self.len);
+        debug_assert_eq!(self.elem_words, 1);
+        self.words[i]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| Some(f(w)))
+            .unwrap_or_else(|w| w)
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        (self.len * self.elem_bytes) as u64
+    }
+}
+
+type SegTable = Arc<Vec<Arc<Segment>>>;
+
+struct Master {
+    segs: SegTable,
     next_base: u64,
-    live_bytes: u64,
-    peak_bytes: u64,
-    alloc_count: u64,
+}
+
+/// The device's global memory: typed segments with synthetic addresses,
+/// shared by every concurrently executing block of a launch.
+pub struct GlobalMem {
+    master: Mutex<Master>,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+    alloc_count: AtomicU64,
     /// Sectors touched since the last launch began — distinguishes
-    /// compulsory DRAM traffic from L2-served re-reads.
-    touched: std::collections::HashSet<u64>,
+    /// compulsory DRAM traffic from L2-served re-reads. Striped by sector
+    /// so blocks on different host threads rarely contend.
+    touched: Vec<Mutex<HashSet<u64>>>,
+}
+
+impl Default for GlobalMem {
+    fn default() -> GlobalMem {
+        GlobalMem::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panicking kernel (simulated OOB etc.) may poison a lock; the
+    // tables themselves are never left half-updated, so keep going.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl GlobalMem {
     /// Create an empty global memory.
     pub fn new() -> GlobalMem {
-        GlobalMem { next_base: SEG_ALIGN, ..Default::default() }
+        GlobalMem {
+            master: Mutex::new(Master { segs: Arc::new(Vec::new()), next_base: SEG_ALIGN }),
+            live_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+            alloc_count: AtomicU64::new(0),
+            touched: (0..TOUCH_STRIPES).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
     }
 
-    fn push_segment<T: DevValue>(&mut self, data: Vec<T>) -> DPtr<T> {
-        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        let base = self.next_base;
-        self.next_base += bytes.div_ceil(SEG_ALIGN).max(1) * SEG_ALIGN;
-        let seg = self.segs.len() as u32;
-        self.segs.push(Segment { base, data: Some(Box::new(data)) });
-        self.live_bytes += bytes;
-        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
-        self.alloc_count += 1;
+    /// Current segment-table snapshot (cheap `Arc` clone).
+    pub(crate) fn snapshot(&self) -> SegTable {
+        Arc::clone(&lock(&self.master).segs)
+    }
+
+    /// A block-scoped accessor with a cached table snapshot and this
+    /// block's deterministic fallback arena.
+    pub fn view(&self, block_id: u32) -> GlobalView<'_> {
+        let arena = ARENA_BASE + block_id as u64 * ARENA_STRIDE;
+        GlobalView {
+            mem: self,
+            snap: self.snapshot(),
+            arena_next: arena,
+            arena_limit: arena + ARENA_STRIDE,
+            arena_allocs: Vec::new(),
+        }
+    }
+
+    fn push_segment<T: DevValue>(&self, data: &[T], base_override: Option<u64>) -> DPtr<T> {
+        let mut words: Vec<AtomicU64> = Vec::with_capacity(data.len() * T::WORDS);
+        words.resize_with(data.len() * T::WORDS, || AtomicU64::new(0));
+        for (i, v) in data.iter().enumerate() {
+            v.store_words(&mut |j, w| words[i * T::WORDS + j] = AtomicU64::new(w));
+        }
+        let bytes = std::mem::size_of_val(data) as u64;
+        let mut m = lock(&self.master);
+        let base = match base_override {
+            Some(b) => b,
+            None => {
+                let b = m.next_base;
+                m.next_base += bytes.div_ceil(SEG_ALIGN).max(1) * SEG_ALIGN;
+                b
+            }
+        };
+        let seg = m.segs.len() as u32;
+        let mut table: Vec<Arc<Segment>> = m.segs.as_ref().clone();
+        table.push(Arc::new(Segment {
+            base,
+            len: data.len(),
+            elem_bytes: std::mem::size_of::<T>(),
+            elem_words: T::WORDS,
+            type_id: TypeId::of::<T>(),
+            alive: AtomicBool::new(true),
+            words,
+        }));
+        m.segs = Arc::new(table);
+        drop(m);
+        self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.peak_bytes.fetch_max(self.live_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.alloc_count.fetch_add(1, Ordering::Relaxed);
         DPtr::new(seg, 0)
     }
 
     /// Allocate a segment initialized from host data (the H2D copy itself is
     /// charged by the host runtime, not here).
-    pub fn alloc_from<T: DevValue>(&mut self, data: &[T]) -> DPtr<T> {
-        self.push_segment(data.to_vec())
+    pub fn alloc_from<T: DevValue>(&self, data: &[T]) -> DPtr<T> {
+        self.push_segment(data, None)
     }
 
     /// Allocate a zero-initialized segment of `n` elements.
-    pub fn alloc_zeroed<T: DevValue + Default>(&mut self, n: usize) -> DPtr<T> {
-        self.push_segment(vec![T::default(); n])
+    pub fn alloc_zeroed<T: DevValue + Default>(&self, n: usize) -> DPtr<T> {
+        self.push_segment(&vec![T::default(); n], None)
     }
 
     /// Free a segment. Accessing it afterwards panics (simulated
-    /// use-after-free detection).
-    pub fn free<T: DevValue>(&mut self, p: DPtr<T>) {
-        let seg = self
+    /// use-after-free detection). The word storage is replaced by a
+    /// tombstone so memory is reclaimed once outstanding block views drop
+    /// their snapshots.
+    pub fn free<T: DevValue>(&self, p: DPtr<T>) {
+        let mut m = lock(&self.master);
+        let seg = m
             .segs
-            .get_mut(p.seg as usize)
+            .get(p.seg as usize)
+            .cloned()
             .unwrap_or_else(|| panic!("free of invalid segment {}", p.seg));
-        let data = seg.data.take().unwrap_or_else(|| panic!("double free of segment {}", p.seg));
-        self.live_bytes -= (data.len() * data.elem_size()) as u64;
+        if !seg.alive.swap(false, Ordering::Relaxed) {
+            panic!("double free of segment {}", p.seg);
+        }
+        let mut table: Vec<Arc<Segment>> = m.segs.as_ref().clone();
+        table[p.seg as usize] = Arc::new(Segment {
+            base: seg.base,
+            len: seg.len,
+            elem_bytes: seg.elem_bytes,
+            elem_words: seg.elem_words,
+            type_id: seg.type_id,
+            alive: AtomicBool::new(false),
+            words: Vec::new(),
+        });
+        m.segs = Arc::new(table);
+        drop(m);
+        self.live_bytes.fetch_sub(seg.logical_bytes(), Ordering::Relaxed);
     }
 
-    fn buf<T: DevValue>(&self, seg: u32) -> &Vec<T> {
-        let s = self
+    fn seg(&self, idx: u32) -> Arc<Segment> {
+        lock(&self.master)
             .segs
-            .get(seg as usize)
-            .unwrap_or_else(|| panic!("access to invalid segment {seg}"));
-        let data = s.data.as_ref().unwrap_or_else(|| panic!("use after free of segment {seg}"));
-        data.as_any().downcast_ref::<Vec<T>>().unwrap_or_else(|| {
-            panic!("type confusion on segment {seg}: expected Vec<{}>", std::any::type_name::<T>())
-        })
-    }
-
-    fn buf_mut<T: DevValue>(&mut self, seg: u32) -> &mut Vec<T> {
-        let s = self
-            .segs
-            .get_mut(seg as usize)
-            .unwrap_or_else(|| panic!("access to invalid segment {seg}"));
-        let data = s.data.as_mut().unwrap_or_else(|| panic!("use after free of segment {seg}"));
-        data.as_any_mut().downcast_mut::<Vec<T>>().unwrap_or_else(|| {
-            panic!("type confusion on segment {seg}: expected Vec<{}>", std::any::type_name::<T>())
-        })
+            .get(idx as usize)
+            .cloned()
+            .unwrap_or_else(|| panic!("access to invalid segment {idx}"))
     }
 
     /// Read element `idx` relative to pointer `p` (functional access, no
     /// cycle cost — kernels charge through their `Lane` instead).
     #[inline]
     pub fn read<T: DevValue>(&self, p: DPtr<T>, idx: u64) -> T {
-        let buf = self.buf::<T>(p.seg);
-        let i = (p.off + idx) as usize;
-        assert!(i < buf.len(), "device OOB read: idx {i} >= len {}", buf.len());
-        buf[i]
+        self.seg(p.seg).read(p.seg, (p.off + idx) as usize)
     }
 
     /// Write element `idx` relative to pointer `p`.
     #[inline]
-    pub fn write<T: DevValue>(&mut self, p: DPtr<T>, idx: u64, v: T) {
-        let buf = self.buf_mut::<T>(p.seg);
-        let i = (p.off + idx) as usize;
-        assert!(i < buf.len(), "device OOB write: idx {i} >= len {}", buf.len());
-        buf[i] = v;
+    pub fn write<T: DevValue>(&self, p: DPtr<T>, idx: u64, v: T) {
+        self.seg(p.seg).write(p.seg, (p.off + idx) as usize, v);
     }
 
     /// Synthetic byte address of element `idx` relative to `p`, used by the
     /// coalescing analysis.
     #[inline]
     pub fn addr_of<T: DevValue>(&self, p: DPtr<T>, idx: u64) -> u64 {
-        let s = &self.segs[p.seg as usize];
+        let s = self.seg(p.seg);
         s.base + (p.off + idx) * std::mem::size_of::<T>() as u64
     }
 
     /// Number of elements in the segment behind `p`, counted from `p`'s
     /// offset.
     pub fn len_of<T: DevValue>(&self, p: DPtr<T>) -> usize {
-        self.buf::<T>(p.seg).len() - p.off as usize
+        let s = self.seg(p.seg);
+        s.check::<T>(p.seg);
+        s.len - p.off as usize
     }
 
     /// Copy `len` elements starting at `p` back to the host.
     pub fn read_slice<T: DevValue>(&self, p: DPtr<T>, len: usize) -> Vec<T> {
-        let buf = self.buf::<T>(p.seg);
+        let s = self.seg(p.seg);
+        s.check::<T>(p.seg);
         let start = p.off as usize;
-        assert!(start + len <= buf.len(), "device OOB slice read");
-        buf[start..start + len].to_vec()
+        assert!(start + len <= s.len, "device OOB slice read");
+        (0..len).map(|i| s.read(p.seg, start + i)).collect()
     }
 
     /// Overwrite `data.len()` elements starting at `p` from host data.
-    pub fn write_slice<T: DevValue>(&mut self, p: DPtr<T>, data: &[T]) {
-        let buf = self.buf_mut::<T>(p.seg);
+    pub fn write_slice<T: DevValue>(&self, p: DPtr<T>, data: &[T]) {
+        let s = self.seg(p.seg);
+        s.check::<T>(p.seg);
         let start = p.off as usize;
-        assert!(start + data.len() <= buf.len(), "device OOB slice write");
-        buf[start..start + data.len()].copy_from_slice(data);
+        assert!(start + data.len() <= s.len, "device OOB slice write");
+        for (i, v) in data.iter().enumerate() {
+            s.write(p.seg, start + i, *v);
+        }
     }
 
     /// Bytes currently allocated.
     pub fn live_bytes(&self) -> u64 {
-        self.live_bytes
+        self.live_bytes.load(Ordering::Relaxed)
     }
 
     /// High-water mark of allocated bytes.
     pub fn peak_bytes(&self) -> u64 {
-        self.peak_bytes
+        self.peak_bytes.load(Ordering::Relaxed)
     }
 
     /// Total number of allocations performed.
     pub fn alloc_count(&self) -> u64 {
-        self.alloc_count
+        self.alloc_count.load(Ordering::Relaxed)
     }
 
     /// Record a sector access; returns `true` on the first touch since the
     /// last [`Self::reset_touched`] (compulsory DRAM traffic — later misses
-    /// of the same sector are served by the device-wide L2).
+    /// of the same sector are served by the device-wide L2). Inserts are
+    /// exactly-once across all blocks, so per-launch *totals* are
+    /// interleaving-independent.
     #[inline]
-    pub fn first_touch(&mut self, sector: u64) -> bool {
-        self.touched.insert(sector)
+    pub fn first_touch(&self, sector: u64) -> bool {
+        lock(&self.touched[(sector as usize) % TOUCH_STRIPES]).insert(sector)
     }
 
     /// Clear the first-touch tracker (called at launch start).
-    pub fn reset_touched(&mut self) {
-        self.touched.clear();
+    pub fn reset_touched(&self) {
+        for stripe in &self.touched {
+            lock(stripe).clear();
+        }
+    }
+}
+
+/// One device-side fallback allocation made through a block's
+/// [`GlobalView`], reported to the launch merge step for cross-team race
+/// analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct FallbackRange {
+    /// First synthetic byte address of the allocation.
+    pub base: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Whether the owning block freed it before finishing.
+    pub freed: bool,
+    seg: u32,
+}
+
+impl FallbackRange {
+    /// Whether `addr` falls inside the allocation.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.bytes
+    }
+}
+
+/// A block's accessor to shared global memory: caches a segment-table
+/// snapshot (refreshed on lookup miss — segment indices only grow) and owns
+/// the block's deterministic fallback arena.
+pub struct GlobalView<'g> {
+    mem: &'g GlobalMem,
+    snap: SegTable,
+    arena_next: u64,
+    arena_limit: u64,
+    arena_allocs: Vec<FallbackRange>,
+}
+
+impl<'g> GlobalView<'g> {
+    #[inline]
+    fn seg(&mut self, idx: u32) -> &Arc<Segment> {
+        if self.snap.get(idx as usize).is_none() {
+            self.snap = self.mem.snapshot();
+        }
+        self.snap.get(idx as usize).unwrap_or_else(|| panic!("access to invalid segment {idx}"))
+    }
+
+    /// Read element `idx` relative to `p`.
+    #[inline]
+    pub fn read<T: DevValue>(&mut self, p: DPtr<T>, idx: u64) -> T {
+        self.seg(p.seg).read(p.seg, (p.off + idx) as usize)
+    }
+
+    /// Write element `idx` relative to `p`.
+    #[inline]
+    pub fn write<T: DevValue>(&mut self, p: DPtr<T>, idx: u64, v: T) {
+        self.seg(p.seg).write(p.seg, (p.off + idx) as usize, v);
+    }
+
+    /// Synthetic byte address of element `idx` relative to `p`.
+    #[inline]
+    pub fn addr_of<T: DevValue>(&mut self, p: DPtr<T>, idx: u64) -> u64 {
+        let s = self.seg(p.seg);
+        s.base + (p.off + idx) * std::mem::size_of::<T>() as u64
+    }
+
+    /// Atomic `fetch_add` on an `f64` element; returns the old value.
+    /// Genuinely atomic across concurrently executing blocks.
+    #[inline]
+    pub fn atomic_add_f64(&mut self, p: DPtr<f64>, idx: u64, v: f64) -> f64 {
+        let old = self
+            .seg(p.seg)
+            .rmw_word::<f64>(p.seg, (p.off + idx) as usize, |w| (f64::from_bits(w) + v).to_bits());
+        f64::from_bits(old)
+    }
+
+    /// Atomic `fetch_add` on a `u64` element; returns the old value.
+    #[inline]
+    pub fn atomic_add_u64(&mut self, p: DPtr<u64>, idx: u64, v: u64) -> u64 {
+        self.seg(p.seg).rmw_word::<u64>(p.seg, (p.off + idx) as usize, |w| w.wrapping_add(v))
+    }
+
+    /// Allocate a zero-initialized fallback segment in this block's arena.
+    /// The synthetic address depends only on the block id and this block's
+    /// allocation order — never on cross-block timing — which keeps L1-set
+    /// hashing and coalescing deterministic under parallel execution.
+    pub fn alloc_zeroed<T: DevValue + Default>(&mut self, n: usize) -> DPtr<T> {
+        let bytes = (n * std::mem::size_of::<T>()) as u64;
+        let aligned = bytes.div_ceil(SEG_ALIGN).max(1) * SEG_ALIGN;
+        assert!(
+            self.arena_next + aligned <= self.arena_limit,
+            "per-block fallback arena overflow ({} B requested past {} B arena)",
+            bytes,
+            ARENA_STRIDE
+        );
+        let base = self.arena_next;
+        self.arena_next += aligned;
+        let p = self.mem.push_segment(&vec![T::default(); n], Some(base));
+        self.snap = self.mem.snapshot();
+        self.arena_allocs.push(FallbackRange { base, bytes, freed: false, seg: p.seg });
+        p
+    }
+
+    /// Free a segment (device-side). Arena allocations made through this
+    /// view are marked freed for the leak/race analysis.
+    pub fn free<T: DevValue>(&mut self, p: DPtr<T>) {
+        self.mem.free(p);
+        self.snap = self.mem.snapshot();
+        if let Some(r) = self.arena_allocs.iter_mut().find(|r| r.seg == p.seg) {
+            r.freed = true;
+        }
+    }
+
+    /// Number of elements in the segment behind `p`, from `p`'s offset.
+    pub fn len_of<T: DevValue>(&mut self, p: DPtr<T>) -> usize {
+        let s = self.seg(p.seg);
+        s.check::<T>(p.seg);
+        s.len - p.off as usize
+    }
+
+    /// First-touch tracking (see [`GlobalMem::first_touch`]).
+    #[inline]
+    pub fn first_touch(&self, sector: u64) -> bool {
+        self.mem.first_touch(sector)
+    }
+
+    /// The underlying shared memory object.
+    pub fn mem(&self) -> &'g GlobalMem {
+        self.mem
+    }
+
+    /// Fallback allocations this view performed (the launch merge step
+    /// reads these for cross-team race analysis).
+    pub fn fallback_ranges(&self) -> &[FallbackRange] {
+        &self.arena_allocs
     }
 }
 
@@ -180,7 +473,7 @@ mod tests {
 
     #[test]
     fn alloc_read_write_roundtrip() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_from(&[1.0f64, 2.0, 3.0]);
         assert_eq!(g.read(p, 0), 1.0);
         assert_eq!(g.read(p, 2), 3.0);
@@ -190,7 +483,7 @@ mod tests {
 
     #[test]
     fn zeroed_alloc() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_zeroed::<u32>(5);
         assert_eq!(g.read_slice(p, 5), vec![0; 5]);
         assert_eq!(g.len_of(p), 5);
@@ -198,7 +491,7 @@ mod tests {
 
     #[test]
     fn addresses_are_disjoint_and_typed() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let a = g.alloc_zeroed::<f64>(10);
         let b = g.alloc_zeroed::<f64>(10);
         // Consecutive elements are 8 bytes apart.
@@ -210,7 +503,7 @@ mod tests {
 
     #[test]
     fn pointer_offsetting() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_from(&[10u32, 20, 30, 40]);
         let q = p.add(2);
         assert_eq!(g.read(q, 0), 30);
@@ -220,7 +513,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "OOB")]
     fn oob_read_panics() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_zeroed::<f64>(3);
         g.read(p, 3);
     }
@@ -228,7 +521,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "type confusion")]
     fn type_confusion_is_detected() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_zeroed::<f64>(3);
         let bits = p.to_bits();
         let q: DPtr<u32> = DPtr::from_bits(bits);
@@ -238,15 +531,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "use after free")]
     fn use_after_free_is_detected() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_zeroed::<f64>(3);
         g.free(p);
         g.read(p, 0);
     }
 
     #[test]
+    #[should_panic(expected = "use after free")]
+    fn stale_view_snapshot_sees_free() {
+        let g = GlobalMem::new();
+        let p = g.alloc_zeroed::<f64>(3);
+        let mut view = g.view(0);
+        assert_eq!(view.read(p, 0), 0.0); // caches the snapshot
+        g.free(p);
+        view.read(p, 0); // stale snapshot, but the alive flag is shared
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_detected() {
+        let g = GlobalMem::new();
+        let p = g.alloc_zeroed::<f64>(3);
+        g.free(p);
+        g.free(p);
+    }
+
+    #[test]
     fn accounting_tracks_live_and_peak() {
-        let mut g = GlobalMem::new();
+        let g = GlobalMem::new();
         let p = g.alloc_zeroed::<u64>(100); // 800 bytes
         assert_eq!(g.live_bytes(), 800);
         let q = g.alloc_zeroed::<u8>(10);
@@ -257,5 +570,95 @@ mod tests {
         g.free(q);
         assert_eq!(g.live_bytes(), 0);
         assert_eq!(g.alloc_count(), 2);
+    }
+
+    #[test]
+    fn view_refreshes_on_new_segment() {
+        let g = GlobalMem::new();
+        let mut view = g.view(0);
+        let p = g.alloc_from(&[5u64, 6]); // allocated after the view snapshot
+        assert_eq!(view.read(p, 1), 6);
+    }
+
+    #[test]
+    fn arena_addresses_depend_only_on_block_id() {
+        let g = GlobalMem::new();
+        let mut v3 = g.view(3);
+        let mut v1 = g.view(1);
+        // Interleave allocations from two "blocks" in arbitrary order.
+        let a3 = v3.alloc_zeroed::<u64>(4);
+        let a1 = v1.alloc_zeroed::<u64>(4);
+        let b3 = v3.alloc_zeroed::<u64>(4);
+        assert_eq!(v3.addr_of(a3, 0), ARENA_BASE + 3 * ARENA_STRIDE);
+        assert_eq!(v1.addr_of(a1, 0), ARENA_BASE + ARENA_STRIDE);
+        assert_eq!(v3.addr_of(b3, 0), ARENA_BASE + 3 * ARENA_STRIDE + SEG_ALIGN);
+
+        // A fresh memory with the opposite interleaving yields the same
+        // addresses — the determinism the parallel engine relies on.
+        let g2 = GlobalMem::new();
+        let mut w1 = g2.view(1);
+        let mut w3 = g2.view(3);
+        let c1 = w1.alloc_zeroed::<u64>(4);
+        let c3 = w3.alloc_zeroed::<u64>(4);
+        assert_eq!(w1.addr_of(c1, 0), ARENA_BASE + ARENA_STRIDE);
+        assert_eq!(w3.addr_of(c3, 0), ARENA_BASE + 3 * ARENA_STRIDE);
+    }
+
+    #[test]
+    fn view_atomics_are_atomic_across_threads() {
+        let g = GlobalMem::new();
+        let p = g.alloc_zeroed::<u64>(1);
+        std::thread::scope(|s| {
+            for b in 0..4u32 {
+                let g = &g;
+                s.spawn(move || {
+                    let mut v = g.view(b);
+                    for _ in 0..1000 {
+                        v.atomic_add_u64(p, 0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.read(p, 0), 4000);
+    }
+
+    #[test]
+    fn fallback_ranges_track_frees() {
+        let g = GlobalMem::new();
+        let mut v = g.view(0);
+        let a = v.alloc_zeroed::<u64>(2);
+        let b = v.alloc_zeroed::<u64>(2);
+        v.free(a);
+        let b1 = v.addr_of(b, 1);
+        let ranges = v.fallback_ranges();
+        assert_eq!(ranges.len(), 2);
+        assert!(ranges[0].freed);
+        assert!(!ranges[1].freed);
+        assert!(ranges[1].contains(b1));
+    }
+
+    #[test]
+    fn first_touch_is_exactly_once_across_threads() {
+        let g = GlobalMem::new();
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = &g;
+                let total = &total;
+                s.spawn(move || {
+                    let mut mine = 0;
+                    for sector in 0..10_000u64 {
+                        if g.first_touch(sector) {
+                            mine += 1;
+                        }
+                    }
+                    total.fetch_add(mine, Ordering::Relaxed);
+                });
+            }
+        });
+        // Every sector is claimed by exactly one thread.
+        assert_eq!(total.load(Ordering::Relaxed), 10_000);
+        g.reset_touched();
+        assert!(g.first_touch(0));
     }
 }

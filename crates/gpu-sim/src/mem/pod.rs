@@ -1,53 +1,86 @@
 //! Plain-old-data marker for values that can live in simulated device
 //! memory.
 //!
-//! Device buffers are homogeneous typed segments (`Vec<T>` behind a type-
-//! erased box). `DevValue` bounds the element types: they must be `Copy`
-//! (device memory is bitwise), `Send` (buffers migrate between host threads
-//! in the host runtime) and `'static` (segments are type-erased and
-//! recovered by downcast).
+//! Device buffers are homogeneous typed segments stored as 64-bit words
+//! behind relaxed atomics (so concurrently executing blocks can share the
+//! device's global memory without locks on the access path). `DevValue`
+//! bounds the element types and provides the word codec: values must be
+//! `Copy` (device memory is bitwise), `Send` (buffers migrate between host
+//! threads in the host runtime) and `'static` (segments are type-erased by
+//! `TypeId` and recovered by a type check).
+//!
+//! The codec is callback-based (`store_words` / `load_words`) rather than
+//! buffer-based so composite values of any width encode without heap
+//! allocation on the access hot path.
 
-use std::any::Any;
+/// Marker + word codec for element types storable in device memory.
+pub trait DevValue: Copy + Send + 'static {
+    /// Number of 64-bit storage words one value occupies.
+    const WORDS: usize;
 
-/// Marker trait for element types storable in device memory.
-pub trait DevValue: Copy + Send + 'static {}
+    /// Emit the value as `Self::WORDS` words via `put(word_index, word)`.
+    fn store_words(self, put: &mut impl FnMut(usize, u64));
 
-impl DevValue for u8 {}
-impl DevValue for u16 {}
-impl DevValue for u32 {}
-impl DevValue for u64 {}
-impl DevValue for i8 {}
-impl DevValue for i16 {}
-impl DevValue for i32 {}
-impl DevValue for i64 {}
-impl DevValue for f32 {}
-impl DevValue for f64 {}
-impl DevValue for usize {}
-impl<T: DevValue, const N: usize> DevValue for [T; N] {}
-impl<A: DevValue, B: DevValue> DevValue for (A, B) {}
-
-/// Type-erased storage for one device segment.
-pub(crate) trait AnyBuf: Any + Send {
-    fn as_any(&self) -> &dyn Any;
-    fn as_any_mut(&mut self) -> &mut dyn Any;
-    /// Number of elements in the segment.
-    fn len(&self) -> usize;
-    /// Size of one element in bytes.
-    fn elem_size(&self) -> usize;
+    /// Rebuild a value from `Self::WORDS` words via `get(word_index)`.
+    fn load_words(get: &mut impl FnMut(usize) -> u64) -> Self;
 }
 
-impl<T: DevValue> AnyBuf for Vec<T> {
-    fn as_any(&self) -> &dyn Any {
-        self
+macro_rules! prim_dev_value {
+    ($($t:ty => $to:expr, $from:expr;)*) => {$(
+        impl DevValue for $t {
+            const WORDS: usize = 1;
+            #[inline]
+            fn store_words(self, put: &mut impl FnMut(usize, u64)) {
+                #[allow(clippy::redundant_closure_call)]
+                put(0, ($to)(self));
+            }
+            #[inline]
+            fn load_words(get: &mut impl FnMut(usize) -> u64) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                ($from)(get(0))
+            }
+        }
+    )*};
+}
+
+prim_dev_value! {
+    u8  => |v: u8| v as u64,  |w: u64| w as u8;
+    u16 => |v: u16| v as u64, |w: u64| w as u16;
+    u32 => |v: u32| v as u64, |w: u64| w as u32;
+    u64 => |v: u64| v,        |w: u64| w;
+    i8  => |v: i8| v as u8 as u64,   |w: u64| w as u8 as i8;
+    i16 => |v: i16| v as u16 as u64, |w: u64| w as u16 as i16;
+    i32 => |v: i32| v as u32 as u64, |w: u64| w as u32 as i32;
+    i64 => |v: i64| v as u64,        |w: u64| w as i64;
+    f32 => |v: f32| v.to_bits() as u64, |w: u64| f32::from_bits(w as u32);
+    f64 => |v: f64| v.to_bits(),        |w: u64| f64::from_bits(w);
+    usize => |v: usize| v as u64, |w: u64| w as usize;
+}
+
+impl<T: DevValue, const N: usize> DevValue for [T; N] {
+    const WORDS: usize = N * T::WORDS;
+    #[inline]
+    fn store_words(self, put: &mut impl FnMut(usize, u64)) {
+        for (i, e) in self.into_iter().enumerate() {
+            e.store_words(&mut |j, w| put(i * T::WORDS + j, w));
+        }
     }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    #[inline]
+    fn load_words(get: &mut impl FnMut(usize) -> u64) -> Self {
+        std::array::from_fn(|i| T::load_words(&mut |j| get(i * T::WORDS + j)))
     }
-    fn len(&self) -> usize {
-        self.len()
+}
+
+impl<A: DevValue, B: DevValue> DevValue for (A, B) {
+    const WORDS: usize = A::WORDS + B::WORDS;
+    #[inline]
+    fn store_words(self, put: &mut impl FnMut(usize, u64)) {
+        self.0.store_words(put);
+        self.1.store_words(&mut |j, w| put(A::WORDS + j, w));
     }
-    fn elem_size(&self) -> usize {
-        std::mem::size_of::<T>()
+    #[inline]
+    fn load_words(get: &mut impl FnMut(usize) -> u64) -> Self {
+        (A::load_words(get), B::load_words(&mut |j| get(A::WORDS + j)))
     }
 }
 
@@ -55,21 +88,46 @@ impl<T: DevValue> AnyBuf for Vec<T> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn anybuf_reports_geometry() {
-        let v: Vec<f64> = vec![0.0; 7];
-        let b: &dyn AnyBuf = &v;
-        assert_eq!(b.len(), 7);
-        assert_eq!(b.elem_size(), 8);
+    fn roundtrip<T: DevValue + PartialEq + std::fmt::Debug>(v: T) {
+        let mut words = vec![0u64; T::WORDS];
+        v.store_words(&mut |i, w| words[i] = w);
+        let back = T::load_words(&mut |i| words[i]);
+        assert_eq!(back, v);
     }
 
     #[test]
-    fn anybuf_downcast_roundtrip() {
-        let v: Vec<u32> = vec![1, 2, 3];
-        let mut b: Box<dyn AnyBuf> = Box::new(v);
-        assert!(b.as_any().downcast_ref::<Vec<u32>>().is_some());
-        assert!(b.as_any().downcast_ref::<Vec<f64>>().is_none());
-        b.as_any_mut().downcast_mut::<Vec<u32>>().unwrap().push(4);
-        assert_eq!(b.len(), 4);
+    fn primitives_roundtrip() {
+        roundtrip(0xABu8);
+        roundtrip(-12345i32);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(3.5f32);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn negative_ints_survive_zero_extension() {
+        roundtrip(i8::MIN);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip([1.0f64, -2.0, 3.0]);
+        roundtrip((7u32, -8.25f64));
+        roundtrip([(1u64, 2u64), (3, 4)]);
+        assert_eq!(<[f64; 3]>::WORDS, 3);
+        assert_eq!(<(u32, f64)>::WORDS, 2);
+    }
+
+    #[test]
+    fn nan_bits_are_preserved() {
+        let v = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut words = [0u64; 1];
+        v.store_words(&mut |i, w| words[i] = w);
+        let back = f64::load_words(&mut |i| words[i]);
+        assert_eq!(back.to_bits(), v.to_bits());
     }
 }

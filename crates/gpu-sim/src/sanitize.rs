@@ -121,6 +121,22 @@ pub enum Violation {
         /// The conflicting plain access.
         plain: AccessLabel,
     },
+    /// A thread block wrote into another block's *leaked* sharing-space
+    /// fallback allocation. Blocks of one launch have no synchronization
+    /// between them, so any cross-block write to a fallback that its owner
+    /// never freed is an unsynchronized cross-team global-memory race.
+    /// Detected at launch merge time from per-block fallback ranges and
+    /// foreign-arena access summaries.
+    CrossTeamFallbackRace {
+        /// Block that allocated (and leaked) the fallback.
+        owner: u32,
+        /// Block whose thread wrote into it.
+        accessor: u32,
+        /// Writing thread id within the accessor block.
+        thread: u32,
+        /// Synthetic byte address written.
+        addr: u64,
+    },
     /// An outlined function's observed behavior contradicted its declared
     /// effect footprint (static claims are checked, not trusted).
     FootprintViolation {
@@ -180,6 +196,11 @@ impl std::fmt::Display for Violation {
                     atomic.thread, plain.thread
                 )
             }
+            Violation::CrossTeamFallbackRace { owner, accessor, thread, addr } => write!(
+                f,
+                "block {accessor}: thread {thread} wrote block {owner}'s leaked \
+                 sharing-space fallback at {addr:#x} (cross-team race)"
+            ),
             Violation::FootprintViolation { block, func, detail } => {
                 write!(f, "block {block}: {func} violated its declared footprint: {detail}")
             }
@@ -219,6 +240,47 @@ struct SlotState {
 /// Cap on stored violations per block (further ones are counted, not kept).
 const MAX_VIOLATIONS: usize = 64;
 
+/// Cap on recorded foreign-arena touches per block.
+const MAX_FOREIGN: usize = 256;
+
+/// One access by this block into another block's fallback arena, reported
+/// to the launch merge step (which joins it against the owner's
+/// [`crate::mem::global::FallbackRange`]s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForeignTouch {
+    /// Block id owning the arena that was touched.
+    pub owner: u32,
+    /// Touching thread id within the recording block.
+    pub thread: u32,
+    /// Synthetic byte address.
+    pub addr: u64,
+    /// Whether the touch was a write (plain or atomic RMW).
+    pub write: bool,
+}
+
+/// Per-warp synchronization summary in the adaptive (FastTrack-style)
+/// representation: a scalar epoch of the warp's last *full* sync, inflating
+/// to a lazily allocated `ws x ws` pairwise table only when a partial
+/// masked `warp_sync_masked` makes lane pairs diverge.
+#[derive(Clone, Debug, Default)]
+struct WarpSyncState {
+    /// Epoch of the last sync covering every lane of the warp.
+    last_full: u64,
+    /// `pair[a * ws + b]`: epoch of the last partial sync covering lanes
+    /// `a` and `b`. `None` until the first partial masked sync on the warp.
+    pair: Option<Box<[u64]>>,
+}
+
+/// Synchronization history: adaptive per-warp epochs (the default) or the
+/// dense `nwarps * ws * ws` table (kept as a measurable baseline — the
+/// pre-compression representation whose per-barrier refill is
+/// O(warps * lanes^2)).
+#[derive(Debug)]
+enum SyncTable {
+    Adaptive(Vec<WarpSyncState>),
+    Dense(Vec<u64>),
+}
+
 /// The per-block sanitizer state. Created by the launch path when
 /// [`crate::Device::enable_sanitizer`] is on; fed by [`crate::TeamCtx`].
 #[derive(Debug)]
@@ -230,11 +292,16 @@ pub struct Sanitizer {
     /// thread participated in.
     epochs: Vec<u64>,
     next_epoch: u64,
-    /// `synced_with[t * warp_size + l]`: id of the last sync event that
-    /// included both thread `t` and lane `l` of `t`'s own warp. Cross-warp
-    /// ordering comes only from block barriers ([`Self::last_block_barrier`]),
-    /// so per-warp tables make the happens-before check exact.
-    synced_with: Vec<u64>,
+    /// Within-warp synchronization history. Cross-warp ordering comes only
+    /// from block barriers ([`Self::last_block_barrier`]), so per-warp
+    /// state makes the happens-before check exact. In dense mode the layout
+    /// is `table[t * warp_size + l]`: the last sync including thread `t`
+    /// and lane `l` of `t`'s own warp.
+    sync: SyncTable,
+    /// Partial-sync pairwise tables inflated so far (adaptive mode).
+    pair_inflations: u64,
+    /// Accesses into other blocks' fallback arenas.
+    foreign: Vec<ForeignTouch>,
     /// Id of the most recent block barrier.
     last_block_barrier: u64,
     slots: Vec<SlotState>,
@@ -249,15 +316,48 @@ pub struct Sanitizer {
 }
 
 impl Sanitizer {
-    /// Fresh sanitizer for one block.
+    /// Fresh sanitizer for one block, using the adaptive epoch
+    /// representation: O(warps) state until a partial masked warp sync
+    /// inflates a per-warp pairwise table.
     pub fn new(block: u32, nwarps: u32, warp_size: u32, smem_slots: u32) -> Sanitizer {
+        Sanitizer::with_table(
+            block,
+            nwarps,
+            warp_size,
+            smem_slots,
+            SyncTable::Adaptive(vec![WarpSyncState::default(); nwarps as usize]),
+        )
+    }
+
+    /// Fresh sanitizer with the dense `nwarps * ws * ws` sync table — the
+    /// pre-compression baseline, kept selectable so the `simspeed` bench
+    /// can measure what the adaptive representation saves.
+    pub fn new_dense(block: u32, nwarps: u32, warp_size: u32, smem_slots: u32) -> Sanitizer {
+        Sanitizer::with_table(
+            block,
+            nwarps,
+            warp_size,
+            smem_slots,
+            SyncTable::Dense(vec![0; (nwarps * warp_size * warp_size) as usize]),
+        )
+    }
+
+    fn with_table(
+        block: u32,
+        nwarps: u32,
+        warp_size: u32,
+        smem_slots: u32,
+        sync: SyncTable,
+    ) -> Sanitizer {
         Sanitizer {
             block,
             warp_size,
             nwarps,
             epochs: vec![0; (nwarps * warp_size) as usize],
             next_epoch: 0,
-            synced_with: vec![0; (nwarps * warp_size * warp_size) as usize],
+            sync,
+            pair_inflations: 0,
+            foreign: Vec::new(),
             last_block_barrier: 0,
             slots: vec![SlotState::default(); smem_slots as usize],
             sharing: None,
@@ -280,6 +380,24 @@ impl Sanitizer {
     /// Violations found beyond the storage cap.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Words of synchronization-history state currently allocated — the
+    /// quantity the adaptive representation keeps O(warps) on kernels with
+    /// no partial masked syncs (regression guard against the old eager
+    /// `nwarps * ws^2` allocation).
+    pub fn sync_words(&self) -> usize {
+        match &self.sync {
+            SyncTable::Adaptive(warps) => {
+                warps.iter().map(|w| 1 + w.pair.as_ref().map_or(0, |p| p.len())).sum()
+            }
+            SyncTable::Dense(table) => table.len(),
+        }
+    }
+
+    /// Number of per-warp pairwise tables inflated by partial masked syncs.
+    pub fn pairwise_tables(&self) -> u64 {
+        self.pair_inflations
     }
 
     /// Report a violation detected outside the sanitizer itself (the
@@ -330,7 +448,12 @@ impl Sanitizer {
         self.any_arrival = false;
         self.next_epoch += 1;
         self.epochs.fill(self.next_epoch);
-        self.synced_with.fill(self.next_epoch);
+        // Adaptive mode needs no per-pair work: `last_block_barrier`
+        // dominates every older pairwise epoch in `ordered_before`. The
+        // dense baseline pays the O(warps * lanes^2) refill it always did.
+        if let SyncTable::Dense(table) = &mut self.sync {
+            table.fill(self.next_epoch);
+        }
         self.last_block_barrier = self.next_epoch;
     }
 
@@ -358,13 +481,39 @@ impl Sanitizer {
         let ws = self.warp_size;
         let participants: Vec<u32> = lanes.iter().filter(|&l| l < ws).collect();
         for &a in &participants {
-            let t = (warp * ws + a) as usize;
-            if let Some(e) = self.epochs.get_mut(t) {
+            if let Some(e) = self.epochs.get_mut((warp * ws + a) as usize) {
                 *e = self.next_epoch;
             }
-            for &b in &participants {
-                if let Some(s) = self.synced_with.get_mut(t * ws as usize + b as usize) {
-                    *s = self.next_epoch;
+        }
+        match &mut self.sync {
+            SyncTable::Adaptive(warps) => {
+                let Some(state) = warps.get_mut(warp as usize) else { return };
+                if participants.len() as u32 == ws {
+                    // Full sync: one scalar update, no pairwise table.
+                    state.last_full = self.next_epoch;
+                } else {
+                    // Partial masked sync: inflate the warp's pairwise
+                    // table on first use.
+                    if state.pair.is_none() {
+                        state.pair = Some(vec![0u64; (ws * ws) as usize].into_boxed_slice());
+                        self.pair_inflations += 1;
+                    }
+                    let pair = state.pair.as_mut().expect("just inflated");
+                    for &a in &participants {
+                        for &b in &participants {
+                            pair[(a * ws + b) as usize] = self.next_epoch;
+                        }
+                    }
+                }
+            }
+            SyncTable::Dense(table) => {
+                for &a in &participants {
+                    let t = (warp * ws + a) as usize;
+                    for &b in &participants {
+                        if let Some(s) = table.get_mut(t * ws as usize + b as usize) {
+                            *s = self.next_epoch;
+                        }
+                    }
                 }
             }
         }
@@ -381,11 +530,21 @@ impl Sanitizer {
         let ws = self.warp_size;
         let mut latest_common = self.last_block_barrier;
         if w_thread / ws == thread / ws {
-            let sw = self
-                .synced_with
-                .get(thread as usize * ws as usize + (w_thread % ws) as usize)
-                .copied()
-                .unwrap_or(0);
+            let sw = match &self.sync {
+                SyncTable::Adaptive(warps) => {
+                    warps.get((thread / ws) as usize).map_or(0, |state| {
+                        let pairwise = state
+                            .pair
+                            .as_ref()
+                            .map_or(0, |p| p[((thread % ws) * ws + w_thread % ws) as usize]);
+                        state.last_full.max(pairwise)
+                    })
+                }
+                SyncTable::Dense(table) => table
+                    .get(thread as usize * ws as usize + (w_thread % ws) as usize)
+                    .copied()
+                    .unwrap_or(0),
+            };
             latest_common = latest_common.max(sw);
         }
         // A common sync issued *before* the access would have raised the
@@ -527,6 +686,33 @@ impl Sanitizer {
             group: writer_group,
             group_slots: l.group_slots,
         })
+    }
+
+    // ----- cross-team fallback accesses --------------------------------
+
+    /// Record one global-memory access by `thread`. Only accesses landing
+    /// in *another* block's fallback arena are kept (capped, deduplicated);
+    /// the launch merge step joins them against the owners' fallback
+    /// ranges to flag cross-team races on leaked allocations.
+    #[inline]
+    pub fn record_global_access(&mut self, thread: u32, addr: u64, write: bool) {
+        use crate::mem::global::{ARENA_BASE, ARENA_STRIDE};
+        if addr < ARENA_BASE {
+            return;
+        }
+        let owner = ((addr - ARENA_BASE) / ARENA_STRIDE) as u32;
+        if owner == self.block {
+            return;
+        }
+        let touch = ForeignTouch { owner, thread, addr, write };
+        if self.foreign.len() < MAX_FOREIGN && !self.foreign.contains(&touch) {
+            self.foreign.push(touch);
+        }
+    }
+
+    /// Drain the recorded foreign-arena touches (launch merge step).
+    pub fn take_foreign(&mut self) -> Vec<ForeignTouch> {
+        std::mem::take(&mut self.foreign)
     }
 
     // ----- sharing-space fallback lifecycle ----------------------------
@@ -833,5 +1019,94 @@ mod tests {
         });
         let v = s.finish();
         assert!(matches!(v[0], Violation::FootprintViolation { .. }));
+    }
+
+    #[test]
+    fn no_quadratic_allocation_without_partial_syncs() {
+        // Regression for the eager `nwarps * ws^2` table: a kernel that
+        // only ever uses full warp syncs and block barriers must keep the
+        // sync history at O(warps) words.
+        let nwarps = 32u32;
+        let ws = 32u32;
+        let mut s = Sanitizer::new(0, nwarps, ws, 256);
+        assert_eq!(s.sync_words(), nwarps as usize);
+        for w in 0..nwarps {
+            s.on_warp_sync(w);
+            s.record_smem(w * ws, (w % 8) * 8, true);
+        }
+        s.on_block_barrier();
+        for w in 0..nwarps {
+            s.on_warp_sync(w);
+        }
+        assert_eq!(s.sync_words(), nwarps as usize, "full syncs must not inflate");
+        assert_eq!(s.pairwise_tables(), 0);
+        assert!((s.sync_words() as u32) < nwarps * ws * ws / 100);
+    }
+
+    #[test]
+    fn partial_masked_sync_inflates_only_its_warp() {
+        let mut s = Sanitizer::new(0, 4, 32, 256);
+        s.on_warp_sync_masked(2, LaneMask::contiguous(0, 16), LaneMask::contiguous(0, 16));
+        // One warp inflated: 4 scalars + one 32x32 table.
+        assert_eq!(s.pairwise_tables(), 1);
+        assert_eq!(s.sync_words(), 4 + 32 * 32);
+        // Repeat partial syncs on the same warp reuse the table.
+        s.on_warp_sync_masked(2, LaneMask::contiguous(16, 16), LaneMask::contiguous(16, 16));
+        assert_eq!(s.pairwise_tables(), 1);
+    }
+
+    /// Drive an access/sync script through both representations and demand
+    /// identical findings — the adaptive table must be semantically
+    /// indistinguishable from the dense baseline.
+    #[test]
+    fn adaptive_and_dense_agree() {
+        let script = |s: &mut Sanitizer| {
+            s.record_smem(0, 10, true);
+            s.record_smem(33, 10, true); // cross-warp, unordered: race
+            s.on_warp_sync(0);
+            s.record_smem(1, 10, false); // same-warp after full sync: clean
+            s.on_warp_sync_masked(0, LaneMask::contiguous(0, 8), LaneMask::contiguous(0, 8));
+            s.record_smem(2, 10, true); // participant of partial sync: clean
+            s.record_smem(12, 10, true); // non-participant: races with t2
+            s.on_block_barrier();
+            s.record_smem(40, 10, false); // after block barrier: clean
+        };
+        let mut a = Sanitizer::new(0, 2, 32, 256);
+        let mut d = Sanitizer::new_dense(0, 2, 32, 256);
+        script(&mut a);
+        script(&mut d);
+        let (va, vd) = (a.finish(), d.finish());
+        assert_eq!(format!("{va:?}"), format!("{vd:?}"));
+        assert!(!va.is_empty());
+    }
+
+    #[test]
+    fn foreign_touches_recorded_and_deduped() {
+        use crate::mem::global::{ARENA_BASE, ARENA_STRIDE};
+        let mut s = san(); // block 0
+        s.record_global_access(3, 0x1000, true); // ordinary heap: ignored
+        s.record_global_access(3, ARENA_BASE + 8, true); // own arena: ignored
+        let foreign = ARENA_BASE + 2 * ARENA_STRIDE + 16; // block 2's arena
+        s.record_global_access(3, foreign, true);
+        s.record_global_access(3, foreign, true); // duplicate
+        s.record_global_access(4, foreign, false); // read, distinct record
+        let got = s.take_foreign();
+        assert_eq!(
+            got,
+            vec![
+                ForeignTouch { owner: 2, thread: 3, addr: foreign, write: true },
+                ForeignTouch { owner: 2, thread: 4, addr: foreign, write: false },
+            ]
+        );
+        assert!(s.take_foreign().is_empty(), "take drains");
+        assert!(s.finish().is_empty(), "foreign touches are not per-block violations");
+    }
+
+    #[test]
+    fn cross_team_violation_displays() {
+        let v = Violation::CrossTeamFallbackRace { owner: 1, accessor: 2, thread: 7, addr: 0x40 };
+        let txt = format!("{v}");
+        assert!(txt.contains("cross-team"), "{txt}");
+        assert!(txt.contains("block 1"), "{txt}");
     }
 }

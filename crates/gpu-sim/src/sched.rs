@@ -14,9 +14,80 @@
 //!    hide each other's latency until a throughput roof binds.
 //! 3. **Device roof**: total DRAM traffic is bounded by device bandwidth.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 use crate::arch::DeviceArch;
 use crate::cost::CostModel;
 use crate::stats::BlockProfile;
+
+/// Environment variable selecting how many host threads execute blocks.
+/// `1` forces the serial path; unset or `0` means available parallelism.
+pub const SIM_THREADS_ENV: &str = "SIMT_SIM_THREADS";
+
+/// Resolve the block-execution thread count: an explicit per-device
+/// override wins, then [`SIM_THREADS_ENV`], then the host's available
+/// parallelism. Always ≥ 1.
+pub fn resolve_threads(override_threads: Option<usize>) -> usize {
+    if let Some(n) = override_threads {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(SIM_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Execute `f(block_id)` for every block id in `0..num_blocks` on up to
+/// `threads` host threads (spawned for this launch, joined before return)
+/// and hand back the results **sorted by block id** — callers merge them in
+/// block-index order, which is what keeps parallel launches bit-identical
+/// to serial ones.
+///
+/// Blocks are claimed from a shared atomic counter, so imbalanced blocks
+/// don't idle workers. With `threads <= 1` (or a single block) everything
+/// runs inline on the caller's thread: exactly today's serial path, no pool
+/// at all. A panic in any block is re-raised on the caller.
+pub fn run_blocks<R, F>(num_blocks: u32, threads: usize, f: F) -> Vec<(u32, R)>
+where
+    R: Send,
+    F: Fn(u32) -> R + Sync,
+{
+    if threads <= 1 || num_blocks <= 1 {
+        return (0..num_blocks).map(|b| (b, f(b))).collect();
+    }
+    let workers = threads.min(num_blocks as usize);
+    let next = AtomicU32::new(0);
+    let mut out: Vec<(u32, R)> = Vec::with_capacity(num_blocks as usize);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= num_blocks {
+                            break;
+                        }
+                        local.push((b, f(b)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => out.extend(local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out.sort_by_key(|&(b, _)| b);
+    out
+}
 
 /// How many blocks of the given shape can be resident on one SM.
 /// Returns 0 when a single block exceeds a per-SM capacity (launch error).
@@ -160,5 +231,53 @@ mod tests {
         let a = DeviceArch::tiny();
         let c = CostModel::default();
         assert_eq!(makespan(&a, &c, &[], 1), 0);
+    }
+
+    #[test]
+    fn run_blocks_covers_every_block_in_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_blocks(37, threads, |b| b * 10);
+            assert_eq!(out.len(), 37, "threads={threads}");
+            for (i, &(b, v)) in out.iter().enumerate() {
+                assert_eq!(b, i as u32);
+                assert_eq!(v, b * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn run_blocks_serial_path_stays_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = run_blocks(4, 1, |b| {
+            assert_eq!(std::thread::current().id(), caller);
+            b
+        });
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn run_blocks_empty_grid() {
+        let out = run_blocks(0, 8, |b| b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_blocks_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            run_blocks(8, 4, |b| {
+                if b == 5 {
+                    panic!("block 5 exploded");
+                }
+                b
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn resolve_threads_override_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
     }
 }

@@ -79,7 +79,7 @@ impl ResourceCycles {
 }
 
 /// Resource profile of one executed thread block.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlockProfile {
     /// Critical-path cycles of the block (max over warp clocks, including
     /// barrier waits and exposed memory latency).
@@ -143,7 +143,9 @@ impl RtCounters {
 }
 
 /// Result of a kernel launch: the simulated time and aggregated counters.
-#[derive(Clone, Debug, Default)]
+/// `PartialEq` compares every field — the determinism suite asserts stats
+/// are bit-identical across block-execution thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LaunchStats {
     /// End-to-end simulated kernel cycles (block makespan over SMs plus
     /// launch overhead).

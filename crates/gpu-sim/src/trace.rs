@@ -94,6 +94,17 @@ impl Trace {
         self.dropped = 0;
     }
 
+    /// Append another log's events, honoring this log's cap. Used by the
+    /// parallel launch path: blocks record into private logs, which are
+    /// absorbed in block-index order so the merged stream matches what a
+    /// serial run would have produced.
+    pub fn absorb(&mut self, other: Trace) {
+        for e in other.events {
+            self.push(e);
+        }
+        self.dropped += other.dropped;
+    }
+
     /// Whether `pattern` occurs as a (not necessarily contiguous)
     /// subsequence of the log, matching with the given predicate list.
     pub fn contains_subsequence(&self, pattern: &[&dyn Fn(&TraceEvent) -> bool]) -> bool {

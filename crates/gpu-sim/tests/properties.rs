@@ -104,7 +104,7 @@ fn global_memory_roundtrip() {
     check("global_memory_roundtrip", |rng| {
         let len = rng.range_usize(1, 100);
         let data: Vec<f64> = (0..len).map(|_| f64::from_bits(rng.next_u64())).collect();
-        let mut dev = Device::new(DeviceArch::tiny());
+        let dev = Device::new(DeviceArch::tiny());
         let p = dev.global.alloc_from(&data);
         let back = dev.global.read_slice(p, data.len());
         for (a, b) in back.iter().zip(data.iter()) {

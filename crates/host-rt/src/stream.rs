@@ -89,6 +89,29 @@ impl Stream {
         self.enqueue_on(Resource::Compute, op);
     }
 
+    /// Enqueue a kernel launch whose `op` returns the full
+    /// [`gpu_sim::LaunchStats`]: the timeline's compute op records the
+    /// launch's real block count alongside its simulated cycles, so
+    /// per-launch grid sizes are visible in [`crate::timeline::OpView`].
+    pub fn enqueue_launch(
+        &self,
+        op: impl FnOnce(&mut ManagedDevice) -> gpu_sim::LaunchStats + Send + 'static,
+    ) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let op_id = self.timeline.begin_op(self.id, Resource::Compute);
+        let dev = Arc::clone(&self.dev);
+        let timeline = self.timeline.clone();
+        let done = Arc::clone(&self.done);
+        self.pool.submit(move || {
+            let stats = {
+                let mut md = dev.lock();
+                op(&mut md)
+            };
+            timeline.finish_op_with_blocks(op_id, stats.cycles, stats.blocks);
+            done.bump();
+        });
+    }
+
     /// Enqueue a host→device transfer (occupies the H2D DMA link).
     pub fn enqueue_h2d(&self, op: impl FnOnce(&mut ManagedDevice) -> u64 + Send + 'static) {
         self.enqueue_on(Resource::H2D, op);
@@ -289,6 +312,24 @@ mod tests {
         assert_eq!(finishes.iter().min(), Some(&300));
         assert_eq!(finishes.iter().max(), Some(&500));
         assert_eq!(rt.timeline_stats().makespan, 500);
+    }
+
+    #[test]
+    fn enqueue_launch_records_block_count_on_timeline() {
+        let rt = HostRuntime::new();
+        let s = rt.stream(0);
+        s.enqueue_h2d(|_| 50);
+        s.enqueue_launch(|md| {
+            let cfg = LaunchConfig { num_blocks: 6, threads_per_block: 64, smem_bytes: 0 };
+            md.dev.launch(&cfg, |team| team.charge_alu(0, 100)).unwrap()
+        });
+        s.sync();
+        let ops = s.timeline().scheduled_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].blocks, 0, "transfers carry no block count");
+        assert_eq!(ops[1].blocks, 6, "launch op must carry the real grid size");
+        assert_eq!(ops[1].resource, Some(Resource::Compute));
+        assert!(ops[1].cost > 0);
     }
 
     #[test]

@@ -141,7 +141,7 @@ mod tests {
         for _ in 0..32 {
             let dev = Arc::clone(&dev);
             pool.submit(move || {
-                let mut d = dev.lock();
+                let d = dev.lock();
                 let v = d.global.read(p, 0);
                 d.global.write(p, 0, v + 1.0);
             });

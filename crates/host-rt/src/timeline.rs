@@ -51,6 +51,8 @@ struct OpRec {
     deps: Vec<(u32, u32)>,
     /// Global real-completion stamp (order the helper threads finished in).
     completed_at: Option<u64>,
+    /// Thread blocks the op launched (kernel launches only; 0 otherwise).
+    blocks: u32,
 }
 
 struct StreamRec {
@@ -100,6 +102,9 @@ pub struct OpView {
     pub deps: Vec<(u32, u32)>,
     /// Real completion stamp, if the op has executed.
     pub completed_at: Option<u64>,
+    /// Thread blocks launched by this op (kernel launches enqueued via
+    /// [`crate::Stream::enqueue_launch`]; 0 for transfers and waits).
+    pub blocks: u32,
 }
 
 /// Per-device busy cycles, one counter per resource.
@@ -207,19 +212,36 @@ impl Timeline {
         let id = tl.ops.len();
         let seq = tl.streams[stream as usize].ops.len() as u32;
         let device = tl.streams[stream as usize].device;
-        tl.ops.push(OpRec { stream, seq, device, resource, cost, deps, completed_at: None });
+        tl.ops.push(OpRec {
+            stream,
+            seq,
+            device,
+            resource,
+            cost,
+            deps,
+            completed_at: None,
+            blocks: 0,
+        });
         tl.streams[stream as usize].ops.push(id);
         id
     }
 
     /// Record that `op` really executed, consuming `cost` simulated cycles.
     pub(crate) fn finish_op(&self, op: OpId, cost: u64) {
+        self.finish_op_with_blocks(op, cost, 0);
+    }
+
+    /// Like [`Timeline::finish_op`], also recording how many thread blocks
+    /// the op launched (kernel launches report their grid size so tooling
+    /// can see the real per-launch parallelism, not just cycles).
+    pub(crate) fn finish_op_with_blocks(&self, op: OpId, cost: u64, blocks: u32) {
         let mut tl = self.inner.lock();
         let stamp = tl.completion_stamp;
         tl.completion_stamp = stamp + 1;
         let rec = &mut tl.ops[op];
         rec.cost = Some(cost);
         rec.completed_at = Some(stamp);
+        rec.blocks = blocks;
     }
 
     /// Jobs enqueued on `stream` so far — the watermark an event recorded
@@ -255,6 +277,7 @@ impl Timeline {
                     finish,
                     deps: op.deps.clone(),
                     completed_at: op.completed_at,
+                    blocks: op.blocks,
                 })
             })
             .collect()

@@ -107,7 +107,7 @@ const STENCIL_CYCLES: u64 = 10;
 
 #[inline]
 fn stencil(
-    lane: &mut gpu_sim::Lane<'_>,
+    lane: &mut gpu_sim::Lane<'_, '_>,
     u: DPtr<f64>,
     unew: DPtr<f64>,
     n: u64,

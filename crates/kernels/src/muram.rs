@@ -113,7 +113,7 @@ const POINT_CYCLES: u64 = 4;
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn kernel_body(
-    lane: &mut gpu_sim::Lane<'_>,
+    lane: &mut gpu_sim::Lane<'_, '_>,
     which: MuramKernel,
     input: DPtr<f64>,
     out: DPtr<f64>,

@@ -56,7 +56,7 @@ fn deferred_target_tasks_on_helper_threads() {
     let dev = rt.device(0);
     let mut ptrs = Vec::new();
     {
-        let mut md = dev.lock();
+        let md = dev.lock();
         for _ in 0..4 {
             ptrs.push(md.dev.global.alloc_zeroed::<f64>(1024));
         }
