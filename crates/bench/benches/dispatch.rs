@@ -1,0 +1,7 @@
+//! `cargo bench -p simt-omp-bench --bench dispatch` — registry-size sweep
+//! of if-cascade vs indirect-call dispatch (paper §5.5).
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::dispatch::run(quick);
+    simt_omp_bench::dispatch::report(&rows);
+}

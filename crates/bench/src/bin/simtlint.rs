@@ -17,7 +17,7 @@ use gpu_sim::DeviceArch;
 use omp_codegen::{CompiledKernel, Severity};
 use omp_kernels::harness::Fig10Variant;
 use omp_kernels::muram::MuramKernel;
-use omp_kernels::{ideal, laplace3d, muram, spmv, su3};
+use omp_kernels::{batched, ideal, laplace3d, muram, spmv, stencil2d, su3};
 use simt_omp_bench::report::{save_json, JsonRow, JsonValue};
 
 struct LintRow {
@@ -55,6 +55,28 @@ fn kernels() -> Vec<(String, CompiledKernel, usize)> {
         ("ideal gs8".into(), ideal::build(teams, threads, 8), 4),
         ("ideal gs8 forced-generic".into(), ideal::build_forced_generic(teams, threads, 8), 4),
         ("su3 gs4".into(), su3::build(teams, threads, 4), 4),
+        ("stencil2d halo-shared gs8".into(), stencil2d::build_default(teams, threads, 8), 5),
+        (
+            "stencil2d spmd-ref gs8".into(),
+            stencil2d::build(
+                teams,
+                threads,
+                8,
+                omp_core::config::KernelConfig::SHARING_SPACE_DEFAULT,
+                stencil2d::Stencil2dVariant::SpmdRef,
+            ),
+            5,
+        ),
+        (
+            "batched cascade n8 gs8".into(),
+            batched::build(teams, threads, 8, 8, batched::DispatchMode::Cascade),
+            4,
+        ),
+        (
+            "batched extern n8 gs8".into(),
+            batched::build(teams, threads, 8, 8, batched::DispatchMode::Extern),
+            4,
+        ),
     ];
     for v in Fig10Variant::ALL {
         out.push((format!("laplace3d {}", v.label()), laplace3d::build(teams, threads, v), 3));

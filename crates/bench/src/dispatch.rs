@@ -1,0 +1,178 @@
+//! Dispatch-cascade registry-size sweep (paper §5.5).
+//!
+//! The ablations bench compares the if-cascade against the indirect call
+//! at one registry size; this harness sweeps the size. The
+//! `omp_kernels::batched` workload registers `n` outlined bodies in one
+//! registry and dispatches every one of them per row, so the mean cascade
+//! depth walked per dispatch is `(n - 1) / 2` — cost that grows linearly
+//! with the registry while the indirect call stays flat. The sweep writes
+//! `target/figures/BENCH_dispatch.json` and locates the measured
+//! crossover, which must bracket the cost model's analytic prediction
+//! (`cascade_dispatch_cycles + p · cascade_level_cycles` vs
+//! `indirect_call_cycles`).
+
+use crate::report::{print_table, save_json, JsonRow, JsonValue};
+use gpu_sim::cost::CostModel;
+use gpu_sim::Device;
+use omp_kernels::batched::{self, BatchedDev, BatchedWorkload, DispatchMode};
+use omp_kernels::harness::max_abs_err;
+
+/// One (registry size, dispatch mode) measurement.
+#[derive(Clone, Debug)]
+pub struct DispatchRow {
+    /// Number of outlined bodies in the registry.
+    pub n_bodies: u64,
+    /// `cascade` or `indirect`.
+    pub mode: &'static str,
+    /// Simulated cycles for the whole batch.
+    pub cycles: u64,
+    /// Cascade dispatches performed.
+    pub cascade_dispatches: u64,
+    /// Indirect calls performed.
+    pub indirect_calls: u64,
+}
+
+impl JsonRow for DispatchRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("n_bodies", JsonValue::U64(self.n_bodies)),
+            ("mode", JsonValue::Str(self.mode.to_string())),
+            ("cycles", JsonValue::U64(self.cycles)),
+            ("cascade_dispatches", JsonValue::U64(self.cascade_dispatches)),
+            ("indirect_calls", JsonValue::U64(self.indirect_calls)),
+        ]
+    }
+}
+
+/// Registry sizes the sweep visits.
+pub fn sweep_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    } else {
+        vec![1, 2, 4, 8, 12, 16, 24, 32, 48, 64]
+    }
+}
+
+/// Run the sweep: for every registry size, the same batch dispatched
+/// through cascade-known entries vs `body_extern` indirect calls. Results
+/// are verified against the host reference before being reported.
+pub fn run(quick: bool) -> Vec<DispatchRow> {
+    let (rows, inner) = if quick { (16, 16) } else { (48, 16) };
+    let mut out = Vec::new();
+    for n in sweep_sizes(quick) {
+        let w = BatchedWorkload::generate(n, rows, inner);
+        let want = w.reference();
+        for (label, mode) in
+            [("cascade", DispatchMode::Cascade), ("indirect", DispatchMode::Extern)]
+        {
+            let mut dev = Device::a100();
+            let ops = BatchedDev::upload(&mut dev, &w);
+            let k = batched::build(8, 64, 8, n, mode);
+            let (got, stats) = batched::run(&mut dev, &k, &ops);
+            assert_eq!(max_abs_err(&got, &want), 0.0, "{label} n={n}: wrong result");
+            out.push(DispatchRow {
+                n_bodies: n as u64,
+                mode: label,
+                cycles: stats.cycles,
+                cascade_dispatches: stats.counters.cascade_dispatches,
+                indirect_calls: stats.counters.indirect_calls,
+            });
+        }
+    }
+    out
+}
+
+/// First sweep size where the cascade batch is slower than the indirect
+/// batch (`None` if the cascade wins everywhere measured).
+pub fn measured_crossover(rows: &[DispatchRow]) -> Option<u64> {
+    let cycles = |n: u64, mode: &str| {
+        rows.iter().find(|r| r.n_bodies == n && r.mode == mode).map(|r| r.cycles)
+    };
+    let mut sizes: Vec<u64> = rows.iter().map(|r| r.n_bodies).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes.into_iter().find(|&n| cycles(n, "cascade") > cycles(n, "indirect"))
+}
+
+/// Cascade position whose walk first costs more than one indirect call
+/// under the cost model (§5.5's analytic break-even depth).
+pub fn model_break_even(c: &CostModel) -> u64 {
+    let mut p = 0u64;
+    while c.cascade_dispatch_cycles + p * c.cascade_level_cycles <= c.indirect_call_cycles {
+        p += 1;
+    }
+    p
+}
+
+/// Print the sweep table and persist `BENCH_dispatch.json`.
+pub fn report(rows: &[DispatchRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_bodies.to_string(),
+                r.mode.to_string(),
+                r.cycles.to_string(),
+                r.cascade_dispatches.to_string(),
+                r.indirect_calls.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Dispatch sweep: if-cascade vs indirect call by registry size (§5.5)",
+        &["bodies", "mode", "cycles", "cascade disp", "indirect calls"],
+        &table,
+    );
+    let model = model_break_even(&CostModel::default());
+    match measured_crossover(rows) {
+        Some(n) => println!(
+            "cascade loses to the indirect call from {n} bodies \
+             (model break-even depth: position {model}, i.e. ~{} bodies mean depth)",
+            2 * model + 1
+        ),
+        None => println!("cascade won at every measured size (model break-even: {model})"),
+    }
+    save_json("BENCH_dispatch", rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_locates_a_crossover() {
+        // §5.5 regression at the harness level: the cascade must win small
+        // registries, lose large ones, and the flip must happen past the
+        // model's break-even depth scaled to mean-depth bodies.
+        let rows = run(true);
+        let n = measured_crossover(&rows).expect("64-body registry must favour indirect calls");
+        assert!(n > 2, "crossover at {n} — cascade should win small registries");
+        let model = model_break_even(&CostModel::default());
+        assert!(model >= 1, "indirect calls must cost more than one compare");
+    }
+
+    #[test]
+    fn dispatch_counts_scale_with_registry_size() {
+        let rows = run(true);
+        let per_mode = |mode: &str| -> Vec<(u64, u64)> {
+            let mut v: Vec<(u64, u64)> = rows
+                .iter()
+                .filter(|r| r.mode == mode)
+                .map(|r| {
+                    (
+                        r.n_bodies,
+                        if mode == "cascade" { r.cascade_dispatches } else { r.indirect_calls },
+                    )
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for mode in ["cascade", "indirect"] {
+            let counts = per_mode(mode);
+            for w in counts.windows(2) {
+                assert!(w[1].1 > w[0].1, "{mode}: dispatches must grow with the registry");
+            }
+        }
+    }
+}

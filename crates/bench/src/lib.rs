@@ -10,6 +10,9 @@
 //! * [`ablations`] — design-choice experiments DESIGN.md calls out
 //!   (sharing-space size, dispatch strategy, extra team-main warp,
 //!   trip-count divisibility, reductions vs atomics, AMD fallback).
+//! * [`dispatch`] — registry-size sweep of if-cascade vs indirect-call
+//!   dispatch (§5.5) on the batched-kernel harness, locating the measured
+//!   crossover against the cost model's analytic break-even depth.
 //! * [`pipeline`] — double-buffered chunked offload vs the serialized
 //!   baseline on the virtual timeline (streams + events + per-device
 //!   resource overlap).
@@ -24,6 +27,7 @@
 //! `target/figures/`). Pass `--quick` after `--` for reduced problem sizes.
 
 pub mod ablations;
+pub mod dispatch;
 pub mod fig10;
 pub mod fig9;
 pub mod pipeline;

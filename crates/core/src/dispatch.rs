@@ -8,9 +8,14 @@
 //! translation unit cannot see.
 //!
 //! The [`Registry`] is our module table of outlined functions. Each entry
-//! records whether it is *known* (reachable through the cascade). The
-//! runtime interpreter charges [`gpu_sim::cost::CostModel::cascade_dispatch_cycles`] or
-//! [`gpu_sim::cost::CostModel::indirect_call_cycles`] accordingly on every dispatch.
+//! records whether it is *known* (reachable through the cascade) and, if so,
+//! its **position** in the cascade: the compare chain is linear, so a body
+//! that registered later sits behind more compares and pays more per
+//! dispatch. The runtime interpreter charges
+//! [`gpu_sim::cost::CostModel::cascade_dispatch_cycles`] plus
+//! [`gpu_sim::cost::CostModel::cascade_level_cycles`] × position for known
+//! entries, or [`gpu_sim::cost::CostModel::indirect_call_cycles`] for the
+//! fallback indirect call, on every dispatch.
 
 use gpu_sim::Lane;
 
@@ -112,12 +117,19 @@ pub struct TripMeta {
 }
 
 /// Module-level table of outlined functions.
+///
+/// Cascade-known bodies and reducing bodies share one compare chain: each
+/// known registration takes the next **cascade position** (0, 1, 2, …) in
+/// registration order, mirroring how the front end emits one if-cascade per
+/// module over every outlined region it can see. `body_extern` entries take
+/// no position — they dispatch through the indirect-call fallback.
 #[derive(Default)]
 pub struct Registry {
     seqs: Vec<(SeqFn, Option<Footprint>)>,
     trips: Vec<(TripFn, TripMeta)>,
-    bodies: Vec<(BodyFn, bool, Option<Footprint>)>,
-    reds: Vec<(RedFn, bool, Option<Footprint>)>,
+    bodies: Vec<(BodyFn, Option<u32>, Option<Footprint>)>,
+    reds: Vec<(RedFn, Option<u32>, Option<Footprint>)>,
+    cascade_len: u32,
 }
 
 impl Registry {
@@ -170,12 +182,20 @@ impl Registry {
         TripId(self.trips.len() as u32 - 1)
     }
 
+    /// Take the next slot in the module's linear if-cascade.
+    fn next_cascade_position(&mut self) -> u32 {
+        let p = self.cascade_len;
+        self.cascade_len += 1;
+        p
+    }
+
     /// Register an outlined loop body reachable through the if-cascade.
     pub fn body(
         &mut self,
         f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
-        self.bodies.push((Box::new(f), true, None));
+        let pos = self.next_cascade_position();
+        self.bodies.push((Box::new(f), Some(pos), None));
         BodyId(self.bodies.len() as u32 - 1)
     }
 
@@ -185,7 +205,8 @@ impl Registry {
         fp: Footprint,
         f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
-        self.bodies.push((Box::new(f), true, Some(fp)));
+        let pos = self.next_cascade_position();
+        self.bodies.push((Box::new(f), Some(pos), Some(fp)));
         BodyId(self.bodies.len() as u32 - 1)
     }
 
@@ -196,7 +217,7 @@ impl Registry {
         &mut self,
         f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) + Send + Sync + 'static,
     ) -> BodyId {
-        self.bodies.push((Box::new(f), false, None));
+        self.bodies.push((Box::new(f), None, None));
         BodyId(self.bodies.len() as u32 - 1)
     }
 
@@ -205,7 +226,8 @@ impl Registry {
         &mut self,
         f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RedId {
-        self.reds.push((Box::new(f), true, None));
+        let pos = self.next_cascade_position();
+        self.reds.push((Box::new(f), Some(pos), None));
         RedId(self.reds.len() as u32 - 1)
     }
 
@@ -215,7 +237,8 @@ impl Registry {
         fp: Footprint,
         f: impl Fn(&mut Lane<'_, '_>, u64, &Vars<'_>) -> f64 + Send + Sync + 'static,
     ) -> RedId {
-        self.reds.push((Box::new(f), true, Some(fp)));
+        let pos = self.next_cascade_position();
+        self.reds.push((Box::new(f), Some(pos), Some(fp)));
         RedId(self.reds.len() as u32 - 1)
     }
 
@@ -239,10 +262,12 @@ impl Registry {
         self.trips[id.0 as usize].1
     }
 
-    /// Look up a loop body and whether it is cascade-known.
-    pub fn get_body(&self, id: BodyId) -> (&BodyFn, bool) {
-        let (f, known, _) = &self.bodies[id.0 as usize];
-        (f, *known)
+    /// Look up a loop body and its cascade position (`Some(p)` for a known
+    /// entry `p` compares deep in the chain, `None` for an extern entry
+    /// reached through the indirect-call fallback).
+    pub fn get_body(&self, id: BodyId) -> (&BodyFn, Option<u32>) {
+        let (f, pos, _) = &self.bodies[id.0 as usize];
+        (f, *pos)
     }
 
     /// Declared footprint of a loop body, if any.
@@ -250,10 +275,11 @@ impl Registry {
         self.bodies[id.0 as usize].2.as_ref()
     }
 
-    /// Look up a reducing body and whether it is cascade-known.
-    pub fn get_red(&self, id: RedId) -> (&RedFn, bool) {
-        let (f, known, _) = &self.reds[id.0 as usize];
-        (f, *known)
+    /// Look up a reducing body and its cascade position (see
+    /// [`Registry::get_body`]).
+    pub fn get_red(&self, id: RedId) -> (&RedFn, Option<u32>) {
+        let (f, pos, _) = &self.reds[id.0 as usize];
+        (f, *pos)
     }
 
     /// Declared footprint of a reducing body, if any.
@@ -264,6 +290,12 @@ impl Registry {
     /// Number of registered loop bodies (diagnostics).
     pub fn num_bodies(&self) -> usize {
         self.bodies.len()
+    }
+
+    /// Length of the module's if-cascade: how many compare levels the
+    /// indirect-call fallback sits behind.
+    pub fn cascade_len(&self) -> u32 {
+        self.cascade_len
     }
 }
 
@@ -283,8 +315,26 @@ mod tests {
         assert_eq!(b0, BodyId(0));
         assert_eq!(b1, BodyId(1));
         assert_eq!(r.num_bodies(), 2);
-        assert!(r.get_body(b0).1, "body() entries are cascade-known");
-        assert!(!r.get_body(b1).1, "body_extern() entries are not");
+        assert!(r.get_body(b0).1.is_some(), "body() entries are cascade-known");
+        assert!(r.get_body(b1).1.is_none(), "body_extern() entries are not");
+    }
+
+    #[test]
+    fn cascade_positions_follow_registration_order_across_kinds() {
+        // Bodies and reducing bodies share one linear compare chain; extern
+        // entries never occupy a level of it.
+        let mut r = Registry::new();
+        let b0 = r.body(|_, _, _| {});
+        let x = r.body_extern(|_, _, _| {});
+        let rd = r.red(|_, _, _| 0.0);
+        let b1 = r.body_with_footprint(Footprint::new(), |_, _, _| {});
+        let rd1 = r.red_with_footprint(Footprint::new(), |_, _, _| 0.0);
+        assert_eq!(r.get_body(b0).1, Some(0));
+        assert_eq!(r.get_body(x).1, None);
+        assert_eq!(r.get_red(rd).1, Some(1));
+        assert_eq!(r.get_body(b1).1, Some(2));
+        assert_eq!(r.get_red(rd1).1, Some(3));
+        assert_eq!(r.cascade_len(), 4);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 
 use gpu_sim::mem::ptr::DPtr;
 use gpu_sim::sanitize::Violation;
-use gpu_sim::{Device, LaunchConfig, LaunchError, LaunchStats, ObservedEffects, Slot, TeamCtx};
+use gpu_sim::{
+    Device, DispatchKind, LaunchConfig, LaunchError, LaunchStats, ObservedEffects, Slot, TeamCtx,
+};
 
 use crate::config::{ExecMode, KernelConfig, ParallelDesc};
 use crate::dispatch::{Footprint, Registry};
@@ -305,6 +307,12 @@ impl<'a, 'g> Interp<'a, 'g> {
         // the block barrier releases the workers, which fetch and dispatch.
         // In SPMD mode every thread arrives and dispatches locally.
         let post_slots = (1 + self.args.len() + team_regs.len()) as u64;
+        // The parallel-region outline itself is not a registry entry; when
+        // the front end knows it, it compiles to the *first* compare of the
+        // region's dispatch cascade (position 0), otherwise to an indirect
+        // call (§5.5).
+        let region_kind =
+            if op.known { DispatchKind::Cascade { position: 0 } } else { DispatchKind::Indirect };
         match self.main_warp {
             Some(mw) => {
                 self.tc.counters.state_machine_posts += 1;
@@ -321,12 +329,12 @@ impl<'a, 'g> Interp<'a, 'g> {
                 for w in 0..self.worker_warps {
                     self.tc.charge_alu(w, 2 * self.tc.cost().handshake_cycles);
                     self.tc.charge_smem_ops(w, post_slots);
-                    self.tc.charge_dispatch(w, op.known);
+                    self.tc.charge_dispatch(w, region_kind);
                 }
             }
             None => {
                 for w in 0..self.worker_warps {
-                    self.tc.charge_dispatch(w, op.known);
+                    self.tc.charge_dispatch(w, region_kind);
                 }
             }
         }
@@ -634,6 +642,18 @@ impl<'a, 'g> Interp<'a, 'g> {
         };
         let is_reduce = matches!(body, SimdBody::Reduce(_));
         let mut partials = vec![0.0f64; m.num_groups() as usize];
+        // §5.5: a known region dispatches through the module's if-cascade
+        // and pays for its position in the linear compare chain; everything
+        // else (plan marked unknown, or an extern registry entry) takes the
+        // indirect-call fallback.
+        let registry_pos = match body {
+            SimdBody::Plain(b) => self.reg.get_body(b).1,
+            SimdBody::Reduce(b) => self.reg.get_red(b).1,
+        };
+        let kind = match registry_pos {
+            Some(position) if known => DispatchKind::Cascade { position },
+            _ => DispatchKind::Indirect,
+        };
 
         for (w, wg) in self.groups_by_warp(m, active) {
             self.tc.counters.simd_loops += wg.len() as u64;
@@ -669,7 +689,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                     // Fig 4, SPMD branch: everything is thread-local; the
                     // group's lanes run the workshare loop, then one warp
                     // sync.
-                    self.tc.charge_dispatch(w, known);
+                    self.tc.charge_dispatch(w, kind);
                     let lanes = self.group_lanes(m, &wg);
                     self.exec_loop_lanes(
                         w,
@@ -767,7 +787,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                     let mask = self.simd_sync_mask(m, &wg);
                     self.tc.charge_alu(w, self.tc.cost().handshake_cycles);
                     self.tc.warp_sync_masked(w, mask, mask);
-                    self.tc.charge_dispatch(w, known);
+                    self.tc.charge_dispatch(w, kind);
                     let lanes = self.group_lanes(m, &wg);
                     let fetch = if fits {
                         Fetch::Smem(stage_slots)

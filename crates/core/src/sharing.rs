@@ -47,9 +47,13 @@ impl SlotLayout {
         SlotLayout { total_slots, team_slots, group_slots, num_groups }
     }
 
-    /// Layout for a sharing space of `bytes` bytes (8-byte slots).
+    /// Layout for a sharing space of `bytes` bytes (8-byte slots). A size
+    /// that is not a multiple of 8 is rounded **up** to the next whole
+    /// slot — the runtime rounds its shared-memory reservation the same
+    /// way ([`SharingSpace::reserve`]), so capacity is never silently
+    /// dropped.
     pub fn for_bytes(bytes: u32, num_groups: u32) -> SlotLayout {
-        SlotLayout::new(bytes / 8, num_groups)
+        SlotLayout::new(bytes.div_ceil(8), num_groups)
     }
 
     /// Whether a group slice can hold `slots` slots; `false` means the
@@ -75,46 +79,64 @@ impl SlotLayout {
 pub struct SharingSpace {
     base: SmOff,
     total_slots: u32,
-    /// Slots per SIMD group for the current parallel region (0 until
-    /// [`Self::configure_groups`] runs, or when groups outnumber slots).
-    group_slots: u32,
-    num_groups: u32,
+    /// Slice layout of the current parallel region; `None` until
+    /// [`Self::configure_groups`] runs. Group-slice accessors panic while
+    /// unconfigured — an unconfigured space has *no* defined group layout,
+    /// and silently treating it as one giant group (the old behaviour)
+    /// masked interpreter sequencing bugs.
+    layout: Option<SlotLayout>,
 }
 
 impl SharingSpace {
-    /// Reserve `bytes` of shared memory for the sharing space. Panics if
-    /// the block's shared memory cannot hold it (launch sizing bug).
+    /// Reserve `bytes` of shared memory for the sharing space, rounded up
+    /// to whole 8-byte slots (matching [`SlotLayout::for_bytes`]). Panics
+    /// if the block's shared memory cannot hold it (launch sizing bug).
     pub fn reserve(smem: &mut SharedMem, bytes: u32) -> SharingSpace {
-        let base =
-            smem.alloc(bytes).expect("shared memory too small for the variable sharing space");
-        SharingSpace { base, total_slots: bytes / 8, group_slots: 0, num_groups: 0 }
+        let total_slots = bytes.div_ceil(8);
+        let base = smem
+            .alloc(total_slots * 8)
+            .expect("shared memory too small for the variable sharing space");
+        SharingSpace { base, total_slots, layout: None }
     }
 
     /// Slice layout for a `parallel` region with `num_groups` SIMD groups:
     /// delegates the arithmetic to [`SlotLayout`] (§5.3.1).
     pub fn configure_groups(&mut self, num_groups: u32) {
-        let l = SlotLayout::new(self.total_slots, num_groups);
-        self.num_groups = l.num_groups;
-        self.group_slots = l.group_slots;
+        self.layout = Some(SlotLayout::new(self.total_slots, num_groups));
     }
 
-    /// The team main thread's slice (offset, slots).
+    /// The configured group layout; panics on use before
+    /// [`Self::configure_groups`].
+    fn layout(&self) -> SlotLayout {
+        self.layout.expect(
+            "sharing space used before configure_groups: the group layout \
+             is undefined until a parallel region divides the space (§5.3.1)",
+        )
+    }
+
+    /// The team main thread's slice (offset, slots). The team slice does
+    /// not depend on the group count, so it is defined even before
+    /// [`Self::configure_groups`]; the arithmetic still goes through
+    /// [`SlotLayout`] so the two can never drift.
     pub fn team_slice(&self) -> (SmOff, u32) {
-        (self.base, TEAM_SLICE_SLOTS.min(self.total_slots))
+        let l = self.layout.unwrap_or_else(|| SlotLayout::new(self.total_slots, 1));
+        (self.base, l.team_slots)
     }
 
     /// Group `g`'s slice (offset, slots). Slots may be 0 when many groups
     /// share a small space — every use then needs the global fallback.
+    /// Panics if [`Self::configure_groups`] has not run.
     pub fn group_slice(&self, g: u32) -> (SmOff, u32) {
-        let l = SlotLayout::new(self.total_slots, self.num_groups.max(1));
+        let l = self.layout();
         let start = l.group_start(g);
-        (SmOff(self.base.0 + start), self.group_slots)
+        (SmOff(self.base.0 + start), l.group_slots)
     }
 
     /// Whether a group slice can hold `slots` slots; `false` means the
-    /// runtime must allocate the global fallback (§5.3.1).
+    /// runtime must allocate the global fallback (§5.3.1). Panics if
+    /// [`Self::configure_groups`] has not run.
     pub fn group_fits(&self, slots: u32) -> bool {
-        slots <= self.group_slots
+        self.layout().group_fits(slots)
     }
 
     /// Whether the team slice can hold `slots` slots.
@@ -122,9 +144,10 @@ impl SharingSpace {
         slots <= self.team_slice().1
     }
 
-    /// Slots per group under the current configuration.
+    /// Slots per group under the current configuration. Panics if
+    /// [`Self::configure_groups`] has not run.
     pub fn group_slots(&self) -> u32 {
-        self.group_slots
+        self.layout().group_slots
     }
 
     /// Total capacity in slots.
@@ -202,6 +225,51 @@ mod tests {
         let (_m, mut s) = space(2048);
         s.configure_groups(4);
         s.group_slice(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "before configure_groups")]
+    fn unconfigured_group_slice_panics() {
+        // Regression: an unconfigured space used to masquerade as one giant
+        // group (`num_groups.max(1)`), silently handing out the whole
+        // post-team area as "group 0" before any parallel region defined a
+        // layout.
+        let (_m, s) = space(2048);
+        s.group_slice(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before configure_groups")]
+    fn unconfigured_group_fits_panics() {
+        let (_m, s) = space(2048);
+        s.group_fits(1);
+    }
+
+    #[test]
+    fn team_slice_is_defined_before_groups_and_follows_slot_layout() {
+        // The team slice exists from reservation (the pre-SIMD single-writer
+        // use of the space) and must agree with SlotLayout before and after
+        // configuration.
+        let (_m, mut s) = space(2048);
+        assert_eq!(s.team_slice().1, SlotLayout::for_bytes(2048, 1).team_slots);
+        assert!(s.team_fits(32));
+        s.configure_groups(8);
+        assert_eq!(s.team_slice().1, SlotLayout::for_bytes(2048, 8).team_slots);
+    }
+
+    #[test]
+    fn ragged_byte_sizes_round_up_to_whole_slots() {
+        // Regression: `for_bytes` used to truncate `bytes / 8`, silently
+        // dropping capacity for sizes that are not a multiple of 8.
+        for (bytes, want_slots) in [(2041u32, 256u32), (2048, 256), (7, 1), (9, 2), (0, 0)] {
+            let l = SlotLayout::for_bytes(bytes, 4);
+            assert_eq!(l.total_slots, want_slots, "bytes={bytes}");
+            // The runtime reservation must hand out the same capacity.
+            let (_m, mut s) = space(bytes);
+            s.configure_groups(4);
+            assert_eq!(s.total_slots(), want_slots, "bytes={bytes}");
+            assert_eq!(s.group_slots(), l.group_slots, "bytes={bytes}");
+        }
     }
 
     #[test]

@@ -85,9 +85,18 @@ pub struct CostModel {
     /// Device-wide L2 bandwidth roof, applied to all L1-miss traffic
     /// (~2.5× DRAM bandwidth on A100-class parts): sectors per cycle.
     pub l2_sectors_per_cycle: u64,
-    /// Cost of dispatching an outlined function through the if-cascade of
-    /// known regions (paper §5.5): a handful of compare+branch instructions.
+    /// Base cost of dispatching an outlined function through the if-cascade
+    /// of known regions (paper §5.5): the branch to the first compare.
     pub cascade_dispatch_cycles: u64,
+    /// Incremental cost per cascade level walked before the match: the
+    /// cascade is a *linear* compare+branch chain over the known outlined
+    /// regions, so a body registered at position `p` pays
+    /// `cascade_dispatch_cycles + p * cascade_level_cycles`. With enough
+    /// registered regions the chain overtakes
+    /// [`CostModel::indirect_call_cycles`] —
+    /// the §5.5 trade-off that makes the cascade a heuristic, not a win
+    /// in all cases.
+    pub cascade_level_cycles: u64,
     /// Cost of a fallback indirect call through a function pointer
     /// (paper §5.5 notes these are "normally costly").
     pub indirect_call_cycles: u64,
@@ -122,6 +131,7 @@ impl Default for CostModel {
             dram_sectors_per_cycle: 32,
             l2_sectors_per_cycle: 80,
             cascade_dispatch_cycles: 4,
+            cascade_level_cycles: 3,
             indirect_call_cycles: 40,
             global_alloc_cycles: 600,
             overlap_denom: 4,
@@ -164,6 +174,20 @@ mod tests {
         assert_eq!(c.sectors_for(28, 8), 2);
         assert_eq!(c.sectors_for(31, 1), 1);
         assert_eq!(c.sectors_for(31, 2), 2);
+    }
+
+    #[test]
+    fn cascade_walk_overtakes_indirect_call_at_some_depth() {
+        // §5.5: the if-cascade only beats the indirect call while the match
+        // sits early in the compare chain. The default constants must admit
+        // a crossover — otherwise the dispatch ablation cannot show the
+        // trade-off.
+        let c = CostModel::default();
+        let cascade_at = |p: u64| c.cascade_dispatch_cycles + p * c.cascade_level_cycles;
+        assert!(cascade_at(0) < c.indirect_call_cycles);
+        let threshold = (0..).find(|&p| cascade_at(p) > c.indirect_call_cycles).unwrap();
+        assert!(threshold > 1, "shallow matches must still win");
+        assert!(cascade_at(threshold) > c.indirect_call_cycles);
     }
 
     #[test]

@@ -56,6 +56,22 @@ struct LaneTrace {
     accesses: Vec<Access>,
 }
 
+/// How an outlined-function dispatch reaches its target (§5.5): through the
+/// module's if-cascade at a given position in the linear compare chain, or
+/// through the costly indirect-call fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// Matched by the if-cascade after walking `position` compare levels
+    /// (position 0 is the first compare in the chain).
+    Cascade {
+        /// Zero-based position of the matched entry among the module's
+        /// cascade-known outlined functions.
+        position: u32,
+    },
+    /// Not visible to the cascade — dispatched via function pointer.
+    Indirect,
+}
+
 /// Side effects observed while running lanes with the sanitizer attached,
 /// accumulated per [`TeamCtx`] and drained with [`TeamCtx::take_observed`].
 /// The runtime interpreter diffs these against declared effect footprints.
@@ -690,16 +706,29 @@ impl<'g> TeamCtx<'g> {
 
     /// Charge the dispatch of an outlined function: through the if-cascade
     /// of known regions, or the indirect-call fallback (§5.5).
-    pub fn charge_dispatch(&mut self, warp: u32, cascade: bool) {
+    ///
+    /// The cascade is a linear compare+branch chain, so a known region pays
+    /// for every level walked before its match:
+    /// `cascade_dispatch_cycles + position × cascade_level_cycles`. Deep
+    /// enough in a large registry this overtakes the flat
+    /// `indirect_call_cycles` — the trade-off the §5.5 heuristic accepts.
+    pub fn charge_dispatch(&mut self, warp: u32, kind: DispatchKind) {
         if let Some(t) = &mut self.event_trace {
-            t.push(crate::trace::TraceEvent::Dispatch { block: self.block_id, warp, cascade });
+            t.push(crate::trace::TraceEvent::Dispatch {
+                block: self.block_id,
+                warp,
+                cascade: matches!(kind, DispatchKind::Cascade { .. }),
+            });
         }
-        let c = if cascade {
-            self.counters.cascade_dispatches += 1;
-            self.cost.cascade_dispatch_cycles
-        } else {
-            self.counters.indirect_calls += 1;
-            self.cost.indirect_call_cycles
+        let c = match kind {
+            DispatchKind::Cascade { position } => {
+                self.counters.cascade_dispatches += 1;
+                self.cost.cascade_dispatch_cycles + position as u64 * self.cost.cascade_level_cycles
+            }
+            DispatchKind::Indirect => {
+                self.counters.indirect_calls += 1;
+                self.cost.indirect_call_cycles
+            }
         };
         self.charge_alu(warp, c);
     }
@@ -903,14 +932,37 @@ mod tests {
     fn dispatch_costs_differ() {
         let (mut g, c, a) = setup();
         let mut t = ctx(&mut g, &c, &a, 1);
-        t.charge_dispatch(0, true);
+        t.charge_dispatch(0, DispatchKind::Cascade { position: 0 });
         let after_cascade = t.warp_clock(0);
-        t.charge_dispatch(0, false);
+        t.charge_dispatch(0, DispatchKind::Indirect);
         let after_indirect = t.warp_clock(0) - after_cascade;
         assert!(after_indirect > after_cascade);
         assert_eq!(t.counters.cascade_dispatches, 1);
         assert_eq!(t.counters.indirect_calls, 1);
         assert_eq!(after_cascade, c.cascade_dispatch_cycles);
+    }
+
+    #[test]
+    fn cascade_dispatch_cost_scales_with_position() {
+        // §5.5 regression: the cascade is a linear compare chain, so a deep
+        // match must cost more than a shallow one, and past a threshold
+        // position the indirect call must win.
+        let (mut g, c, a) = setup();
+        let cost_at = |g: &mut GlobalMem, pos: u32| {
+            let mut t = ctx(g, &c, &a, 1);
+            t.charge_dispatch(0, DispatchKind::Cascade { position: pos });
+            t.warp_clock(0)
+        };
+        let shallow = cost_at(&mut g, 0);
+        let mid = cost_at(&mut g, 4);
+        let deep = cost_at(&mut g, 32);
+        assert!(shallow < mid && mid < deep, "cost must grow with depth");
+        assert_eq!(mid, c.cascade_dispatch_cycles + 4 * c.cascade_level_cycles);
+        let mut t = ctx(&mut g, &c, &a, 1);
+        t.charge_dispatch(0, DispatchKind::Indirect);
+        let indirect = t.warp_clock(0);
+        assert!(shallow < indirect, "early cascade matches beat the pointer");
+        assert!(deep > indirect, "deep cascade matches lose to the pointer");
     }
 
     #[test]

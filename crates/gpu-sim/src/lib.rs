@@ -47,7 +47,7 @@ pub mod stats;
 pub mod trace;
 
 pub use arch::{DeviceArch, Vendor};
-pub use exec::{Lane, ObservedEffects, TeamCtx};
+pub use exec::{DispatchKind, Lane, ObservedEffects, TeamCtx};
 pub use launch::{Device, LaunchConfig, LaunchError};
 pub use mask::LaneMask;
 pub use mem::global::{FallbackRange, GlobalMem, GlobalView};

@@ -65,6 +65,11 @@ pub fn max_abs_err(got: &[f64], want: &[f64]) -> f64 {
 /// Run a measurement `reps` times on fresh devices, asserting determinism,
 /// and return the last run. `f` builds + runs on the given device and
 /// returns (result, stats); `want` is the host reference.
+///
+/// Determinism covers the **full** [`LaunchStats`] (cycles, every runtime
+/// counter, sanitizer violations, per-resource cycles) *and* the computed
+/// result — a rerun that matches on cycles but diverges in violations or
+/// fallback counts is still a broken simulation.
 pub fn measure(
     name: impl Into<String>,
     arch: &DeviceArch,
@@ -77,8 +82,12 @@ pub fn measure(
     for _ in 0..reps {
         let mut dev = Device::new(arch.clone());
         let out = f(&mut dev);
-        if let Some((_, prev)) = &last {
-            assert_eq!(prev.cycles, out.1.cycles, "non-deterministic simulation");
+        if let Some((prev_got, prev)) = &last {
+            assert_eq!(prev, &out.1, "non-deterministic simulation (stats diverged across reps)");
+            assert_eq!(
+                prev_got, &out.0,
+                "non-deterministic simulation (results diverged across reps)"
+            );
         }
         last = Some(out);
     }

@@ -15,10 +15,21 @@
 //! * [`matrix`] — seeded CSR workload generators;
 //! * [`harness`] — launch + verify plumbing shared by tests, examples and
 //!   the figure benchmarks.
+//!
+//! Beyond the paper's figures, two workloads act as runtime correctness
+//! probes (closing the ROADMAP "broader workloads" item):
+//!
+//! * [`stencil2d`] — tiled 2-D Jacobi whose halo exchange is staged through
+//!   the §5.3.1 variable-sharing space in generic mode;
+//! * [`batched`] — a batched-kernel harness registering many outlined
+//!   bodies in one registry, stressing the §5.5 dispatch cascade against
+//!   the indirect-call fallback.
+pub mod batched;
 pub mod harness;
 pub mod ideal;
 pub mod laplace3d;
 pub mod matrix;
 pub mod muram;
 pub mod spmv;
+pub mod stencil2d;
 pub mod su3;

@@ -1,0 +1,428 @@
+//! `stencil2d` — a tiled 2-D Jacobi stencil whose **halo exchange flows
+//! through the variable-sharing space** (paper §5.3.1).
+//!
+//! One Jacobi sweep of the 4-point stencil over an `ny × nx` grid:
+//! `unew[i,j] = (u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1]) / 4` for
+//! interior points. Interior rows are distributed across teams; within a
+//! team, each row's interior columns are tiled into `tile_w`-wide segments
+//! worked by the SIMD groups.
+//!
+//! The interesting variant is [`Stencil2dVariant::HaloShared`]: before each
+//! tile's `simd` loop, the SIMD main reads the tile's *halo* cells (the
+//! columns just left and right of the tile) into scope registers in a
+//! sequential chunk. That chunk breaks tight nesting, so the parallel
+//! region runs **generic** and the runtime stages the registers — i.e. the
+//! halo cells — through the group's slice of the sharing space: the SIMD
+//! main posts, a masked warp sync releases the group, and the lanes fetch
+//! the halo from shared memory (Fig 4's staging protocol doing real work).
+//! Small sharing spaces push the staging onto the global-memory fallback
+//! path, and the team-level `distribute` wrapping a `parallel` region per
+//! row makes the teams region generic too — block barriers between rows.
+//!
+//! [`Stencil2dVariant::SpmdRef`] is the no-sharing reference: the same
+//! arithmetic tightly nested (fused row×tile loop, every neighbour read
+//! straight from global memory), which the mode analysis keeps fully SPMD.
+//! Both variants must agree with the host reference **bit-exactly** — the
+//! staged halo values round-trip through 8-byte slots unchanged.
+//!
+//! [`demo_halo_staging`] is a hand-rolled single-warp mirror of the staging
+//! protocol used by the sanitizer suite: with `sync = false` it omits the
+//! masked warp sync between the halo post and the lanes' reads, seeding the
+//! `SharedMemRace` a forgotten `synchronizeWarp` would cause on hardware.
+
+use gpu_sim::{DPtr, Device, LaneMask, LaunchConfig, LaunchStats, Slot};
+use omp_codegen::builder::{Schedule, TargetBuilder};
+use omp_codegen::CompiledKernel;
+use omp_core::config::KernelConfig;
+use omp_core::sharing::SharingSpace;
+
+const A_U: usize = 0;
+const A_UNEW: usize = 1;
+const A_NX: usize = 2;
+const A_NY: usize = 3;
+const A_TW: usize = 4;
+
+/// The two kernel shapes the workload compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil2dVariant {
+    /// Tiled generic-mode kernel staging each tile's halo cells through the
+    /// group's slice of the variable-sharing space.
+    HaloShared,
+    /// Tightly nested SPMD reference: identical arithmetic, every neighbour
+    /// read from global memory, no sharing-space traffic.
+    SpmdRef,
+}
+
+/// Host workload: an `ny × nx` grid (row-major) with a deterministic
+/// initial condition.
+pub struct Stencil2dWorkload {
+    /// Columns.
+    pub nx: usize,
+    /// Rows.
+    pub ny: usize,
+    /// Initial grid, row-major `[i][j]`.
+    pub u: Vec<f64>,
+}
+
+impl Stencil2dWorkload {
+    /// Deterministic initial condition (hot boundary + interior pattern).
+    pub fn generate(nx: usize, ny: usize) -> Stencil2dWorkload {
+        assert!(nx >= 3 && ny >= 3, "grid needs an interior");
+        let mut u = vec![0.0; nx * ny];
+        for i in 0..ny {
+            for j in 0..nx {
+                let v = if i == 0 || j == 0 || i == ny - 1 || j == nx - 1 {
+                    100.0
+                } else {
+                    (i * 23 + j * 13) as f64 % 17.0
+                };
+                u[i * nx + j] = v;
+            }
+        }
+        Stencil2dWorkload { nx, ny, u }
+    }
+
+    /// Host reference: one Jacobi sweep (boundary copied unchanged). The
+    /// summation order matches the device kernels so results are bit-exact.
+    pub fn reference(&self) -> Vec<f64> {
+        let (nx, u) = (self.nx, &self.u);
+        let mut out = u.clone();
+        for i in 1..self.ny - 1 {
+            for j in 1..nx - 1 {
+                let s = u[(i - 1) * nx + j]
+                    + u[(i + 1) * nx + j]
+                    + u[i * nx + j - 1]
+                    + u[i * nx + j + 1];
+                out[i * nx + j] = s / 4.0;
+            }
+        }
+        out
+    }
+}
+
+/// Device-resident grids plus the tile width baked into the arg payload.
+pub struct Stencil2dDev {
+    u: DPtr<f64>,
+    unew: DPtr<f64>,
+    nx: usize,
+    ny: usize,
+    tile_w: u64,
+}
+
+impl Stencil2dDev {
+    /// Upload the workload; `unew` starts as a copy of `u` so boundaries
+    /// carry over. `tile_w` is the interior-column tile width.
+    pub fn upload(dev: &mut Device, w: &Stencil2dWorkload, tile_w: u64) -> Stencil2dDev {
+        assert!(tile_w >= 1);
+        Stencil2dDev {
+            u: dev.global.alloc_from(&w.u),
+            unew: dev.global.alloc_from(&w.u),
+            nx: w.nx,
+            ny: w.ny,
+            tile_w,
+        }
+    }
+
+    /// Argument payload.
+    pub fn args(&self) -> [Slot; 5] {
+        [
+            Slot::from_ptr(self.u),
+            Slot::from_ptr(self.unew),
+            Slot::from_u64(self.nx as u64),
+            Slot::from_u64(self.ny as u64),
+            Slot::from_u64(self.tile_w),
+        ]
+    }
+
+    /// Read the result grid back.
+    pub fn read_out(&self, dev: &Device) -> Vec<f64> {
+        dev.global.read_slice(self.unew, self.nx * self.ny)
+    }
+}
+
+/// One interior point: `s = up + down + left + right; out = s / 4`. The
+/// caller supplies `left`/`right` (staged halo or direct read) so both
+/// variants share the exact same operation order.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn blend(
+    lane: &mut gpu_sim::Lane<'_, '_>,
+    u: DPtr<f64>,
+    unew: DPtr<f64>,
+    nx: u64,
+    i: u64,
+    j: u64,
+    left: f64,
+    right: f64,
+) {
+    let s = lane.read(u, (i - 1) * nx + j) + lane.read(u, (i + 1) * nx + j) + left + right;
+    lane.work(6);
+    lane.write(unew, i * nx + j, s / 4.0);
+}
+
+/// Build a stencil2d sweep kernel.
+///
+/// `sharing_bytes` sizes the variable-sharing space (only meaningful for
+/// [`Stencil2dVariant::HaloShared`]; small values force the zero-slot /
+/// overflow global-fallback staging paths).
+pub fn build(
+    num_teams: u32,
+    threads: u32,
+    simdlen: u32,
+    sharing_bytes: u32,
+    variant: Stencil2dVariant,
+) -> CompiledKernel {
+    let mut b =
+        TargetBuilder::new().num_teams(num_teams).threads(threads).sharing_space(sharing_bytes);
+    match variant {
+        Stencil2dVariant::HaloShared => {
+            let rows = b.trip_uniform(|_, v| v.args[A_NY].as_u64() - 2);
+            let ntiles =
+                b.trip_uniform(|_, v| (v.args[A_NX].as_u64() - 2).div_ceil(v.args[A_TW].as_u64()));
+            let tile = b.trip_uniform(|_, v| v.args[A_TW].as_u64());
+            b.build(|t| {
+                // Rows across teams; a parallel region per row means block
+                // barriers between rows (generic teams mode).
+                t.distribute(rows, Schedule::Cyclic(1), |t, row| {
+                    t.parallel(simdlen, |p| {
+                        // Tiles of the row across this team's SIMD groups.
+                        p.for_loop(ntiles, Schedule::Cyclic(1), |p, tv| {
+                            let halo_l = p.alloc_reg();
+                            let halo_r = p.alloc_reg();
+                            // SIMD main loads the tile's halo cells; the
+                            // registers travel to the lanes through the
+                            // group's sharing-space slice (§5.3.1).
+                            p.seq(move |lane, v| {
+                                let u = v.args[A_U].as_ptr::<f64>();
+                                let nx = v.args[A_NX].as_u64();
+                                let tw = v.args[A_TW].as_u64();
+                                let i = v.outer[row.0].as_u64() + 1;
+                                let j0 = 1 + v.regs[tv.0].as_u64() * tw;
+                                lane.work(4);
+                                let l = lane.read(u, i * nx + j0 - 1);
+                                let r = lane.read(u, i * nx + (j0 + tw).min(nx - 1));
+                                v.regs[halo_l.0] = Slot::from_f64(l);
+                                v.regs[halo_r.0] = Slot::from_f64(r);
+                            });
+                            p.simd(tile, move |lane, k, v| {
+                                let u = v.args[A_U].as_ptr::<f64>();
+                                let unew = v.args[A_UNEW].as_ptr::<f64>();
+                                let nx = v.args[A_NX].as_u64();
+                                let tw = v.args[A_TW].as_u64();
+                                let i = v.outer[row.0].as_u64() + 1;
+                                let j0 = 1 + v.regs[tv.0].as_u64() * tw;
+                                let j = j0 + k;
+                                if j > nx - 2 {
+                                    return; // ragged last tile
+                                }
+                                let left = if k == 0 {
+                                    v.regs[halo_l.0].as_f64()
+                                } else {
+                                    lane.read(u, i * nx + j - 1)
+                                };
+                                let right = if k == tw - 1 {
+                                    v.regs[halo_r.0].as_f64()
+                                } else {
+                                    lane.read(u, i * nx + j + 1)
+                                };
+                                blend(lane, u, unew, nx, i, j, left, right);
+                            });
+                        });
+                    });
+                });
+            })
+        }
+        Stencil2dVariant::SpmdRef => {
+            let fused = b.trip_uniform(|_, v| {
+                let rows = v.args[A_NY].as_u64() - 2;
+                rows * (v.args[A_NX].as_u64() - 2).div_ceil(v.args[A_TW].as_u64())
+            });
+            let tile = b.trip_uniform(|_, v| v.args[A_TW].as_u64());
+            b.build(|t| {
+                t.distribute_parallel_for(fused, Schedule::Cyclic(1), simdlen, |p, fv| {
+                    p.simd(tile, move |lane, k, v| {
+                        let u = v.args[A_U].as_ptr::<f64>();
+                        let unew = v.args[A_UNEW].as_ptr::<f64>();
+                        let nx = v.args[A_NX].as_u64();
+                        let tw = v.args[A_TW].as_u64();
+                        let ntiles = (nx - 2).div_ceil(tw);
+                        let f = v.regs[fv.0].as_u64();
+                        let i = f / ntiles + 1;
+                        let j = 1 + (f % ntiles) * tw + k;
+                        lane.work(4);
+                        if j > nx - 2 {
+                            return;
+                        }
+                        let left = lane.read(u, i * nx + j - 1);
+                        let right = lane.read(u, i * nx + j + 1);
+                        blend(lane, u, unew, nx, i, j, left, right);
+                    });
+                });
+            })
+        }
+    }
+}
+
+/// [`build`] with the paper-default 2048-byte sharing space.
+pub fn build_default(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
+    build(
+        num_teams,
+        threads,
+        simdlen,
+        KernelConfig::SHARING_SPACE_DEFAULT,
+        Stencil2dVariant::HaloShared,
+    )
+}
+
+/// Run a compiled stencil2d kernel.
+pub fn run(
+    dev: &mut Device,
+    kernel: &CompiledKernel,
+    ops: &Stencil2dDev,
+) -> (Vec<f64>, LaunchStats) {
+    let stats = kernel.run(dev, &ops.args());
+    (ops.read_out(dev), stats)
+}
+
+/// Hand-rolled single-warp halo staging against the raw device runtime:
+/// four SIMD groups of 8 lanes, each group's main posting its tile's
+/// left/right halo cells into the group's sharing-space slice, the lanes
+/// consuming them for a 2-point blend.
+///
+/// With `sync = true` a full masked warp sync orders the post before the
+/// reads — the protocol of Fig 4, sanitizer-clean. With `sync = false` the
+/// sync is **missing**: the seeded halo-sync bug, which simtcheck reports
+/// as [`gpu_sim::Violation::SharedMemRace`] on the halo slots.
+pub fn demo_halo_staging(dev: &mut Device, sync: bool) -> LaunchStats {
+    const GS: u32 = 8;
+    const GROUPS: u32 = 4;
+    let row: Vec<f64> = (0..64).map(|x| (x * x % 29) as f64).collect();
+    let u = dev.global.alloc_from(&row);
+    let out = dev.global.alloc_zeroed::<f64>(32);
+    let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 2048 };
+    dev.launch(&cfg, |team| {
+        let mut sharing = SharingSpace::reserve(&mut team.smem, 1024);
+        sharing.configure_groups(GROUPS);
+        let slices: Vec<_> = (0..GROUPS).map(|g| sharing.group_slice(g).0).collect();
+        let leaders: Vec<u32> = (0..GROUPS).map(|g| g * GS).collect();
+        // SIMD mains post the halo pair for their group's tile.
+        team.run_lanes(0, &leaders, |lane, l| {
+            let g = (l / GS) as usize;
+            let j0 = 1 + g as u64 * GS as u64;
+            let left = lane.read(u, j0 - 1);
+            let right = lane.read(u, j0 + GS as u64);
+            lane.smem_write_f64(slices[g], 0, left);
+            lane.smem_write_f64(slices[g], 1, right);
+        });
+        if sync {
+            let all = LaneMask::contiguous(0, 32);
+            team.warp_sync_masked(0, all, all);
+        }
+        // Every lane blends its point, edge lanes consuming the staged halo.
+        let lanes: Vec<u32> = (0..32).collect();
+        team.run_lanes(0, &lanes, |lane, l| {
+            let g = (l / GS) as usize;
+            let k = (l % GS) as u64;
+            let j = 1 + g as u64 * GS as u64 + k;
+            let left = if k == 0 { lane.smem_read_f64(slices[g], 0) } else { lane.read(u, j - 1) };
+            let right = if k == GS as u64 - 1 {
+                lane.smem_read_f64(slices[g], 1)
+            } else {
+                lane.read(u, j + 1)
+            };
+            lane.write(out, j - 1, (left + right) / 2.0);
+        });
+    })
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{self, max_abs_err};
+    use omp_core::config::ExecMode;
+
+    #[test]
+    fn halo_staging_matches_reference_bit_exactly() {
+        let w = Stencil2dWorkload::generate(37, 14);
+        let want = w.reference();
+        for (simdlen, tw) in [(8u32, 8u64), (8, 5), (32, 32), (4, 3)] {
+            let arch = gpu_sim::DeviceArch::a100();
+            let k = build(
+                6,
+                64,
+                simdlen,
+                KernelConfig::SHARING_SPACE_DEFAULT,
+                Stencil2dVariant::HaloShared,
+            );
+            // harness::measure also asserts full-LaunchStats determinism
+            // across reps (the satellite-4 contract).
+            let run =
+                harness::measure(format!("halo gs{simdlen} tw{tw}"), &arch, 2, &want, |dev| {
+                    let ops = Stencil2dDev::upload(dev, &w, tw);
+                    run(dev, &k, &ops)
+                });
+            assert_eq!(run.max_abs_err, 0.0, "gs {simdlen} tw {tw}");
+        }
+    }
+
+    #[test]
+    fn spmd_reference_matches_host_reference() {
+        let w = Stencil2dWorkload::generate(29, 11);
+        let want = w.reference();
+        let mut dev = Device::a100();
+        let ops = Stencil2dDev::upload(&mut dev, &w, 7);
+        let k = build(6, 64, 8, KernelConfig::SHARING_SPACE_DEFAULT, Stencil2dVariant::SpmdRef);
+        let (out, _) = run(&mut dev, &k, &ops);
+        assert_eq!(max_abs_err(&out, &want), 0.0);
+    }
+
+    #[test]
+    fn variant_modes_are_generic_vs_spmd() {
+        let halo =
+            build(6, 64, 8, KernelConfig::SHARING_SPACE_DEFAULT, Stencil2dVariant::HaloShared);
+        assert_eq!(halo.analysis.teams_mode, ExecMode::Generic, "distribute+parallel per row");
+        assert_eq!(
+            halo.analysis.parallels[0].desc.mode,
+            ExecMode::Generic,
+            "halo seq breaks nesting"
+        );
+        let spmd = build(6, 64, 8, KernelConfig::SHARING_SPACE_DEFAULT, Stencil2dVariant::SpmdRef);
+        assert_eq!(spmd.analysis.teams_mode, ExecMode::Spmd);
+        assert_eq!(spmd.analysis.parallels[0].desc.mode, ExecMode::Spmd);
+    }
+
+    #[test]
+    fn halo_staging_traffic_flows_through_the_sharing_space() {
+        let w = Stencil2dWorkload::generate(34, 10);
+        let mut dev = Device::a100();
+        let ops = Stencil2dDev::upload(&mut dev, &w, 8);
+        let k = build(4, 64, 8, KernelConfig::SHARING_SPACE_DEFAULT, Stencil2dVariant::HaloShared);
+        let (_, stats) = run(&mut dev, &k, &ops);
+        assert!(stats.counters.state_machine_posts > 0, "generic staging must post");
+        assert_eq!(stats.counters.sharing_global_fallbacks, 0, "default space fits 5 slots");
+        assert!(stats.counters.block_barriers > 2, "per-row parallel regions barrier");
+    }
+
+    #[test]
+    fn tiny_sharing_space_forces_global_fallback_and_stays_correct() {
+        // 256 B = 32 slots = exactly the team slice: group_slots == 0, every
+        // tile's staging takes the global-memory fallback path.
+        let w = Stencil2dWorkload::generate(26, 9);
+        let want = w.reference();
+        let mut dev = Device::a100();
+        let ops = Stencil2dDev::upload(&mut dev, &w, 6);
+        let k = build(4, 64, 8, 256, Stencil2dVariant::HaloShared);
+        let (out, stats) = run(&mut dev, &k, &ops);
+        assert_eq!(max_abs_err(&out, &want), 0.0);
+        assert!(stats.counters.sharing_global_fallbacks > 0, "zero-slot slices must fall back");
+    }
+
+    #[test]
+    fn demo_staging_is_clean_with_the_warp_sync() {
+        let mut dev = Device::a100();
+        dev.enable_sanitizer();
+        let stats = demo_halo_staging(&mut dev, true);
+        assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+    }
+}

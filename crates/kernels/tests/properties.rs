@@ -3,9 +3,11 @@
 //! harness; case counts are low because each case launches full kernels.
 
 use gpu_sim::Device;
+use omp_core::config::ExecMode;
+use omp_core::sharing::SlotLayout;
 use omp_kernels::harness::{max_abs_err, Fig10Variant};
 use omp_kernels::matrix::{CsrMatrix, RowProfile};
-use omp_kernels::{ideal, laplace3d, muram, spmv, su3};
+use omp_kernels::{ideal, laplace3d, muram, spmv, stencil2d, su3};
 use testkit::{cases, SimRng};
 
 fn any_profile(rng: &mut SimRng) -> RowProfile {
@@ -106,6 +108,74 @@ fn grid_kernels_match_reference() {
             let k = muram::build(which, 4, 64, variant);
             let (out, _) = muram::run(&mut dev, &k, &ops);
             assert_eq!(&out, &want);
+        }
+    });
+}
+
+/// Halo staging through the sharing space is value-preserving: for random
+/// grid / tile / group-size / sharing-space combinations the generic-mode
+/// `HaloShared` kernel matches both the no-sharing SPMD reference kernel
+/// and the host reference **bit-exactly** — staged halo cells round-trip
+/// through 8-byte slots unchanged. Small sharing spaces (down to 256 B =
+/// exactly the team slice, i.e. `group_slots == 0`) must take the
+/// global-memory fallback path, and the fallback counters must agree with
+/// the static staging report.
+#[test]
+fn stencil_halo_staging_matches_spmd_reference() {
+    cases("stencil_halo_staging_matches_spmd_reference", 16, |rng| {
+        let nx = rng.range_usize(3, 48);
+        let ny = rng.range_usize(3, 16);
+        let tw = rng.range_u64(1, 13);
+        let simdlen = 1u32 << rng.range_u32(0, 6); // group sizes 1..32
+        let teams = rng.range_u32(1, 7);
+        let threads = 64u32;
+        let sharing = *rng.pick(&[256u32, 512, 1024, 2048]);
+        let w = stencil2d::Stencil2dWorkload::generate(nx, ny);
+        let want = w.reference();
+
+        let mut dev = Device::a100();
+        let ops = stencil2d::Stencil2dDev::upload(&mut dev, &w, tw);
+        let halo = stencil2d::build(
+            teams,
+            threads,
+            simdlen,
+            sharing,
+            stencil2d::Stencil2dVariant::HaloShared,
+        );
+        let (got, stats) = stencil2d::run(&mut dev, &halo, &ops);
+        assert_eq!(
+            max_abs_err(&got, &want),
+            0.0,
+            "nx={nx} ny={ny} tw={tw} gs={simdlen} sh={sharing}"
+        );
+
+        let mut dev = Device::a100();
+        let ops = stencil2d::Stencil2dDev::upload(&mut dev, &w, tw);
+        let spmd = stencil2d::build(
+            teams,
+            threads,
+            simdlen,
+            sharing,
+            stencil2d::Stencil2dVariant::SpmdRef,
+        );
+        let (ref_got, _) = stencil2d::run(&mut dev, &spmd, &ops);
+        assert_eq!(got, ref_got, "halo-shared and SPMD kernels must agree bit-exactly");
+
+        // The runtime's fallback behaviour must match the static report and
+        // the pure slot arithmetic.
+        let report = halo.analysis.staging_report(&halo.config, 32, 0);
+        let layout = SlotLayout::for_bytes(sharing, threads / simdlen);
+        let generic = halo.analysis.parallels[0].desc.mode == ExecMode::Generic;
+        if layout.group_slots == 0 && generic {
+            assert!(report.falls_back, "zero-slot slices cannot stage");
+        }
+        if report.falls_back {
+            assert!(
+                stats.counters.sharing_global_fallbacks > 0,
+                "predicted fallback must show in counters (gs={simdlen} sh={sharing})"
+            );
+        } else {
+            assert_eq!(stats.counters.sharing_global_fallbacks, 0, "gs={simdlen} sh={sharing}");
         }
     });
 }
