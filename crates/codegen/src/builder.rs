@@ -23,7 +23,10 @@ use omp_core::exec::launch_target;
 pub use omp_core::plan::Schedule;
 use omp_core::plan::{ParallelOp, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
 
+use std::sync::{Arc, Mutex};
+
 use crate::analysis::{infer_parallel_mode, infer_teams_mode, Analysis, ParallelInfo};
+use crate::bytecode::{launch_flat, Engine, FlatProgram};
 use crate::diag::LintReport;
 
 /// Handle to a trip-count callback plus its uniformity classification
@@ -123,8 +126,22 @@ impl TargetBuilder {
     }
 
     /// Register a trip count that is the same for every worker (keeps the
-    /// region SPMD-eligible), e.g. a loop bound read from the kernel args.
-    pub fn trip_uniform(
+    /// region SPMD-eligible), e.g. a loop bound computed from the kernel
+    /// args. The callback is *lane-free*: it sees only the variable scopes,
+    /// so it cannot touch device memory or charge cycles — which lets the
+    /// bytecode executor evaluate it directly while the tree-walk
+    /// interpreter keeps charging it through the (zero-cost) lane path.
+    /// Bounds that must be **read from device memory** use
+    /// [`Self::trip_uniform_lane`] instead.
+    pub fn trip_uniform(&mut self, f: impl Fn(&Vars<'_>) -> u64 + Send + Sync + 'static) -> TripH {
+        TripH { id: self.reg.trip_pure(f, true), uniform: true }
+    }
+
+    /// Register a uniform trip count that needs a lane — e.g. a bound
+    /// loaded from device memory (charged as real traffic by both
+    /// engines). Prefer [`Self::trip_uniform`] when no device access is
+    /// required.
+    pub fn trip_uniform_lane(
         &mut self,
         f: impl Fn(&mut gpu_sim::Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
     ) -> TripH {
@@ -174,7 +191,7 @@ impl TargetBuilder {
         // OpenMPOpt-style SPMD-ization: declared-pure footprints can prove
         // an inferred-generic region safe to promote (see crate::lint).
         crate::lint::spmdize(&mut plan, &mut analysis, &mut config, &self.reg);
-        CompiledKernel { plan, registry: self.reg, config, analysis }
+        CompiledKernel { plan, registry: self.reg, config, analysis, flat: Mutex::new(None) }
     }
 }
 
@@ -541,6 +558,10 @@ impl<'b> ParScope<'b> {
     }
 }
 
+/// Cached flat-bytecode lowering: the launch-geometry key
+/// (warp size, argument count) and the compiled program.
+type FlatCache = Mutex<Option<((u32, usize), Arc<FlatProgram>)>>;
+
 /// A compiled target region, ready to launch.
 pub struct CompiledKernel {
     /// The lowered execution plan.
@@ -551,6 +572,9 @@ pub struct CompiledKernel {
     pub config: KernelConfig,
     /// What the mode analysis decided and why.
     pub analysis: Analysis,
+    /// Cached flat-bytecode lowering, keyed by (warp size, argument count)
+    /// — the two launch-geometry inputs the lowering bakes in.
+    flat: FlatCache,
 }
 
 impl CompiledKernel {
@@ -564,8 +588,88 @@ impl CompiledKernel {
     /// Launch on a device with the given argument payload. Does **not**
     /// run the lint gate — the escape hatch for deliberately-broken plans
     /// (negative tests, sanitizer demos).
+    ///
+    /// Engine selection: the flat-bytecode executor by default,
+    /// `SIMT_SIM_ENGINE=tree` for the tree-walk interpreter, and
+    /// `SIMT_SIM_ORACLE=1` for differential mode — every launch runs both
+    /// engines and panics unless stats and memory images are bit-identical.
     pub fn launch(&self, dev: &mut Device, args: &[Slot]) -> Result<LaunchStats, LaunchError> {
-        launch_target(dev, &self.config, &self.plan, &self.registry, args)
+        if std::env::var("SIMT_SIM_ORACLE").map(|v| v == "1").unwrap_or(false) {
+            return self.launch_oracle(dev, args);
+        }
+        let engine = match std::env::var("SIMT_SIM_ENGINE").as_deref() {
+            Ok("tree") => Engine::Tree,
+            _ => Engine::Bytecode,
+        };
+        self.launch_with_engine(dev, args, engine)
+    }
+
+    /// Launch with an explicit engine choice. The bytecode engine hands
+    /// sanitizer and event-trace launches to the tree walker — instrumented
+    /// runs are observation tools, not hot paths, and delegating keeps one
+    /// authoritative implementation of lane-granular instrumentation.
+    pub fn launch_with_engine(
+        &self,
+        dev: &mut Device,
+        args: &[Slot],
+        engine: Engine,
+    ) -> Result<LaunchStats, LaunchError> {
+        match engine {
+            Engine::Tree => launch_target(dev, &self.config, &self.plan, &self.registry, args),
+            Engine::Bytecode if dev.sanitizer_enabled() || dev.trace_enabled() => {
+                launch_target(dev, &self.config, &self.plan, &self.registry, args)
+            }
+            Engine::Bytecode => {
+                let prog = self.flat_program(&dev.arch, args.len());
+                launch_flat(dev, &self.config, &prog, &self.registry, args)
+            }
+        }
+    }
+
+    /// The flat-bytecode lowering of this kernel for one launch geometry,
+    /// compiled on first use and cached.
+    pub fn flat_program(&self, arch: &DeviceArch, nargs: usize) -> Arc<FlatProgram> {
+        let key = (arch.warp_size, nargs);
+        let mut slot = self.flat.lock().unwrap();
+        if let Some((k, prog)) = slot.as_ref() {
+            if *k == key {
+                return Arc::clone(prog);
+            }
+        }
+        let prog =
+            Arc::new(FlatProgram::lower(&self.plan, &self.registry, &self.config, arch, nargs));
+        *slot = Some((key, Arc::clone(&prog)));
+        prog
+    }
+
+    /// Differential-oracle launch: run the tree walker, snapshot the memory
+    /// image, rewind, run the bytecode engine, and assert both produced
+    /// bit-identical [`LaunchStats`] and host-visible memory. Panics on any
+    /// divergence; returns the bytecode engine's result.
+    pub fn launch_oracle(
+        &self,
+        dev: &mut Device,
+        args: &[Slot],
+    ) -> Result<LaunchStats, LaunchError> {
+        let pre = dev.global.checkpoint();
+        let tree = launch_target(dev, &self.config, &self.plan, &self.registry, args);
+        let post_tree = dev.global.checkpoint();
+        dev.global.restore(&pre);
+        let flat = self.launch_with_engine(dev, args, Engine::Bytecode);
+        let post_flat = dev.global.checkpoint();
+        match (&tree, &flat) {
+            (Ok(t), Ok(f)) => {
+                assert_eq!(t, f, "oracle: engines disagree on LaunchStats");
+                if let Some(diff) = post_tree.host_mismatch(&post_flat) {
+                    panic!("oracle: engines disagree on memory image:\n{diff}");
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!(
+                "oracle: engines disagree on launch outcome (tree: {tree:?}, bytecode: {flat:?})"
+            ),
+        }
+        flat
     }
 
     /// Lint, then launch; panics with the rendered report if simtlint

@@ -35,6 +35,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod bytecode;
 pub mod diag;
 pub mod lint;
 
@@ -44,5 +45,6 @@ pub use analysis::{
 pub use builder::{
     CompiledKernel, KernelParams, ParScope, RegH, Schedule, TargetBuilder, TeamsScope, TripH,
 };
+pub use bytecode::{launch_flat, run_flat_block, Engine, FlatProgram};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use lint::lint_kernel;

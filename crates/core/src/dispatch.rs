@@ -17,6 +17,8 @@
 //! entries, or [`gpu_sim::cost::CostModel::indirect_call_cycles`] for the
 //! fallback indirect call, on every dispatch.
 
+use std::sync::Arc;
+
 use gpu_sim::Lane;
 
 use crate::plan::{BodyId, RedId, SeqId, TripId, Vars, VarsMut};
@@ -25,6 +27,14 @@ use crate::plan::{BodyId, RedId, SeqId, TripId, Vars, VarsMut};
 pub type SeqFn = Box<dyn Fn(&mut Lane<'_, '_>, &mut VarsMut<'_>) + Send + Sync>;
 /// Trip-count callback (§4.1: "1) to generate the trip count of the loop").
 pub type TripFn = Box<dyn Fn(&mut Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync>;
+/// Lane-free trip-count callback: computes the trip count from variable
+/// scopes alone, touching no device state and charging no cycles. The
+/// tree-walk interpreter still evaluates these through the lane path (the
+/// wrapper ignores its lane), so behavior is unchanged; the bytecode
+/// executor evaluates them directly, skipping the per-evaluation lane
+/// machinery — which is only sound *because* purity is guaranteed by the
+/// signature.
+pub type PureTripFn = Arc<dyn Fn(&Vars<'_>) -> u64 + Send + Sync>;
 /// Outlined loop body (§4.1: "2) to generate the body of the loop"); invoked
 /// once per iteration with the iteration number, like Fig 8's
 /// `WorkFn(omp_iv, Args)`.
@@ -126,7 +136,7 @@ pub struct TripMeta {
 #[derive(Default)]
 pub struct Registry {
     seqs: Vec<(SeqFn, Option<Footprint>)>,
-    trips: Vec<(TripFn, TripMeta)>,
+    trips: Vec<(TripFn, TripMeta, Option<PureTripFn>)>,
     bodies: Vec<(BodyFn, Option<u32>, Option<Footprint>)>,
     reds: Vec<(RedFn, Option<u32>, Option<Footprint>)>,
     cascade_len: u32,
@@ -172,13 +182,36 @@ impl Registry {
         f: impl Fn(&mut Lane<'_, '_>, &Vars<'_>) -> u64 + Send + Sync + 'static,
         uniform: bool,
     ) -> TripId {
-        self.trips.push((Box::new(f), TripMeta { uniform, konst: None }));
+        self.trips.push((Box::new(f), TripMeta { uniform, konst: None }, None));
+        TripId(self.trips.len() as u32 - 1)
+    }
+
+    /// Register a lane-free trip-count callback. The interpreter runs it
+    /// through the ordinary lane path (so execution and charging are
+    /// identical to [`Registry::trip_with`]); the bytecode executor
+    /// evaluates it directly.
+    pub fn trip_pure(
+        &mut self,
+        f: impl Fn(&Vars<'_>) -> u64 + Send + Sync + 'static,
+        uniform: bool,
+    ) -> TripId {
+        let pure: PureTripFn = Arc::new(f);
+        let lane_view = Arc::clone(&pure);
+        self.trips.push((
+            Box::new(move |_, v| lane_view(v)),
+            TripMeta { uniform, konst: None },
+            Some(pure),
+        ));
         TripId(self.trips.len() as u32 - 1)
     }
 
     /// Register a constant trip count.
     pub fn trip_const(&mut self, n: u64) -> TripId {
-        self.trips.push((Box::new(move |_, _| n), TripMeta { uniform: true, konst: Some(n) }));
+        self.trips.push((
+            Box::new(move |_, _| n),
+            TripMeta { uniform: true, konst: Some(n) },
+            Some(Arc::new(move |_: &Vars<'_>| n)),
+        ));
         TripId(self.trips.len() as u32 - 1)
     }
 
@@ -260,6 +293,12 @@ impl Registry {
     /// Static metadata of a trip-count callback.
     pub fn trip_meta(&self, id: TripId) -> TripMeta {
         self.trips[id.0 as usize].1
+    }
+
+    /// The lane-free form of a trip-count callback, when it has one
+    /// (registered via [`Registry::trip_pure`] / [`Registry::trip_const`]).
+    pub fn pure_trip(&self, id: TripId) -> Option<&PureTripFn> {
+        self.trips[id.0 as usize].2.as_ref()
     }
 
     /// Look up a loop body and its cascade position (`Some(p)` for a known
@@ -346,6 +385,22 @@ mod tests {
         assert_eq!(r.trip_meta(tc), TripMeta { uniform: true, konst: Some(10) });
         assert_eq!(r.trip_meta(tu), TripMeta { uniform: true, konst: None });
         assert_eq!(r.trip_meta(tv), TripMeta { uniform: false, konst: None });
+    }
+
+    #[test]
+    fn pure_trips_expose_lane_free_form() {
+        let mut r = Registry::new();
+        let tc = r.trip_const(10);
+        let tp = r.trip_pure(|v| v.args.len() as u64, true);
+        let tl = r.trip(|_, _| 5);
+        assert!(r.pure_trip(tc).is_some());
+        assert!(r.pure_trip(tp).is_some());
+        assert!(r.pure_trip(tl).is_none(), "lane trips have no pure form");
+        assert_eq!(r.trip_meta(tp), TripMeta { uniform: true, konst: None });
+        // The pure and lane views compute the same value.
+        let vars = Vars { args: &[], outer: &[], regs: &[] };
+        assert_eq!(r.pure_trip(tc).unwrap()(&vars), 10);
+        assert_eq!(r.pure_trip(tp).unwrap()(&vars), 0);
     }
 
     #[test]

@@ -42,11 +42,13 @@ use crate::sharing::SharingSpace;
 use crate::workshare::{assign, is_chunk_start};
 
 /// Cycles charged to every warp by `__target_init` (team-state setup).
-const TARGET_INIT_CYCLES: u64 = 32;
+/// Public because the bytecode engine (`omp_codegen::bytecode`) must charge
+/// the exact same constants to stay bit-identical with this interpreter.
+pub const TARGET_INIT_CYCLES: u64 = 32;
 /// Per-iteration loop bookkeeping (induction update + bounds check).
-const LOOP_OVERHEAD_CYCLES: u64 = 2;
+pub const LOOP_OVERHEAD_CYCLES: u64 = 2;
 /// Per-level cost of the group reduction tree (shuffle + add).
-const REDUCE_STEP_CYCLES: u64 = 4;
+pub const REDUCE_STEP_CYCLES: u64 = 4;
 
 /// Launch a compiled target region on a device: builds the launch geometry
 /// from `cfg` (extra team-main warp in generic mode, sharing space in

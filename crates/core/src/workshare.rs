@@ -14,11 +14,28 @@
 
 use crate::plan::Schedule;
 
+/// The effective chunk size of a `Cyclic`/`Dynamic` schedule: chunk `0` is
+/// degenerate input (`schedule(static, 0)` / `schedule(dynamic, 0)`) and
+/// clamps to `1`.
+///
+/// This is **the** clamp rule — [`assign`], [`is_chunk_start`], the
+/// interpreter's chunk-grab charging, and the bytecode lowering's
+/// pre-computed grab schedule all go through it, so they cannot drift.
+#[inline]
+pub fn effective_chunk(c: u32) -> u64 {
+    c.max(1) as u64
+}
+
 /// The iteration executed by worker `who` (0-based, of `n_who` workers) in
 /// its `r`-th turn, or `None` when that worker has no more iterations.
 ///
 /// Invariant (property-tested): over all `who` and `r`, every iteration in
 /// `0..trip` is produced exactly once.
+///
+/// Index arithmetic is overflow-checked: a turn whose mathematical index
+/// exceeds `u64::MAX` necessarily exceeds every representable `trip`, so
+/// overflow saturates to `None` (no iteration) instead of wrapping into the
+/// live range and double-assigning work.
 pub fn assign(sched: Schedule, trip: u64, who: u64, n_who: u64, r: u64) -> Option<u64> {
     debug_assert!(who < n_who);
     if trip == 0 {
@@ -28,17 +45,23 @@ pub fn assign(sched: Schedule, trip: u64, who: u64, n_who: u64, r: u64) -> Optio
         Schedule::Static => {
             // Blocked: contiguous chunks of ceil(trip / n_who).
             let chunk = trip.div_ceil(n_who);
-            let idx = who * chunk + r;
-            if r < chunk && idx < trip {
+            if r >= chunk {
+                return None;
+            }
+            let idx = who.checked_mul(chunk)?.checked_add(r)?;
+            if idx < trip {
                 Some(idx)
             } else {
                 None
             }
         }
         Schedule::Cyclic(c) => {
-            let c = c.max(1) as u64;
+            let c = effective_chunk(c);
             // Turn r = chunk r/c, position r%c within it.
-            let idx = (r / c) * (n_who * c) + who * c + (r % c);
+            let idx = (r / c)
+                .checked_mul(n_who.checked_mul(c)?)?
+                .checked_add(who.checked_mul(c)?)?
+                .checked_add(r % c)?;
             if idx < trip {
                 Some(idx)
             } else {
@@ -67,7 +90,7 @@ pub fn rounds_for(sched: Schedule, trip: u64, who: u64, n_who: u64) -> u64 {
 /// charge one atomic grab per chunk, not per iteration).
 pub fn is_chunk_start(sched: Schedule, r: u64) -> bool {
     match sched {
-        Schedule::Dynamic(c) => r.is_multiple_of(c.max(1) as u64),
+        Schedule::Dynamic(c) => r.is_multiple_of(effective_chunk(c)),
         _ => false,
     }
 }
@@ -171,6 +194,70 @@ mod tests {
         assert!(!is_chunk_start(Schedule::Dynamic(2), 1));
         assert!(is_chunk_start(Schedule::Dynamic(2), 2));
         assert!(!is_chunk_start(Schedule::Static, 0));
+    }
+
+    #[test]
+    fn effective_chunk_clamps_zero_only() {
+        assert_eq!(effective_chunk(0), 1);
+        assert_eq!(effective_chunk(1), 1);
+        assert_eq!(effective_chunk(7), 7);
+        assert_eq!(effective_chunk(u32::MAX), u32::MAX as u64);
+    }
+
+    #[test]
+    fn huge_trips_do_not_overflow_static() {
+        // trip near u64::MAX: chunk = ceil(trip/n_who) puts the last
+        // worker's block start near the top of the range. `who*chunk + r`
+        // would overflow for out-of-range turns; they must be None, while
+        // in-range turns stay exact.
+        let n_who = 3u64;
+        let trip = u64::MAX - 1;
+        let chunk = trip.div_ceil(n_who);
+        assert_eq!(assign(Schedule::Static, trip, 2, n_who, 0), Some(2 * chunk));
+        assert_eq!(assign(Schedule::Static, trip, 2, n_who, trip - 2 * chunk - 1), Some(trip - 1));
+        assert_eq!(assign(Schedule::Static, trip, 2, n_who, trip - 2 * chunk), None);
+        // Max trip, one worker: identity mapping at both ends.
+        assert_eq!(assign(Schedule::Static, u64::MAX, 0, 1, 0), Some(0));
+        assert_eq!(assign(Schedule::Static, u64::MAX, 0, 1, u64::MAX - 1), Some(u64::MAX - 1));
+        assert_eq!(assign(Schedule::Static, u64::MAX, 0, 1, u64::MAX), None);
+    }
+
+    #[test]
+    fn huge_turns_saturate_to_none_instead_of_wrapping() {
+        // Before the checked-math fix, `who*chunk + r` wrapped for huge `r`
+        // and could alias a *live* iteration index, double-assigning work.
+        let trip = u64::MAX;
+        let n_who = 2u64;
+        // chunk = ceil(MAX/2); who=1 starts at chunk; r = MAX - chunk + 5
+        // makes idx wrap past MAX.
+        let chunk = trip.div_ceil(n_who);
+        for r in [trip - chunk, trip - chunk + 5, trip - 1] {
+            assert_eq!(assign(Schedule::Static, trip, 1, n_who, r), None, "r={r}");
+        }
+        // Cyclic: (r/c)*(n_who*c) overflows for r near MAX with n_who >= 2.
+        for r in [u64::MAX / 2 + 1, u64::MAX - 1, u64::MAX] {
+            assert_eq!(assign(Schedule::Cyclic(1), trip, 1, n_who, r), None, "r={r}");
+        }
+        // Chunked variant: idx ≈ (r/3)*6 first exceeds u64 near r = 3·MAX/6.
+        for r in [u64::MAX - 1, u64::MAX] {
+            assert_eq!(assign(Schedule::Dynamic(3), trip, 0, n_who, r), None, "r={r}");
+        }
+    }
+
+    #[test]
+    fn huge_trips_cyclic_boundary_is_exact() {
+        // Worker near n_who-1 with trip close to u64::MAX / n_who * n_who:
+        // the last representable chunk row must still be assigned.
+        let n_who = 1u64 << 32;
+        let trip = u64::MAX - 7;
+        let c = 4u64;
+        // Row q = (trip-1) / (n_who*c): the final (partial) sweep.
+        let q = (trip - 1) / (n_who * c);
+        let who = 77u64;
+        let idx = q * (n_who * c) + who * c;
+        assert!(idx < trip);
+        assert_eq!(assign(Schedule::Cyclic(4), trip, who, n_who, q * c), Some(idx));
+        assert_eq!(assign(Schedule::Cyclic(4), trip, who, n_who, (q + 1) * c), None);
     }
 
     #[test]

@@ -92,6 +92,189 @@ impl LaneTrace {
     }
 }
 
+/// Where a [`Lane`]'s cost events go: the recording trace used by
+/// [`TeamCtx::run_lanes`] (kept byte-for-byte as before), or the online
+/// coalescing accumulator of the flat bytecode path, which computes the
+/// same per-super-step aggregates without materializing per-lane access
+/// lists.
+enum LaneSink<'a> {
+    Trace(&'a mut LaneTrace),
+    Flat(&'a mut FlatAcc),
+}
+
+impl LaneSink<'_> {
+    #[inline]
+    fn alu(&mut self, cycles: u64) {
+        match self {
+            LaneSink::Trace(t) => t.alu += cycles,
+            LaneSink::Flat(a) => a.lane_alu += cycles,
+        }
+    }
+
+    #[inline]
+    fn global(&mut self, addr: u64, bytes: u32, atomic: bool, write: bool) {
+        match self {
+            LaneSink::Trace(t) => t.accesses.push(Access { addr, bytes, atomic, write }),
+            LaneSink::Flat(a) => a.global(addr, bytes, atomic),
+        }
+    }
+
+    #[inline]
+    fn smem(&mut self, slot: u32, kind: SmemKind) {
+        match self {
+            LaneSink::Trace(t) => {
+                t.smem_ops += 1;
+                t.smem_slots.push((slot, kind));
+            }
+            LaneSink::Flat(a) => a.smem(slot),
+        }
+    }
+}
+
+/// One global-memory ordinal of the flat accumulator: the k-th access of
+/// every lane in the super-step, reduced to its unique-sector set plus the
+/// atomic target addresses (kept with multiplicity for serialization).
+#[derive(Default)]
+struct OrdAcc {
+    sectors: Vec<u64>,
+    atomics: Vec<u64>,
+    /// Sectors were pushed in ascending order (with adjacent duplicates
+    /// skipped), so they are already sorted *and* deduplicated — the common
+    /// case for coalesced loops, which skips the commit-time sort entirely.
+    sorted: bool,
+}
+
+impl OrdAcc {
+    #[inline]
+    fn push_sector(&mut self, s: u64) {
+        match self.sectors.last() {
+            Some(&prev) if prev == s => {} // adjacent duplicate
+            Some(&prev) => {
+                if prev > s {
+                    self.sorted = false;
+                }
+                self.sectors.push(s);
+            }
+            None => self.sectors.push(s),
+        }
+    }
+}
+
+/// One shared-memory ordinal: the same last-slot-per-bank conflict walk
+/// [`TeamCtx::commit`] performs, folded in online. Lanes run sequentially
+/// in ascending order, so the accumulation order matches the trace walk.
+struct SmemOrdAcc {
+    bank_slots: [u32; 32],
+    bank_waves: [u8; 32],
+    worst: u8,
+}
+
+impl SmemOrdAcc {
+    fn clear(&mut self) {
+        self.bank_slots = [u32::MAX; 32];
+        self.bank_waves = [0; 32];
+        self.worst = 0;
+    }
+}
+
+/// Super-step accumulator for [`TeamCtx::run_lanes_flat`]: per-ordinal
+/// coalescing state plus running per-lane cursors, producing exactly the
+/// aggregates [`TeamCtx::commit`] derives from the recorded traces.
+#[derive(Default)]
+struct FlatAcc {
+    ords: Vec<OrdAcc>,
+    smem_ords: Vec<SmemOrdAcc>,
+    max_alu: u64,
+    max_smem_ops: u64,
+    max_ord: usize,
+    max_smem_ord: usize,
+    lane_alu: u64,
+    lane_smem_ops: u64,
+    lane_ord: usize,
+    lane_smem_ord: usize,
+    /// `log2(sector_bytes)` — the flat path requires a power-of-two sector.
+    sector_shift: u32,
+}
+
+impl FlatAcc {
+    /// Prepare for a new super-step: clear the ordinals the previous step
+    /// used (untouched entries are already clear) and reset the maxima.
+    fn reset(&mut self, sector_shift: u32) {
+        for o in &mut self.ords[..self.max_ord] {
+            o.sectors.clear();
+            o.atomics.clear();
+            o.sorted = true;
+        }
+        for s in &mut self.smem_ords[..self.max_smem_ord] {
+            s.clear();
+        }
+        self.max_alu = 0;
+        self.max_smem_ops = 0;
+        self.max_ord = 0;
+        self.max_smem_ord = 0;
+        self.sector_shift = sector_shift;
+    }
+
+    fn begin_lane(&mut self) {
+        self.lane_alu = 0;
+        self.lane_smem_ops = 0;
+        self.lane_ord = 0;
+        self.lane_smem_ord = 0;
+    }
+
+    fn end_lane(&mut self) {
+        self.max_alu = self.max_alu.max(self.lane_alu);
+        self.max_smem_ops = self.max_smem_ops.max(self.lane_smem_ops);
+        self.max_ord = self.max_ord.max(self.lane_ord);
+        self.max_smem_ord = self.max_smem_ord.max(self.lane_smem_ord);
+    }
+
+    #[inline]
+    fn global(&mut self, addr: u64, bytes: u32, atomic: bool) {
+        let k = self.lane_ord;
+        self.lane_ord += 1;
+        if k >= self.ords.len() {
+            self.ords.push(OrdAcc { sectors: Vec::new(), atomics: Vec::new(), sorted: true });
+        }
+        let o = &mut self.ords[k];
+        let first = addr >> self.sector_shift;
+        let last = (addr + bytes as u64 - 1) >> self.sector_shift;
+        if first == last {
+            // Fast path: the access fits one sector (every aligned element
+            // up to sector size does).
+            o.push_sector(first);
+        } else {
+            for s in first..=last {
+                o.push_sector(s);
+            }
+        }
+        if atomic {
+            o.atomics.push(addr);
+        }
+    }
+
+    #[inline]
+    fn smem(&mut self, slot: u32) {
+        self.lane_smem_ops += 1;
+        let k = self.lane_smem_ord;
+        self.lane_smem_ord += 1;
+        if k >= self.smem_ords.len() {
+            self.smem_ords.push(SmemOrdAcc {
+                bank_slots: [u32::MAX; 32],
+                bank_waves: [0; 32],
+                worst: 0,
+            });
+        }
+        let a = &mut self.smem_ords[k];
+        let b = (slot % 32) as usize;
+        if a.bank_slots[b] != slot {
+            a.bank_slots[b] = slot;
+            a.bank_waves[b] = a.bank_waves[b].saturating_add(1);
+            a.worst = a.worst.max(a.bank_waves[b]);
+        }
+    }
+}
+
 /// Per-warp accounting state, including the warp's L1 window: a
 /// direct-mapped map of recently touched sectors. Re-touching a cached
 /// sector costs [`CostModel::l1_hit_cycles`] instead of a DRAM sector —
@@ -120,38 +303,29 @@ struct WarpState {
 pub struct Lane<'a, 'g> {
     global: &'a mut GlobalView<'g>,
     smem: &'a mut SharedMem,
-    trace: &'a mut LaneTrace,
+    sink: LaneSink<'a>,
 }
 
 impl<'a, 'g> Lane<'a, 'g> {
     /// Charge `cycles` of ALU work.
     #[inline]
     pub fn work(&mut self, cycles: u64) {
-        self.trace.alu += cycles;
+        self.sink.alu(cycles);
     }
 
     /// Load element `idx` relative to `p` from global memory.
     #[inline]
     pub fn read<T: DevValue>(&mut self, p: DPtr<T>, idx: u64) -> T {
-        self.trace.accesses.push(Access {
-            addr: self.global.addr_of(p, idx),
-            bytes: std::mem::size_of::<T>() as u32,
-            atomic: false,
-            write: false,
-        });
-        self.global.read(p, idx)
+        let (addr, v) = self.global.read_at(p, idx);
+        self.sink.global(addr, std::mem::size_of::<T>() as u32, false, false);
+        v
     }
 
     /// Store to element `idx` relative to `p` in global memory.
     #[inline]
     pub fn write<T: DevValue>(&mut self, p: DPtr<T>, idx: u64, v: T) {
-        self.trace.accesses.push(Access {
-            addr: self.global.addr_of(p, idx),
-            bytes: std::mem::size_of::<T>() as u32,
-            atomic: false,
-            write: true,
-        });
-        self.global.write(p, idx, v);
+        let addr = self.global.write_at(p, idx, v);
+        self.sink.global(addr, std::mem::size_of::<T>() as u32, false, true);
     }
 
     /// Atomic `fetch_add` on an `f64` in global memory; returns the old
@@ -159,56 +333,44 @@ impl<'a, 'g> Lane<'a, 'g> {
     /// the update itself is genuinely atomic across concurrent blocks.
     #[inline]
     pub fn atomic_add_f64(&mut self, p: DPtr<f64>, idx: u64, v: f64) -> f64 {
-        self.trace.accesses.push(Access {
-            addr: self.global.addr_of(p, idx),
-            bytes: 8,
-            atomic: true,
-            write: true,
-        });
-        self.global.atomic_add_f64(p, idx, v)
+        let (addr, old) = self.global.atomic_add_f64_at(p, idx, v);
+        self.sink.global(addr, 8, true, true);
+        old
     }
 
     /// Atomic `fetch_add` on a `u64` in global memory; returns the old value.
     #[inline]
     pub fn atomic_add_u64(&mut self, p: DPtr<u64>, idx: u64, v: u64) -> u64 {
-        self.trace.accesses.push(Access {
-            addr: self.global.addr_of(p, idx),
-            bytes: 8,
-            atomic: true,
-            write: true,
-        });
-        self.global.atomic_add_u64(p, idx, v)
+        let (addr, old) = self.global.atomic_add_u64_at(p, idx, v);
+        self.sink.global(addr, 8, true, true);
+        old
     }
 
     /// Read an 8-byte slot from shared memory.
     #[inline]
     pub fn smem_read_slot(&mut self, off: SmOff, idx: u32) -> Slot {
-        self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, SmemKind::Read));
+        self.sink.smem(off.0 + idx, SmemKind::Read);
         self.smem.read_slot(off, idx)
     }
 
     /// Write an 8-byte slot to shared memory.
     #[inline]
     pub fn smem_write_slot(&mut self, off: SmOff, idx: u32, v: Slot) {
-        self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, SmemKind::Write));
+        self.sink.smem(off.0 + idx, SmemKind::Write);
         self.smem.write_slot(off, idx, v);
     }
 
     /// Read a shared-memory slot as `f64`.
     #[inline]
     pub fn smem_read_f64(&mut self, off: SmOff, idx: u32) -> f64 {
-        self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, SmemKind::Read));
+        self.sink.smem(off.0 + idx, SmemKind::Read);
         self.smem.read_f64(off, idx)
     }
 
     /// Write a shared-memory slot as `f64`.
     #[inline]
     pub fn smem_write_f64(&mut self, off: SmOff, idx: u32, v: f64) {
-        self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, SmemKind::Write));
+        self.sink.smem(off.0 + idx, SmemKind::Write);
         self.smem.write_f64(off, idx, v);
     }
 
@@ -218,8 +380,7 @@ impl<'a, 'g> Lane<'a, 'g> {
     /// is a protocol violation (simtcheck's atomic/plain rule).
     #[inline]
     pub fn smem_atomic_add_f64(&mut self, off: SmOff, idx: u32, v: f64) -> f64 {
-        self.trace.smem_ops += 1;
-        self.trace.smem_slots.push((off.0 + idx, SmemKind::Atomic));
+        self.sink.smem(off.0 + idx, SmemKind::Atomic);
         let old = self.smem.read_f64(off, idx);
         self.smem.write_f64(off, idx, old + v);
         old
@@ -248,6 +409,7 @@ pub struct TeamCtx<'g> {
     trace_pool: Vec<LaneTrace>,
     scratch_sectors: Vec<u64>,
     scratch_atomic: Vec<u64>,
+    flat_acc: FlatAcc,
     event_trace: Option<crate::trace::Trace>,
     sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
     observed: ObservedEffects,
@@ -279,6 +441,7 @@ impl<'g> TeamCtx<'g> {
             trace_pool: Vec::new(),
             scratch_sectors: Vec::new(),
             scratch_atomic: Vec::new(),
+            flat_acc: FlatAcc::default(),
             event_trace: None,
             sanitizer: None,
             observed: ObservedEffects::default(),
@@ -393,7 +556,11 @@ impl<'g> TeamCtx<'g> {
             debug_assert!(lane_id < self.arch.warp_size);
             let trace = &mut self.trace_pool[i];
             trace.clear();
-            let mut lane = Lane { global: &mut self.gview, smem: &mut self.smem, trace };
+            let mut lane = Lane {
+                global: &mut self.gview,
+                smem: &mut self.smem,
+                sink: LaneSink::Trace(trace),
+            };
             f(&mut lane, lane_id);
         }
         if let Some(mut san) = self.sanitizer.take() {
@@ -418,6 +585,47 @@ impl<'g> TeamCtx<'g> {
             self.sanitizer = Some(san);
         }
         self.commit(warp, lanes.len());
+    }
+
+    /// [`run_lanes`] for the flat bytecode executor: identical lockstep cost
+    /// semantics, but coalescing aggregates are folded online into a
+    /// per-ordinal accumulator instead of materializing per-lane access
+    /// lists, skipping the trace/commit machinery entirely.
+    ///
+    /// Delegates to [`run_lanes`] whenever exact trace capture is needed —
+    /// sanitizer attached, event trace active, or a cost model whose sector
+    /// size is not a power of two — so the fast path never has to replicate
+    /// those observers.
+    ///
+    /// [`run_lanes`]: TeamCtx::run_lanes
+    pub fn run_lanes_flat<F>(&mut self, warp: u32, lanes: &[u32], mut f: F)
+    where
+        F: FnMut(&mut Lane<'_, '_>, u32),
+    {
+        if self.sanitizer.is_some()
+            || self.event_trace.is_some()
+            || !self.cost.sector_bytes.is_power_of_two()
+        {
+            return self.run_lanes(warp, lanes, f);
+        }
+        assert!(warp < self.nwarps, "warp {warp} out of range");
+        if lanes.is_empty() {
+            return;
+        }
+        let shift = self.cost.sector_bytes.trailing_zeros();
+        self.flat_acc.reset(shift);
+        for &lane_id in lanes {
+            debug_assert!(lane_id < self.arch.warp_size);
+            self.flat_acc.begin_lane();
+            let mut lane = Lane {
+                global: &mut self.gview,
+                smem: &mut self.smem,
+                sink: LaneSink::Flat(&mut self.flat_acc),
+            };
+            f(&mut lane, lane_id);
+            self.flat_acc.end_lane();
+        }
+        self.commit_flat(warp);
     }
 
     /// Merge the first `n` traces of the pool into `warp`'s accounting.
@@ -472,6 +680,7 @@ impl<'g> TeamCtx<'g> {
         let mut l1_mask = std::mem::take(&mut self.warps[warp as usize].l1_mask);
         let nsets = l1.len() / 4;
 
+        let spl = (cost.line_bytes / cost.sector_bytes).max(1) as u64;
         for k in 0..max_ord {
             scratch_sectors.clear();
             scratch_atomic.clear();
@@ -494,88 +703,19 @@ impl<'g> TeamCtx<'g> {
             }
             scratch_sectors.sort_unstable();
             scratch_sectors.dedup();
-            // Walk the ordinal's unique sectors grouped by 128-byte line:
-            // each distinct line is one LSU transaction; a line missing the
-            // L1 window (4-way LRU, line tags) sends its sectors to DRAM.
-            let spl = (cost.line_bytes / cost.sector_bytes).max(1) as u64;
-            let mut sectors = 0u64; // DRAM traffic (sectors of missed lines)
-            let mut lines = 0u64; // LSU transactions
-            let mut hits = 0u64; // line hits
-            let mut i = 0usize;
-            while i < scratch_sectors.len() {
-                let line = scratch_sectors[i] / spl;
-                let mut smask = 0u8;
-                while i < scratch_sectors.len() && scratch_sectors[i] / spl == line {
-                    if self.gview.first_touch(scratch_sectors[i]) {
-                        dram_add += 1;
-                    }
-                    smask |= 1 << (scratch_sectors[i] % spl).min(7);
-                    i += 1;
-                }
-                lines += 1;
-                if nsets == 0 {
-                    sectors += smask.count_ones() as u64;
-                    continue;
-                }
-                // Fibonacci-hash the set index so power-of-two array
-                // strides do not alias into a handful of sets.
-                let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-                let set = (h % nsets as u64) as usize * 4;
-                let ways = &mut l1[set..set + 4];
-                let ages = &mut l1_age[set..set + 4];
-                let masks = &mut l1_mask[set..set + 4];
-                if let Some(w) = ways.iter().position(|&t| t == line) {
-                    // Tag hit: only sectors not yet fetched cost DRAM
-                    // traffic (sectored cache).
-                    let new = smask & !masks[w];
-                    if new == 0 {
-                        hits += 1;
-                    } else {
-                        sectors += new.count_ones() as u64;
-                        masks[w] |= new;
-                    }
-                    ages[w] = 0;
-                    for (k, a) in ages.iter_mut().enumerate() {
-                        if k != w {
-                            *a = a.saturating_add(1);
-                        }
-                    }
-                } else {
-                    sectors += smask.count_ones() as u64;
-                    let victim = ages
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &a)| a)
-                        .map(|(k, _)| k)
-                        .unwrap_or(0);
-                    ways[victim] = line;
-                    ages[victim] = 0;
-                    masks[victim] = smask;
-                    for (k, a) in ages.iter_mut().enumerate() {
-                        if k != victim {
-                            *a = a.saturating_add(1);
-                        }
-                    }
-                }
-            }
+            let (lines, sectors, hits) = line_walk(
+                &scratch_sectors,
+                spl,
+                nsets,
+                &mut l1,
+                &mut l1_age,
+                &mut l1_mask,
+                &self.gview,
+                &mut dram_add,
+            );
             let misses = sectors;
-
             let mut c = lines * cost.line_cycles + sectors * cost.sector_cycles;
-            if !scratch_atomic.is_empty() {
-                // Max same-address multiplicity determines serialization.
-                scratch_atomic.sort_unstable();
-                let mut max_mult = 1u64;
-                let mut run = 1u64;
-                for w in scratch_atomic.windows(2) {
-                    if w[0] == w[1] {
-                        run += 1;
-                        max_mult = max_mult.max(run);
-                    } else {
-                        run = 1;
-                    }
-                }
-                c += cost.atomic_cycles + (max_mult - 1) * cost.atomic_conflict_cycles;
-            }
+            c += atomic_serialize_cycles(&mut scratch_atomic, cost);
             issue_add += c;
             clock_add += c + if misses > 0 { cost.exposed_latency } else { 0 };
             sectors_add += sectors;
@@ -605,6 +745,78 @@ impl<'g> TeamCtx<'g> {
         w.smem_ops += max_smem;
         w.l1_hits += hits_add;
         let _ = max_smem;
+    }
+
+    /// [`commit`]-equivalent for the flat accumulator: derives the exact
+    /// same per-super-step charges from [`FlatAcc`]'s pre-coalesced state.
+    /// No event-trace branch — [`run_lanes_flat`] delegates to the trace
+    /// path whenever a trace or sanitizer is attached.
+    ///
+    /// [`commit`]: TeamCtx::commit
+    /// [`run_lanes_flat`]: TeamCtx::run_lanes_flat
+    fn commit_flat(&mut self, warp: u32) {
+        let cost = self.cost;
+        let mut acc = std::mem::take(&mut self.flat_acc);
+
+        let mut smem_wavefronts = 0u64;
+        for s in &acc.smem_ords[..acc.max_smem_ord] {
+            smem_wavefronts += s.worst.max(1) as u64;
+        }
+
+        let mut clock_add = acc.max_alu + smem_wavefronts * cost.smem_cycles;
+        let mut issue_add = clock_add;
+        let mut sectors_add = 0u64;
+        let mut hits_add = 0u64;
+        let mut dram_add = 0u64;
+        if self.warps[warp as usize].l1.is_empty() && cost.l1_lines >= 4 {
+            self.warps[warp as usize].l1 = vec![u64::MAX; cost.l1_lines as usize];
+            self.warps[warp as usize].l1_age = vec![0; cost.l1_lines as usize];
+            self.warps[warp as usize].l1_mask = vec![0; cost.l1_lines as usize];
+        }
+        let mut l1 = std::mem::take(&mut self.warps[warp as usize].l1);
+        let mut l1_age = std::mem::take(&mut self.warps[warp as usize].l1_age);
+        let mut l1_mask = std::mem::take(&mut self.warps[warp as usize].l1_mask);
+        let nsets = l1.len() / 4;
+        let spl = (cost.line_bytes / cost.sector_bytes).max(1) as u64;
+
+        for o in &mut acc.ords[..acc.max_ord] {
+            if o.sectors.is_empty() && o.atomics.is_empty() {
+                continue;
+            }
+            if !o.sorted {
+                o.sectors.sort_unstable();
+                o.sectors.dedup();
+            }
+            let (lines, sectors, hits) = line_walk(
+                &o.sectors,
+                spl,
+                nsets,
+                &mut l1,
+                &mut l1_age,
+                &mut l1_mask,
+                &self.gview,
+                &mut dram_add,
+            );
+            let misses = sectors;
+            let mut c = lines * cost.line_cycles + sectors * cost.sector_cycles;
+            c += atomic_serialize_cycles(&mut o.atomics, cost);
+            issue_add += c;
+            clock_add += c + if misses > 0 { cost.exposed_latency } else { 0 };
+            sectors_add += sectors;
+            hits_add += hits;
+        }
+
+        let w = &mut self.warps[warp as usize];
+        w.l1 = l1;
+        w.l1_age = l1_age;
+        w.l1_mask = l1_mask;
+        w.clock += clock_add;
+        w.issue += issue_add;
+        w.sectors += sectors_add;
+        w.dram_sectors += dram_add;
+        w.smem_ops += acc.max_smem_ops;
+        w.l1_hits += hits_add;
+        self.flat_acc = acc;
     }
 
     /// Charge plain ALU cycles to a warp (runtime-internal work).
@@ -786,6 +998,106 @@ impl<'g> TeamCtx<'g> {
         };
         (profile, self.counters)
     }
+}
+
+/// Walk one ordinal's unique, sorted sector set grouped by cache line:
+/// each distinct line is one LSU transaction; a line missing the warp's L1
+/// window (4-way LRU, line tags, sectored validity) sends its
+/// not-yet-fetched sectors to DRAM. Returns `(lines, dram-bound sectors,
+/// line hits)` and bumps `dram_add` for first-touched (compulsory) sectors.
+///
+/// Shared by [`TeamCtx::commit`] and [`TeamCtx::commit_flat`] so the two
+/// execution engines agree on the memory model by construction — including
+/// the LRU victim rule (*last* max-age way wins ties, per `max_by_key`).
+#[allow(clippy::too_many_arguments)]
+fn line_walk(
+    sectors: &[u64],
+    spl: u64,
+    nsets: usize,
+    l1: &mut [u64],
+    l1_age: &mut [u8],
+    l1_mask: &mut [u8],
+    gview: &GlobalView<'_>,
+    dram_add: &mut u64,
+) -> (u64, u64, u64) {
+    let mut dram_sectors = 0u64;
+    let mut lines = 0u64;
+    let mut hits = 0u64;
+    let mut i = 0usize;
+    while i < sectors.len() {
+        let line = sectors[i] / spl;
+        let mut smask = 0u8;
+        while i < sectors.len() && sectors[i] / spl == line {
+            if gview.first_touch(sectors[i]) {
+                *dram_add += 1;
+            }
+            smask |= 1 << (sectors[i] % spl).min(7);
+            i += 1;
+        }
+        lines += 1;
+        if nsets == 0 {
+            dram_sectors += smask.count_ones() as u64;
+            continue;
+        }
+        // Fibonacci-hash the set index so power-of-two array strides do
+        // not alias into a handful of sets.
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let set = (h % nsets as u64) as usize * 4;
+        let ways = &mut l1[set..set + 4];
+        let ages = &mut l1_age[set..set + 4];
+        let masks = &mut l1_mask[set..set + 4];
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            // Tag hit: only sectors not yet fetched cost DRAM traffic
+            // (sectored cache).
+            let new = smask & !masks[w];
+            if new == 0 {
+                hits += 1;
+            } else {
+                dram_sectors += new.count_ones() as u64;
+                masks[w] |= new;
+            }
+            ages[w] = 0;
+            for (k, a) in ages.iter_mut().enumerate() {
+                if k != w {
+                    *a = a.saturating_add(1);
+                }
+            }
+        } else {
+            dram_sectors += smask.count_ones() as u64;
+            let victim =
+                ages.iter().enumerate().max_by_key(|(_, &a)| a).map(|(k, _)| k).unwrap_or(0);
+            ways[victim] = line;
+            ages[victim] = 0;
+            masks[victim] = smask;
+            for (k, a) in ages.iter_mut().enumerate() {
+                if k != victim {
+                    *a = a.saturating_add(1);
+                }
+            }
+        }
+    }
+    (lines, dram_sectors, hits)
+}
+
+/// Serialization cost of one ordinal's atomic accesses: the max same-address
+/// multiplicity determines how many conflict rounds the warp pays. Zero when
+/// the ordinal had no atomics. Sorts `atomics` in place.
+fn atomic_serialize_cycles(atomics: &mut [u64], cost: &CostModel) -> u64 {
+    if atomics.is_empty() {
+        return 0;
+    }
+    atomics.sort_unstable();
+    let mut max_mult = 1u64;
+    let mut run = 1u64;
+    for w in atomics.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+            max_mult = max_mult.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    cost.atomic_cycles + (max_mult - 1) * cost.atomic_conflict_cycles
 }
 
 #[cfg(test)]
@@ -998,5 +1310,141 @@ mod tests {
         let mut t = ctx(&mut g, &c, &a, 1);
         t.run_lanes(0, &[], |_, _| panic!("must not run"));
         assert_eq!(t.warp_clock(0), 0);
+    }
+
+    /// Run the same lane program through `run_lanes` and `run_lanes_flat`
+    /// on identical fresh contexts and assert the profiles match exactly.
+    fn assert_flat_matches<F>(nwarps: u32, steps: &[(u32, Vec<u32>)], build: F)
+    where
+        F: Fn(&GlobalMem) -> Box<dyn Fn(&mut Lane<'_, '_>, u32)>,
+    {
+        let c = CostModel::default();
+        let a = DeviceArch::a100();
+        let run = |flat: bool| {
+            let g = GlobalMem::new();
+            let f = build(&g);
+            let mut t = TeamCtx::new(0, 1, nwarps, 4096, &g, &c, &a);
+            let _ = t.smem.alloc(512);
+            for (warp, lanes) in steps {
+                if flat {
+                    t.run_lanes_flat(*warp, lanes, |lane, id| f(lane, id));
+                } else {
+                    t.run_lanes(*warp, lanes, |lane, id| f(lane, id));
+                }
+            }
+            t.finish(nwarps * 32, 4096)
+        };
+        let (tree, tc) = run(false);
+        let (flat, fc) = run(true);
+        assert_eq!(tree, flat, "profiles diverged");
+        assert_eq!(tc, fc, "counters diverged");
+    }
+
+    #[test]
+    fn flat_matches_tree_on_mixed_access_patterns() {
+        // Coalesced + strided + ragged lane participation + multi-ordinal.
+        assert_flat_matches(2, &[(0, (0..32).collect()), (1, (0..7).collect())], |g| {
+            let p = g.alloc_zeroed::<f64>(4096);
+            Box::new(move |lane, id| {
+                lane.work(3 + id as u64 % 5);
+                lane.read(p, id as u64); // coalesced
+                lane.read(p, id as u64 * 9 + 1); // strided
+                if id % 3 == 0 {
+                    lane.write(p, 2048 + id as u64, 1.0); // divergent ordinal
+                }
+            })
+        });
+    }
+
+    #[test]
+    fn flat_matches_tree_on_unsorted_and_duplicate_sectors() {
+        // Descending addresses force the sort path; shared sectors dedup.
+        assert_flat_matches(1, &[(0, (0..16).collect())], |g| {
+            let p = g.alloc_zeroed::<f64>(1024);
+            Box::new(move |lane, id| {
+                lane.read(p, 600 - id as u64 * 16); // descending, unsorted
+                lane.read(p, (id as u64 / 4) * 4); // 4 lanes share a sector
+            })
+        });
+    }
+
+    #[test]
+    fn flat_matches_tree_on_atomics() {
+        assert_flat_matches(1, &[(0, (0..8).collect()), (0, (0..8).collect())], |g| {
+            let p = g.alloc_zeroed::<f64>(64);
+            let u = g.alloc_zeroed::<u64>(64);
+            Box::new(move |lane, id| {
+                lane.atomic_add_f64(p, 0, 1.0); // full conflict
+                lane.atomic_add_u64(u, id as u64 % 3, 1); // partial conflict
+            })
+        });
+    }
+
+    #[test]
+    fn flat_matches_tree_on_smem_bank_conflicts() {
+        assert_flat_matches(1, &[(0, (0..32).collect())], |g| {
+            let _ = g;
+            Box::new(move |lane, id| {
+                let off = SmOff(0);
+                lane.smem_write_f64(off, id * 2, id as f64); // 2-way conflict
+                lane.smem_read_f64(off, 0); // broadcast
+                if id < 5 {
+                    lane.smem_atomic_add_f64(off, 40, 1.0);
+                }
+            })
+        });
+    }
+
+    #[test]
+    fn flat_matches_tree_on_l1_reuse() {
+        // Re-reading the same block of memory exercises tag hits, sectored
+        // validity masks, and LRU aging identically in both engines.
+        assert_flat_matches(1, &[(0, (0..32).collect()), (0, (0..32).collect())], |g| {
+            let p = g.alloc_zeroed::<f64>(8192);
+            Box::new(move |lane, id| {
+                for rep in 0..4u64 {
+                    lane.read(p, id as u64 + rep * 16);
+                }
+                lane.read(p, 4096 + id as u64 * 113 % 3800);
+            })
+        });
+    }
+
+    #[test]
+    fn flat_delegates_under_sanitizer() {
+        // With a sanitizer attached the flat path must take the exact trace
+        // route (it is the only one that feeds the race rules).
+        let (g, c, a) = setup();
+        let p = g.alloc_zeroed::<f64>(64);
+        let mut t = TeamCtx::new(0, 1, 1, 4096, &g, &c, &a);
+        t.attach_sanitizer(Box::new(crate::sanitize::Sanitizer::new(0, 1, 32, 512)));
+        t.run_lanes_flat(0, &[0, 1], |lane, id| {
+            lane.write(p, id as u64, 1.0);
+        });
+        assert!(t.take_observed().global_writes, "sanitizer observers must still fire");
+    }
+
+    #[test]
+    fn flat_falls_back_on_non_pow2_sector() {
+        // A non-power-of-two sector size cannot use the flat path.
+        let c = CostModel { sector_bytes: 24, ..Default::default() };
+        let a = DeviceArch::a100();
+        let run = |flat: bool| {
+            let g = GlobalMem::new();
+            let p = g.alloc_zeroed::<f64>(64);
+            let mut t = TeamCtx::new(0, 1, 1, 0, &g, &c, &a);
+            let lanes: Vec<u32> = (0..8).collect();
+            if flat {
+                t.run_lanes_flat(0, &lanes, |lane, id| {
+                    lane.read(p, id as u64);
+                });
+            } else {
+                t.run_lanes(0, &lanes, |lane, id| {
+                    lane.read(p, id as u64);
+                });
+            }
+            t.finish(32, 0).0
+        };
+        assert_eq!(run(false), run(true));
     }
 }

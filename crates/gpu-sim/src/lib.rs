@@ -50,7 +50,7 @@ pub use arch::{DeviceArch, Vendor};
 pub use exec::{DispatchKind, Lane, ObservedEffects, TeamCtx};
 pub use launch::{Device, LaunchConfig, LaunchError};
 pub use mask::LaneMask;
-pub use mem::global::{FallbackRange, GlobalMem, GlobalView};
+pub use mem::global::{FallbackRange, GlobalMem, GlobalView, MemCheckpoint};
 pub use mem::ptr::{DPtr, Slot};
 pub use mem::shared::SharedMem;
 pub use sanitize::{ForeignTouch, Sanitizer, SharingLayout, Violation};

@@ -48,8 +48,44 @@ pub(crate) const ARENA_BASE: u64 = 1 << 44;
 /// allocations per block — far beyond what a sharing space can spill).
 pub(crate) const ARENA_STRIDE: u64 = 1 << 24;
 
-/// Number of first-touch tracker stripes.
+/// Number of first-touch tracker stripes (overflow sectors beyond the dense
+/// bitmap: per-block arenas and mid-launch allocations).
 const TOUCH_STRIPES: usize = 64;
+
+/// First-touch (compulsory DRAM) tracker for one launch. Host-segment
+/// sectors — the overwhelming majority of kernel traffic — are tracked in a
+/// dense lock-free bitmap sized at [`GlobalMem::reset_touched`] time;
+/// sectors past the bitmap (fallback arenas at [`ARENA_BASE`], segments
+/// allocated mid-launch) fall back to the original striped hash sets.
+/// Either way inserts are exactly-once across blocks, so per-launch totals
+/// stay interleaving-independent.
+pub(crate) struct TouchMap {
+    /// Sectors `< limit` use the bitmap; the rest the stripes.
+    limit: u64,
+    bits: Vec<AtomicU64>,
+    striped: Vec<Mutex<HashSet<u64>>>,
+}
+
+impl TouchMap {
+    fn new(limit: u64) -> TouchMap {
+        TouchMap {
+            limit,
+            bits: (0..limit.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            striped: (0..TOUCH_STRIPES).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    /// Record a sector touch; `true` exactly once per sector per launch.
+    #[inline]
+    pub(crate) fn first_touch(&self, sector: u64) -> bool {
+        if sector < self.limit {
+            let bit = 1u64 << (sector % 64);
+            self.bits[(sector / 64) as usize].fetch_or(bit, Ordering::Relaxed) & bit == 0
+        } else {
+            lock(&self.striped[(sector as usize) % TOUCH_STRIPES]).insert(sector)
+        }
+    }
+}
 
 /// One typed segment: metadata plus word storage behind relaxed atomics.
 pub(crate) struct Segment {
@@ -123,9 +159,10 @@ pub struct GlobalMem {
     peak_bytes: AtomicU64,
     alloc_count: AtomicU64,
     /// Sectors touched since the last launch began — distinguishes
-    /// compulsory DRAM traffic from L2-served re-reads. Striped by sector
-    /// so blocks on different host threads rarely contend.
-    touched: Vec<Mutex<HashSet<u64>>>,
+    /// compulsory DRAM traffic from L2-served re-reads. Swapped wholesale at
+    /// [`Self::reset_touched`]; views cache the `Arc` so the hot path never
+    /// takes this lock.
+    touched: Mutex<Arc<TouchMap>>,
 }
 
 impl Default for GlobalMem {
@@ -148,7 +185,7 @@ impl GlobalMem {
             live_bytes: AtomicU64::new(0),
             peak_bytes: AtomicU64::new(0),
             alloc_count: AtomicU64::new(0),
-            touched: (0..TOUCH_STRIPES).map(|_| Mutex::new(HashSet::new())).collect(),
+            touched: Mutex::new(Arc::new(TouchMap::new(0))),
         }
     }
 
@@ -164,6 +201,9 @@ impl GlobalMem {
         GlobalView {
             mem: self,
             snap: self.snapshot(),
+            touch: Arc::clone(&lock(&self.touched)),
+            cache_id: u32::MAX,
+            cache_seg: None,
             arena_next: arena,
             arena_limit: arena + ARENA_STRIDE,
             arena_allocs: Vec::new(),
@@ -324,14 +364,130 @@ impl GlobalMem {
     /// interleaving-independent.
     #[inline]
     pub fn first_touch(&self, sector: u64) -> bool {
-        lock(&self.touched[(sector as usize) % TOUCH_STRIPES]).insert(sector)
+        let map = Arc::clone(&lock(&self.touched));
+        map.first_touch(sector)
     }
 
-    /// Clear the first-touch tracker (called at launch start).
+    /// Clear the first-touch tracker (called at launch start). The fresh
+    /// tracker's dense bitmap covers every sector index a host segment can
+    /// produce under any cost-model sector size ≥ 8 bytes (`next_base / 8`
+    /// indices); views created after this point cache it lock-free.
     pub fn reset_touched(&self) {
-        for stripe in &self.touched {
-            lock(stripe).clear();
+        let limit = lock(&self.master).next_base / 8;
+        *lock(&self.touched) = Arc::new(TouchMap::new(limit));
+    }
+
+    /// Word-level snapshot of every live segment — the oracle mode uses this
+    /// to rewind device memory between the tree-walk and bytecode runs.
+    pub fn checkpoint(&self) -> MemCheckpoint {
+        let table = self.snapshot();
+        let segs = table
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive.load(Ordering::Relaxed))
+            .map(|(i, s)| CkSeg {
+                seg: i as u32,
+                base: s.base,
+                words: s.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            })
+            .collect();
+        MemCheckpoint { segs }
+    }
+
+    /// Rewind memory to `ck`: every segment captured in the checkpoint gets
+    /// its words restored, and segments allocated (and still alive) since the
+    /// checkpoint are freed. Panics if a checkpointed segment was freed in
+    /// the meantime — the oracle cannot resurrect tombstones.
+    pub fn restore(&self, ck: &MemCheckpoint) {
+        let table = self.snapshot();
+        let kept: HashSet<u32> = ck.segs.iter().map(|s| s.seg).collect();
+        for (i, s) in table.iter().enumerate() {
+            if s.alive.load(Ordering::Relaxed) && !kept.contains(&(i as u32)) {
+                self.free_untyped(i as u32);
+            }
         }
+        for c in &ck.segs {
+            let s = table
+                .get(c.seg as usize)
+                .unwrap_or_else(|| panic!("restore of unknown segment {}", c.seg));
+            assert!(
+                s.alive.load(Ordering::Relaxed) && s.words.len() == c.words.len(),
+                "cannot restore segment {}: freed since the checkpoint",
+                c.seg
+            );
+            for (w, v) in s.words.iter().zip(&c.words) {
+                w.store(*v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Free a segment without knowing its element type (the type check in
+    /// [`Self::free`] is only there for the typed `DPtr` surface).
+    fn free_untyped(&self, idx: u32) {
+        let mut m = lock(&self.master);
+        let seg = m
+            .segs
+            .get(idx as usize)
+            .cloned()
+            .unwrap_or_else(|| panic!("free of invalid segment {idx}"));
+        if !seg.alive.swap(false, Ordering::Relaxed) {
+            panic!("double free of segment {idx}");
+        }
+        let mut table: Vec<Arc<Segment>> = m.segs.as_ref().clone();
+        table[idx as usize] = Arc::new(Segment {
+            base: seg.base,
+            len: seg.len,
+            elem_bytes: seg.elem_bytes,
+            elem_words: seg.elem_words,
+            type_id: seg.type_id,
+            alive: AtomicBool::new(false),
+            words: Vec::new(),
+        });
+        m.segs = Arc::new(table);
+        drop(m);
+        self.live_bytes.fetch_sub(seg.logical_bytes(), Ordering::Relaxed);
+    }
+}
+
+/// A rewindable snapshot of global memory contents (see
+/// [`GlobalMem::checkpoint`]).
+pub struct MemCheckpoint {
+    segs: Vec<CkSeg>,
+}
+
+struct CkSeg {
+    seg: u32,
+    base: u64,
+    words: Vec<u64>,
+}
+
+impl MemCheckpoint {
+    /// Compare the *host-allocated* segments (base below the fallback-arena
+    /// window) of two checkpoints word for word. Returns a description of
+    /// the first mismatch, or `None` when identical — the oracle's notion of
+    /// "same results".
+    pub fn host_mismatch(&self, other: &MemCheckpoint) -> Option<String> {
+        let host = |ck: &MemCheckpoint| -> Vec<(u32, u64, usize)> {
+            ck.segs
+                .iter()
+                .filter(|s| s.base < ARENA_BASE)
+                .map(|s| (s.seg, s.base, s.words.len()))
+                .collect()
+        };
+        if host(self) != host(other) {
+            return Some("host segment tables differ".into());
+        }
+        let mine: Vec<&CkSeg> = self.segs.iter().filter(|s| s.base < ARENA_BASE).collect();
+        let theirs: Vec<&CkSeg> = other.segs.iter().filter(|s| s.base < ARENA_BASE).collect();
+        for (a, b) in mine.iter().zip(&theirs) {
+            if let Some(w) = a.words.iter().zip(&b.words).position(|(x, y)| x != y) {
+                return Some(format!(
+                    "segment {} word {} differs: {:#x} vs {:#x}",
+                    a.seg, w, a.words[w], b.words[w]
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -362,6 +518,14 @@ impl FallbackRange {
 pub struct GlobalView<'g> {
     mem: &'g GlobalMem,
     snap: SegTable,
+    touch: Arc<TouchMap>,
+    /// One-entry segment cache for the hot access path: most super-steps
+    /// hammer one or two segments, so the id compare plus one `Arc` deref
+    /// beats the table walk. `u32::MAX` = empty. Safe across frees: the
+    /// cached `Arc` shares the segment's `alive` flag, so stale use still
+    /// panics exactly like a stale snapshot would.
+    cache_id: u32,
+    cache_seg: Option<Arc<Segment>>,
     arena_next: u64,
     arena_limit: u64,
     arena_allocs: Vec<FallbackRange>,
@@ -370,10 +534,19 @@ pub struct GlobalView<'g> {
 impl<'g> GlobalView<'g> {
     #[inline]
     fn seg(&mut self, idx: u32) -> &Arc<Segment> {
-        if self.snap.get(idx as usize).is_none() {
-            self.snap = self.mem.snapshot();
+        if self.cache_id != idx {
+            if self.snap.get(idx as usize).is_none() {
+                self.snap = self.mem.snapshot();
+            }
+            let s = Arc::clone(
+                self.snap
+                    .get(idx as usize)
+                    .unwrap_or_else(|| panic!("access to invalid segment {idx}")),
+            );
+            self.cache_seg = Some(s);
+            self.cache_id = idx;
         }
-        self.snap.get(idx as usize).unwrap_or_else(|| panic!("access to invalid segment {idx}"))
+        self.cache_seg.as_ref().unwrap()
     }
 
     /// Read element `idx` relative to `p`.
@@ -411,6 +584,46 @@ impl<'g> GlobalView<'g> {
         self.seg(p.seg).rmw_word::<u64>(p.seg, (p.off + idx) as usize, |w| w.wrapping_add(v))
     }
 
+    // Combined accessors: one segment lookup yields both the synthetic byte
+    // address (for the coalescing model) and the data operation. `Lane` uses
+    // these so every device access does a single table walk.
+
+    /// Read element `idx` relative to `p`, returning its synthetic address.
+    #[inline]
+    pub(crate) fn read_at<T: DevValue>(&mut self, p: DPtr<T>, idx: u64) -> (u64, T) {
+        let s = self.seg(p.seg);
+        let addr = s.base + (p.off + idx) * std::mem::size_of::<T>() as u64;
+        (addr, s.read(p.seg, (p.off + idx) as usize))
+    }
+
+    /// Write element `idx` relative to `p`, returning its synthetic address.
+    #[inline]
+    pub(crate) fn write_at<T: DevValue>(&mut self, p: DPtr<T>, idx: u64, v: T) -> u64 {
+        let s = self.seg(p.seg);
+        let addr = s.base + (p.off + idx) * std::mem::size_of::<T>() as u64;
+        s.write(p.seg, (p.off + idx) as usize, v);
+        addr
+    }
+
+    /// [`Self::atomic_add_f64`] plus the element's synthetic address.
+    #[inline]
+    pub(crate) fn atomic_add_f64_at(&mut self, p: DPtr<f64>, idx: u64, v: f64) -> (u64, f64) {
+        let s = self.seg(p.seg);
+        let addr = s.base + (p.off + idx) * 8;
+        let old =
+            s.rmw_word::<f64>(p.seg, (p.off + idx) as usize, |w| (f64::from_bits(w) + v).to_bits());
+        (addr, f64::from_bits(old))
+    }
+
+    /// [`Self::atomic_add_u64`] plus the element's synthetic address.
+    #[inline]
+    pub(crate) fn atomic_add_u64_at(&mut self, p: DPtr<u64>, idx: u64, v: u64) -> (u64, u64) {
+        let s = self.seg(p.seg);
+        let addr = s.base + (p.off + idx) * 8;
+        let old = s.rmw_word::<u64>(p.seg, (p.off + idx) as usize, |w| w.wrapping_add(v));
+        (addr, old)
+    }
+
     /// Allocate a zero-initialized fallback segment in this block's arena.
     /// The synthetic address depends only on the block id and this block's
     /// allocation order — never on cross-block timing — which keeps L1-set
@@ -437,6 +650,8 @@ impl<'g> GlobalView<'g> {
     pub fn free<T: DevValue>(&mut self, p: DPtr<T>) {
         self.mem.free(p);
         self.snap = self.mem.snapshot();
+        self.cache_id = u32::MAX;
+        self.cache_seg = None;
         if let Some(r) = self.arena_allocs.iter_mut().find(|r| r.seg == p.seg) {
             r.freed = true;
         }
@@ -449,10 +664,12 @@ impl<'g> GlobalView<'g> {
         s.len - p.off as usize
     }
 
-    /// First-touch tracking (see [`GlobalMem::first_touch`]).
+    /// First-touch tracking (see [`GlobalMem::first_touch`]); goes through
+    /// the tracker cached at view creation, so the hot commit path never
+    /// takes the device-wide lock.
     #[inline]
     pub fn first_touch(&self, sector: u64) -> bool {
-        self.mem.first_touch(sector)
+        self.touch.first_touch(sector)
     }
 
     /// The underlying shared memory object.
@@ -660,5 +877,77 @@ mod tests {
         assert_eq!(total.load(Ordering::Relaxed), 10_000);
         g.reset_touched();
         assert!(g.first_touch(0));
+    }
+
+    #[test]
+    fn dense_touch_bitmap_matches_striped_semantics() {
+        let g = GlobalMem::new();
+        let _p = g.alloc_zeroed::<f64>(4096); // 32 KiB of host segments
+        g.reset_touched(); // sizes the dense bitmap from next_base
+        let v = g.view(0);
+        // Host sectors (dense path) and arena sectors (striped path) both
+        // report exactly-once.
+        for sector in [0u64, 1, 1000, ARENA_BASE / 32, ARENA_BASE / 32 + 7] {
+            assert!(v.first_touch(sector), "first touch of {sector}");
+            assert!(!v.first_touch(sector), "second touch of {sector}");
+        }
+        // A fresh reset forgets everything, and views made afterwards see it.
+        g.reset_touched();
+        assert!(g.view(0).first_touch(0));
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_words_and_frees_new_segments() {
+        let g = GlobalMem::new();
+        let p = g.alloc_from(&[1.0f64, 2.0, 3.0]);
+        let ck = g.checkpoint();
+        g.write(p, 1, 99.0);
+        let q = g.alloc_zeroed::<u64>(8); // allocated after the checkpoint
+        g.restore(&ck);
+        assert_eq!(g.read_slice(p, 3), vec![1.0, 2.0, 3.0]);
+        // The post-checkpoint segment was freed by the rewind.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.read(q, 0)));
+        assert!(res.is_err(), "post-checkpoint segment should be dead");
+    }
+
+    #[test]
+    fn checkpoints_compare_host_segments() {
+        let g = GlobalMem::new();
+        let p = g.alloc_from(&[5u64, 6, 7]);
+        let a = g.checkpoint();
+        let b = g.checkpoint();
+        assert_eq!(a.host_mismatch(&b), None);
+        g.write(p, 2, 8u64);
+        let c = g.checkpoint();
+        assert!(a.host_mismatch(&c).unwrap().contains("differs"));
+        // Arena segments are invisible to the comparison.
+        let mut v = g.view(0);
+        let arena = v.alloc_zeroed::<u64>(4);
+        v.write(arena, 0, 42);
+        g.restore(&c);
+        let mut v2 = g.view(0);
+        let arena2 = v2.alloc_zeroed::<u64>(4);
+        v2.write(arena2, 0, 7);
+        let d = g.checkpoint();
+        assert_eq!(c.host_mismatch(&d), None);
+    }
+
+    #[test]
+    fn combined_accessors_agree_with_split_calls() {
+        let g = GlobalMem::new();
+        let p = g.alloc_from(&[1.5f64, 2.5]);
+        let u = g.alloc_from(&[10u64, 20]);
+        let mut v = g.view(0);
+        let (addr, val) = v.read_at(p, 1);
+        assert_eq!(addr, v.addr_of(p, 1));
+        assert_eq!(val, 2.5);
+        assert_eq!(v.write_at(p, 0, 9.0), v.addr_of(p, 0));
+        assert_eq!(v.read(p, 0), 9.0);
+        let (aaddr, old) = v.atomic_add_f64_at(p, 1, 1.0);
+        assert_eq!((aaddr, old), (v.addr_of(p, 1), 2.5));
+        assert_eq!(v.read(p, 1), 3.5);
+        let (uaddr, uold) = v.atomic_add_u64_at(u, 1, 5);
+        assert_eq!((uaddr, uold), (v.addr_of(u, 1), 20));
+        assert_eq!(v.read(u, 1), 25);
     }
 }

@@ -125,7 +125,8 @@ pub fn makespan(
             let latency = wave.iter().map(|b| b.cycles).max().unwrap_or(0);
             let issue: u64 = wave.iter().map(|b| b.issue).sum();
             let sectors: u64 = wave.iter().map(|b| b.sectors).sum();
-            let issue_time = issue / cost.sm_issue_width;
+            // Round up: a trailing partial issue group still costs a cycle.
+            let issue_time = issue.div_ceil(cost.sm_issue_width.max(1));
             let mem_time = sectors * cost.sm_sector_cycles;
             let mut w = latency.max(issue_time).max(mem_time);
             // Compute and memory pipelines overlap imperfectly.
@@ -141,8 +142,9 @@ pub fn makespan(
     // first-touch (compulsory) traffic crosses DRAM.
     let total_sectors: u64 = profiles.iter().map(|b| b.sectors).sum();
     let total_dram: u64 = profiles.iter().map(|b| b.dram_sectors).sum();
-    let l2_time = total_sectors / cost.l2_sectors_per_cycle.max(1);
-    let dram_time = total_dram / cost.dram_sectors_per_cycle.max(1);
+    // Round up: a final partial beat of sectors occupies a full cycle.
+    let l2_time = total_sectors.div_ceil(cost.l2_sectors_per_cycle.max(1));
+    let dram_time = total_dram.div_ceil(cost.dram_sectors_per_cycle.max(1));
     device_time.max(l2_time).max(dram_time)
 }
 
@@ -214,6 +216,40 @@ mod tests {
         let p8 = vec![block(10, 10_000, 0); 8];
         let t8 = makespan(&a, &c, &p8, 4);
         assert_eq!(t8, 2 * 10_000 / c.sm_issue_width);
+    }
+
+    #[test]
+    fn ragged_issue_rounds_up() {
+        let a = DeviceArch::tiny();
+        let c = CostModel::default(); // issue width 2
+                                      // The odd trailing instruction still occupies an issue cycle:
+                                      // 10_001 instructions on a 2-wide SM take 5_001 cycles, not 5_000.
+        let p = vec![block(1, 10_001, 0)];
+        assert_eq!(makespan(&a, &c, &p, 1), 5_001);
+    }
+
+    #[test]
+    fn ragged_l2_rounds_up() {
+        let a = DeviceArch::tiny(); // 4 SMs
+                                    // Isolate the device-wide L2 roof from the per-SM memory pipes.
+        let c = CostModel { sm_sector_cycles: 0, ..Default::default() };
+        let p: Vec<_> = (0..4)
+            .map(|_| BlockProfile { cycles: 1, sectors: 101, ..Default::default() })
+            .collect();
+        // 404 sectors through an 80-sector/cycle L2 need 6 cycles, not 5.
+        assert_eq!(makespan(&a, &c, &p, 1), 404u64.div_ceil(c.l2_sectors_per_cycle));
+        assert_eq!(makespan(&a, &c, &p, 1), 6);
+    }
+
+    #[test]
+    fn ragged_dram_rounds_up() {
+        let a = DeviceArch::a100(); // 108 SMs
+        let c = CostModel::default(); // 32 DRAM sectors/cycle
+        let p: Vec<_> = (0..108).map(|_| block(10, 0, 1_000_001)).collect();
+        // 108_000_108 compulsory sectors: the final partial beat costs a
+        // full cycle (…04, not …03 as truncation used to report).
+        assert_eq!(makespan(&a, &c, &p, 1), 108_000_108u64.div_ceil(32));
+        assert_eq!(makespan(&a, &c, &p, 1), 3_375_004);
     }
 
     #[test]

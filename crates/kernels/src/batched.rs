@@ -125,8 +125,8 @@ pub fn build(
 ) -> CompiledKernel {
     assert!(n_bodies >= 1);
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
-    let rows = b.trip_uniform(|_, v| v.args[A_ROWS].as_u64());
-    let inner = b.trip_uniform(|_, v| v.args[A_INNER].as_u64());
+    let rows = b.trip_uniform(|v| v.args[A_ROWS].as_u64());
+    let inner = b.trip_uniform(|v| v.args[A_INNER].as_u64());
     b.build(|t| {
         t.distribute_parallel_for(rows, Schedule::Cyclic(1), simdlen, |p, _row| {
             let base = p.alloc_reg();

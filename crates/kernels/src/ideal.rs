@@ -136,7 +136,7 @@ fn build_inner(
     force: Option<ExecMode>,
 ) -> CompiledKernel {
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
-    let outer = b.trip_uniform(|_, v| v.args[A_OUTER].as_u64());
+    let outer = b.trip_uniform(|v| v.args[A_OUTER].as_u64());
     let inner = b.trip_const(INNER);
     b.build(|t| {
         let body = |p: &mut omp_codegen::ParScope<'_>, o: omp_codegen::RegH| {

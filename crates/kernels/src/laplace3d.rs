@@ -132,7 +132,7 @@ pub fn build(num_teams: u32, threads: u32, variant: Fig10Variant) -> CompiledKer
     match variant {
         Fig10Variant::NoSimd => {
             // collapse(3): every interior point is one `for` iteration.
-            let total = b.trip_uniform(|_, v| {
+            let total = b.trip_uniform(|v| {
                 let n = v.args[A_N].as_u64() - 2;
                 n * n * n
             });
@@ -153,11 +153,11 @@ pub fn build(num_teams: u32, threads: u32, variant: Fig10Variant) -> CompiledKer
         }
         Fig10Variant::SpmdSimd => {
             // collapse(2) + tightly nested simd over k.
-            let planes = b.trip_uniform(|_, v| {
+            let planes = b.trip_uniform(|v| {
                 let n = v.args[A_N].as_u64() - 2;
                 n * n
             });
-            let kline = b.trip_uniform(|_, v| v.args[A_N].as_u64() - 2);
+            let kline = b.trip_uniform(|v| v.args[A_N].as_u64() - 2);
             b.build(|t| {
                 t.distribute_parallel_for(planes, Schedule::Cyclic(1), 32, |p, ij| {
                     p.simd(kline, move |lane, kv, v| {
@@ -176,11 +176,11 @@ pub fn build(num_teams: u32, threads: u32, variant: Fig10Variant) -> CompiledKer
         Fig10Variant::GenericSimd => {
             // Same loops, nesting broken by a sequential base computation:
             // the parallel region runs generic.
-            let planes = b.trip_uniform(|_, v| {
+            let planes = b.trip_uniform(|v| {
                 let n = v.args[A_N].as_u64() - 2;
                 n * n
             });
-            let kline = b.trip_uniform(|_, v| v.args[A_N].as_u64() - 2);
+            let kline = b.trip_uniform(|v| v.args[A_N].as_u64() - 2);
             b.build(|t| {
                 t.distribute_parallel_for(planes, Schedule::Cyclic(1), 32, |p, ij| {
                     let base = p.alloc_reg();

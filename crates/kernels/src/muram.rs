@@ -157,7 +157,7 @@ pub fn build(
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
     match variant {
         Fig10Variant::NoSimd => {
-            let total = b.trip_uniform(move |_, v| {
+            let total = b.trip_uniform(move |v| {
                 let n = v.args[A_N].as_u64();
                 n * n * k_trip(which, n)
             });
@@ -177,11 +177,11 @@ pub fn build(
             })
         }
         Fig10Variant::SpmdSimd => {
-            let planes = b.trip_uniform(|_, v| {
+            let planes = b.trip_uniform(|v| {
                 let n = v.args[A_N].as_u64();
                 n * n
             });
-            let kline = b.trip_uniform(move |_, v| k_trip(which, v.args[A_N].as_u64()));
+            let kline = b.trip_uniform(move |v| k_trip(which, v.args[A_N].as_u64()));
             b.build(|t| {
                 t.distribute_parallel_for(planes, Schedule::Cyclic(1), 32, |p, ij| {
                     p.simd(kline, move |lane, kv, v| {
@@ -197,11 +197,11 @@ pub fn build(
             })
         }
         Fig10Variant::GenericSimd => {
-            let planes = b.trip_uniform(|_, v| {
+            let planes = b.trip_uniform(|v| {
                 let n = v.args[A_N].as_u64();
                 n * n
             });
-            let kline = b.trip_uniform(move |_, v| k_trip(which, v.args[A_N].as_u64()));
+            let kline = b.trip_uniform(move |v| k_trip(which, v.args[A_N].as_u64()));
             b.build(|t| {
                 t.distribute_parallel_for(planes, Schedule::Cyclic(1), 32, |p, ij| {
                     let iw = p.alloc_reg();

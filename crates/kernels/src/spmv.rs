@@ -84,10 +84,10 @@ const FMA_CYCLES: u64 = 4;
 /// `parallel for` (group size 1). 32 threads per team, as in the paper.
 pub fn build_two_level(num_teams: u32) -> CompiledKernel {
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(32);
-    let rows = b.trip_uniform(|_, v| v.args[A_NROWS].as_u64());
+    let rows = b.trip_uniform(|v| v.args[A_NROWS].as_u64());
     // Per-row non-zero count, computed at thread scope from the team's
     // current row (outer register 0).
-    let nnz = b.trip_uniform(move |lane, v| {
+    let nnz = b.trip_uniform_lane(move |lane, v| {
         let rp = v.args[A_ROWPTR].as_ptr::<u64>();
         let row = v.outer[0].as_u64();
         let lo = lane.read(rp, row);
@@ -132,7 +132,7 @@ pub fn build_two_level(num_teams: u32) -> CompiledKernel {
 /// count varies per row). Atomic accumulation as in the paper.
 pub fn build_three_level(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
-    let rows = b.trip_uniform(|_, v| v.args[A_NROWS].as_u64());
+    let rows = b.trip_uniform(|v| v.args[A_NROWS].as_u64());
     let nnz = b.trip_varying(move |lane, v| {
         let rp = v.args[A_ROWPTR].as_ptr::<u64>();
         let row = v.regs[0].as_u64();
@@ -172,7 +172,7 @@ pub fn build_three_level(num_teams: u32, threads: u32, simdlen: u32) -> Compiled
 /// per-iteration atomics — the `ablation_reduction` benchmark.
 pub fn build_three_level_reduce(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
-    let rows = b.trip_uniform(|_, v| v.args[A_NROWS].as_u64());
+    let rows = b.trip_uniform(|v| v.args[A_NROWS].as_u64());
     let nnz = b.trip_varying(move |lane, v| {
         let rp = v.args[A_ROWPTR].as_ptr::<u64>();
         let row = v.regs[0].as_u64();

@@ -176,10 +176,10 @@ pub fn build(
         TargetBuilder::new().num_teams(num_teams).threads(threads).sharing_space(sharing_bytes);
     match variant {
         Stencil2dVariant::HaloShared => {
-            let rows = b.trip_uniform(|_, v| v.args[A_NY].as_u64() - 2);
+            let rows = b.trip_uniform(|v| v.args[A_NY].as_u64() - 2);
             let ntiles =
-                b.trip_uniform(|_, v| (v.args[A_NX].as_u64() - 2).div_ceil(v.args[A_TW].as_u64()));
-            let tile = b.trip_uniform(|_, v| v.args[A_TW].as_u64());
+                b.trip_uniform(|v| (v.args[A_NX].as_u64() - 2).div_ceil(v.args[A_TW].as_u64()));
+            let tile = b.trip_uniform(|v| v.args[A_TW].as_u64());
             b.build(|t| {
                 // Rows across teams; a parallel region per row means block
                 // barriers between rows (generic teams mode).
@@ -233,11 +233,11 @@ pub fn build(
             })
         }
         Stencil2dVariant::SpmdRef => {
-            let fused = b.trip_uniform(|_, v| {
+            let fused = b.trip_uniform(|v| {
                 let rows = v.args[A_NY].as_u64() - 2;
                 rows * (v.args[A_NX].as_u64() - 2).div_ceil(v.args[A_TW].as_u64())
             });
-            let tile = b.trip_uniform(|_, v| v.args[A_TW].as_u64());
+            let tile = b.trip_uniform(|v| v.args[A_TW].as_u64());
             b.build(|t| {
                 t.distribute_parallel_for(fused, Schedule::Cyclic(1), simdlen, |p, fv| {
                     p.simd(tile, move |lane, k, v| {

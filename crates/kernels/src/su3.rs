@@ -126,7 +126,7 @@ const CFMA_CYCLES: u64 = 6;
 /// baseline; larger group sizes vectorize the 36-iteration loop.
 pub fn build(num_teams: u32, threads: u32, simdlen: u32) -> CompiledKernel {
     let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
-    let sites = b.trip_uniform(|_, v| v.args[A_SITES].as_u64());
+    let sites = b.trip_uniform(|v| v.args[A_SITES].as_u64());
     let inner = b.trip_const(INNER_TRIP);
     b.build(|t| {
         t.distribute_parallel_for(sites, Schedule::Cyclic(1), simdlen, |p, site| {

@@ -1,0 +1,284 @@
+//! Differential property suite: the flat-bytecode engine against the
+//! tree-walk oracle.
+//!
+//! Every case goes through [`CompiledKernel::launch_oracle`], which runs
+//! the tree walker, snapshots the memory image, rewinds, runs the bytecode
+//! engine, and asserts bit-identical [`LaunchStats`] (cycles, every runtime
+//! counter, sanitizer violations) and host-visible memory. The matrix
+//! covers every in-tree kernel and a seeded stream of random plans, each ×
+//! block-execution thread counts {1, 4} × sanitizer {off, on}.
+
+use simt_omp::codegen::builder::{Schedule, TargetBuilder};
+use simt_omp::codegen::CompiledKernel;
+use simt_omp::gpu::{Device, DeviceArch, Slot};
+use simt_omp::kernels::harness::Fig10Variant;
+use simt_omp::kernels::matrix::{CsrMatrix, RowProfile};
+use simt_omp::kernels::{batched, ideal, laplace3d, muram, spmv, stencil2d, su3};
+use simt_omp::rt::config::ExecMode;
+use testkit::{cases, SimRng};
+
+/// Run one kernel through the oracle across the sim-thread / sanitizer
+/// matrix. `setup` uploads the workload and returns the argument payload.
+fn oracle_matrix(
+    label: &str,
+    k: &CompiledKernel,
+    arch: &DeviceArch,
+    mut setup: impl FnMut(&mut Device) -> Vec<Slot>,
+) {
+    for threads in [1usize, 4] {
+        for sanitize in [false, true] {
+            let mut dev = Device::new(arch.clone());
+            dev.set_sim_threads(Some(threads));
+            if sanitize {
+                dev.enable_sanitizer();
+            }
+            let args = setup(&mut dev);
+            k.launch_oracle(&mut dev, &args)
+                .unwrap_or_else(|e| panic!("{label} (threads={threads}): {e:?}"));
+        }
+    }
+}
+
+#[test]
+fn ideal_kernel_engines_agree() {
+    let w = ideal::IdealWorkload::generate(48, 7);
+    for gs in [1u32, 8, 32] {
+        let k = ideal::build(4, 64, gs);
+        oracle_matrix(&format!("ideal gs={gs}"), &k, &DeviceArch::a100(), |dev| {
+            ideal::IdealDev::upload(dev, &w).args().to_vec()
+        });
+    }
+    // Forced-generic variant: state-machine posting + staged dispatch.
+    let k = ideal::build_forced_generic(2, 64, 8);
+    oracle_matrix("ideal forced-generic", &k, &DeviceArch::a100(), |dev| {
+        ideal::IdealDev::upload(dev, &w).args().to_vec()
+    });
+}
+
+#[test]
+fn su3_kernel_engines_agree() {
+    let w = su3::Su3Workload::generate(32, 5);
+    let k = su3::build(4, 64, 8);
+    oracle_matrix("su3", &k, &DeviceArch::a100(), |dev| {
+        su3::Su3Dev::upload(dev, &w).args().to_vec()
+    });
+}
+
+#[test]
+fn stencil2d_kernel_engines_agree() {
+    let w = stencil2d::Stencil2dWorkload::generate(34, 18);
+    // Tight sharing budgets force the zero-slot / overflow global-fallback
+    // staging paths through both engines.
+    for sharing in [0u32, 64, 4096] {
+        let k = stencil2d::build(2, 64, 8, sharing, stencil2d::Stencil2dVariant::HaloShared);
+        oracle_matrix(&format!("stencil2d sharing={sharing}"), &k, &DeviceArch::a100(), |dev| {
+            stencil2d::Stencil2dDev::upload(dev, &w, 8).args().to_vec()
+        });
+    }
+    let k = stencil2d::build_default(2, 64, 8);
+    oracle_matrix("stencil2d default", &k, &DeviceArch::a100(), |dev| {
+        stencil2d::Stencil2dDev::upload(dev, &w, 8).args().to_vec()
+    });
+}
+
+#[test]
+fn muram_kernels_engines_agree() {
+    let w = muram::MuramWorkload::generate(12);
+    for which in [muram::MuramKernel::Transpose, muram::MuramKernel::Interpol] {
+        for variant in Fig10Variant::ALL {
+            let k = muram::build(which, 2, 64, variant);
+            oracle_matrix(
+                &format!("muram {which:?} {}", variant.label()),
+                &k,
+                &DeviceArch::a100(),
+                |dev| muram::MuramDev::upload(dev, &w).args().to_vec(),
+            );
+        }
+    }
+}
+
+#[test]
+fn laplace3d_kernel_engines_agree() {
+    let w = laplace3d::Laplace3dWorkload::generate(14);
+    for variant in Fig10Variant::ALL {
+        let k = laplace3d::build(2, 64, variant);
+        oracle_matrix(&format!("laplace3d {}", variant.label()), &k, &DeviceArch::a100(), |dev| {
+            laplace3d::Laplace3dDev::upload(dev, &w).args().to_vec()
+        });
+    }
+}
+
+#[test]
+fn batched_kernel_engines_agree() {
+    let w = batched::BatchedWorkload::generate(4, 8, 8);
+    for mode in [
+        batched::DispatchMode::Cascade,
+        batched::DispatchMode::Extern,
+        batched::DispatchMode::Mixed,
+    ] {
+        let k = batched::build(2, 64, 8, w.n_bodies, mode);
+        oracle_matrix(&format!("batched {mode:?}"), &k, &DeviceArch::a100(), |dev| {
+            batched::BatchedDev::upload(dev, &w).args().to_vec()
+        });
+    }
+}
+
+#[test]
+fn spmv_kernels_engines_agree() {
+    let mat = CsrMatrix::generate(96, 128, RowProfile::Banded { min: 4, max: 24 }, 11);
+    let x: Vec<f64> = (0..mat.ncols).map(|i| ((i * 7) % 13) as f64 * 0.25).collect();
+    let kernels = [
+        ("two-level", spmv::build_two_level(8)),
+        ("three-level", spmv::build_three_level(8, 64, 8)),
+        ("three-level-reduce", spmv::build_three_level_reduce(8, 64, 8)),
+    ];
+    for (name, k) in &kernels {
+        oracle_matrix(&format!("spmv {name}"), k, &DeviceArch::a100(), |dev| {
+            spmv::SpmvDev::upload(dev, &mat, &x).args().to_vec()
+        });
+    }
+}
+
+#[test]
+fn amd_sequential_fallback_engines_agree() {
+    // mi100 has no independent warp scheduling: generic-mode simd loops
+    // take the sequential fallback (§5.4.1) — replicated by the bytecode
+    // engine counter for counter.
+    let w = ideal::IdealWorkload::generate(24, 3);
+    let k = ideal::build_forced_generic(2, 64, 8);
+    oracle_matrix("ideal on mi100", &k, &DeviceArch::mi100(), |dev| {
+        ideal::IdealDev::upload(dev, &w).args().to_vec()
+    });
+}
+
+/// Build a random-but-deterministic kernel exercising the plan surface:
+/// nesting shapes, schedules (incl. `Dynamic(0)` — the clamp rule), trip
+/// sources (const / pure / lane), simdlen extremes, forced modes, extern
+/// dispatch, reductions, and sharing-space pressure.
+fn random_kernel(rng: &mut SimRng) -> (CompiledKernel, DeviceArch) {
+    let arch = match rng.range_u32(0, 3) {
+        0 => DeviceArch::a100(),
+        1 => DeviceArch::mi100(),
+        _ => DeviceArch::tiny(),
+    };
+    let ws = arch.warp_size;
+    let threads = ws * rng.range_u32(1, 3);
+    let teams = rng.range_u32(1, 4);
+    let simdlen = *rng.pick(&[1u32, 2, 4, 8, ws]);
+    let sharing = *rng.pick(&[0u32, 64, 256, 2048]);
+    let sched = match rng.range_u32(0, 4) {
+        0 => Schedule::Static,
+        1 => Schedule::Cyclic(rng.range_u32(1, 4)),
+        2 => Schedule::Dynamic(rng.range_u32(1, 4)),
+        _ => Schedule::Dynamic(0), // the clamp-rule regression case
+    };
+    let mut b = TargetBuilder::new().num_teams(teams).threads(threads).sharing_space(sharing);
+
+    // Trip sources: const (incl. zero), pure-uniform from an arg, or a
+    // lane-path load from the device-side table.
+    let outer = match rng.range_u32(0, 3) {
+        0 => b.trip_const(rng.range_u64(0, 9)),
+        1 => b.trip_uniform(|v| v.args[2].as_u64()),
+        _ => b.trip_uniform_lane(|lane, v| {
+            let tbl = v.args[1].as_ptr::<u64>();
+            lane.read(tbl, 0)
+        }),
+    };
+    let inner = match rng.range_u32(0, 3) {
+        0 => b.trip_const(rng.range_u64(1, 17)),
+        1 => b.trip_uniform(|v| v.args[2].as_u64() * 2 + 1),
+        _ => b.trip_uniform_lane(|lane, v| {
+            let tbl = v.args[1].as_ptr::<u64>();
+            lane.read(tbl, 1)
+        }),
+    };
+
+    let body =
+        |lane: &mut simt_omp::gpu::Lane<'_, '_>, iv: u64, v: &simt_omp::rt::plan::Vars<'_>| {
+            let out = v.args[0].as_ptr::<f64>();
+            let row = v.regs[0].as_u64();
+            let i = (row * 131 + iv * 7) % 512;
+            let x = lane.read(out, i);
+            lane.write(out, i, x + 1.0 + iv as f64 * 0.5);
+        };
+
+    let shape = rng.range_u32(0, 5);
+    let k = match shape {
+        // Tight 3-level: distribute parallel for + simd (SPMD-eligible).
+        0 => b.build(|t| {
+            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
+                p.simd(inner, body);
+            });
+        }),
+        // Reduction pipeline: simd reduce + across-team combine.
+        1 => b.build(|t| {
+            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
+                let part = p.simd_reduce(inner, |lane, iv, v| {
+                    let out = v.args[0].as_ptr::<f64>();
+                    let i = (v.regs[0].as_u64() * 13 + iv) % 512;
+                    lane.read(out, i) + iv as f64
+                });
+                p.reduce_across(part, 0, 0);
+            });
+        }),
+        // Generic teams: sequential team code between parallel regions.
+        2 => b.build(|t| {
+            t.distribute(outer, sched, move |t, _iv| {
+                t.seq(|lane, vm| {
+                    let out = vm.args[0].as_ptr::<f64>();
+                    let x = lane.read(out, 600);
+                    lane.write(out, 600, x + 1.0);
+                });
+                t.parallel(simdlen, move |p| {
+                    p.for_loop(inner, Schedule::Static, move |p, _iv2| {
+                        p.simd(inner, body);
+                    });
+                });
+            });
+        }),
+        // Extern dispatch + thread-sequential code (forced state machine).
+        3 => b.build(|t| {
+            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
+                p.seq(|lane, vm| {
+                    let out = vm.args[0].as_ptr::<f64>();
+                    let r = vm.regs[0].as_u64() % 64;
+                    let x = lane.read(out, 640 + r);
+                    lane.write(out, 640 + r, x + 0.25);
+                });
+                p.simd_extern(inner, body);
+            });
+        }),
+        // Forced-generic mode override on a tight nest.
+        _ => b.build(|t| {
+            t.distribute_parallel_for_with_mode(
+                outer,
+                sched,
+                simdlen,
+                ExecMode::Generic,
+                move |p, _row| {
+                    p.simd(inner, body);
+                },
+            );
+        }),
+    };
+    (k, arch)
+}
+
+#[test]
+fn random_plans_engines_agree() {
+    cases("random_plans_engines_agree", 40, |rng| {
+        let (k, arch) = random_kernel(rng);
+        let sim_threads = if rng.flip() { 1 } else { 4 };
+        let sanitize = rng.range_u32(0, 4) == 0;
+        let mut dev = Device::new(arch);
+        dev.set_sim_threads(Some(sim_threads));
+        if sanitize {
+            dev.enable_sanitizer();
+        }
+        let out = dev.global.alloc_zeroed::<f64>(1024);
+        let tbl = dev.global.alloc_from(&[rng.range_u64(0, 7), rng.range_u64(1, 9)]);
+        let n = rng.range_u64(1, 7);
+        let args = [Slot::from_ptr(out), Slot::from_ptr(tbl), Slot::from_u64(n)];
+        k.launch_oracle(&mut dev, &args).unwrap();
+    });
+}
