@@ -61,6 +61,9 @@ pub struct ParallelInfo {
     /// Thread-scope registers (the values staged per simd loop in generic
     /// mode).
     pub nregs: usize,
+    /// Leading registers actually staged (`≤ nregs`) after the dead-stage
+    /// shrink pass dropped trailing registers no simd body reads.
+    pub stage_regs: usize,
 }
 
 /// A structured optimization remark recorded by the SPMD-ization pass.
@@ -97,7 +100,7 @@ impl Analysis {
         let info = &self.parallels[i];
         let m = SimdMapping::new(cfg.threads_per_team, info.desc.simdlen, warp_size);
         let layout = SlotLayout::for_bytes(cfg.sharing_space_bytes, m.num_groups());
-        let stage_slots = 2 + info.nregs as u32;
+        let stage_slots = omp_core::sharing::stage_slots(info.stage_regs);
         StagingReport {
             simdlen: info.desc.simdlen,
             num_groups: m.num_groups(),
@@ -177,6 +180,7 @@ mod tests {
                 forced: false,
                 promoted: false,
                 nregs,
+                stage_regs: nregs,
             }],
             promotions: Vec::new(),
         };
@@ -202,6 +206,7 @@ mod tests {
                 forced: false,
                 promoted: false,
                 nregs: 8,
+                stage_regs: 8,
             }],
             promotions: Vec::new(),
         };

@@ -191,6 +191,9 @@ impl TargetBuilder {
         // OpenMPOpt-style SPMD-ization: declared-pure footprints can prove
         // an inferred-generic region safe to promote (see crate::lint).
         crate::lint::spmdize(&mut plan, &mut analysis, &mut config, &self.reg);
+        // Dead-stage shrink: stage only the register prefix some simd body
+        // declares it reads (see crate::dataflow).
+        crate::dataflow::shrink_dead_stages(&mut plan, &mut analysis, &self.reg);
         CompiledKernel { plan, registry: self.reg, config, analysis, flat: Mutex::new(None) }
     }
 }
@@ -376,8 +379,15 @@ impl<'b> TeamsScope<'b> {
             forced: mode_override.is_some(),
             promoted: false,
             nregs: p.nregs,
+            stage_regs: p.nregs,
         });
-        self.ops.push(TeamOp::Parallel(ParallelOp { desc, known, nregs: p.nregs, ops: body_ops }));
+        self.ops.push(TeamOp::Parallel(ParallelOp {
+            desc,
+            known,
+            nregs: p.nregs,
+            stage_regs: p.nregs,
+            ops: body_ops,
+        }));
     }
 }
 
@@ -627,7 +637,10 @@ impl CompiledKernel {
     }
 
     /// The flat-bytecode lowering of this kernel for one launch geometry,
-    /// compiled on first use and cached.
+    /// compiled on first use and cached. Every lowering is checked by the
+    /// [`FlatProgram::verify`] invariant walker before it is published —
+    /// a side table inconsistent with the plan is a compiler bug, not a
+    /// launch error, so divergence panics here.
     pub fn flat_program(&self, arch: &DeviceArch, nargs: usize) -> Arc<FlatProgram> {
         let key = (arch.warp_size, nargs);
         let mut slot = self.flat.lock().unwrap();
@@ -638,6 +651,9 @@ impl CompiledKernel {
         }
         let prog =
             Arc::new(FlatProgram::lower(&self.plan, &self.registry, &self.config, arch, nargs));
+        if let Err(e) = prog.verify(&self.plan, &self.registry, &self.config, arch, nargs) {
+            panic!("flat-bytecode verifier rejected the lowering: {e}");
+        }
         *slot = Some((key, Arc::clone(&prog)));
         prog
     }

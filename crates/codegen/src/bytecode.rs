@@ -60,6 +60,15 @@ use omp_core::sharing::{SharingSpace, SlotLayout};
 use omp_core::workshare::{assign, is_chunk_start};
 use omp_core::ParallelDesc;
 
+/// Fail verification with a formatted reason.
+macro_rules! ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
 /// Which execution engine runs a launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
@@ -103,6 +112,9 @@ enum FlatOp {
 struct ParMeta {
     desc: ParallelDesc,
     nregs: usize,
+    /// Leading registers staged per simd loop (`≤ nregs`; see the
+    /// dead-stage shrink pass in [`crate::dataflow`]).
+    stage_regs: usize,
     /// Slots of a generic team post: fn + args + team regs.
     post_slots: u64,
     /// Dispatch of the region outline itself (cascade head or indirect).
@@ -152,6 +164,7 @@ struct SimdMeta {
 /// A [`TargetPlan`] compiled to a flat op stream with pre-resolved operand
 /// tables. Lowered per (warp size, argument count); see
 /// [`crate::CompiledKernel::flat_program`] for the cache.
+#[derive(Clone)]
 pub struct FlatProgram {
     ops: Vec<FlatOp>,
     pars: Vec<ParMeta>,
@@ -199,6 +212,506 @@ impl FlatProgram {
     /// Whether the stream is empty.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Post-compile verification (§5.6): prove the lowered side tables
+    /// consistent with the plan the program claims to implement. The
+    /// checker is an *independent* invariant walker, not a re-lowering:
+    /// it walks plan and op stream in lockstep and recomputes every
+    /// side-table fact from first principles —
+    ///
+    /// * **structure**: each block op (`Distribute`, `Parallel`, `For`)
+    ///   owns exactly the contiguous, non-overlapping PC range of its plan
+    ///   body, and the stream ends where the plan does;
+    /// * **dispatch**: every `simd` op's [`DispatchKind`] matches the §5.5
+    ///   rule against the registry's cascade order;
+    /// * **staging geometry**: `post_slots` / `stage_slots` and both fit
+    ///   flags equal the [`SlotLayout`] + [`omp_core::sharing`] arithmetic
+    ///   recomputed from the plan and config;
+    /// * **SIMD mapping**: group counts, leader lanes, shifts and sync
+    ///   masks equal a fresh [`SimdMapping`] of the launch geometry;
+    /// * **trip classification**: `Const` ops carry exactly the registry's
+    ///   constant, `Pure` ops exist only for lane-free non-constant trips,
+    ///   and `Lane` ops only when neither shortcut is sound.
+    ///
+    /// Runs by default after lowering (see
+    /// [`crate::CompiledKernel::flat_program`]); fuzzed against
+    /// [`FlatProgram::seeded_mutations`].
+    pub fn verify(
+        &self,
+        plan: &TargetPlan,
+        reg: &Registry,
+        config: &KernelConfig,
+        arch: &DeviceArch,
+        nargs: usize,
+    ) -> Result<(), String> {
+        ensure!(
+            self.warp_size == arch.warp_size,
+            "program lowered for warp size {} but verifying against {}",
+            self.warp_size,
+            arch.warp_size
+        );
+        ensure!(
+            self.nargs == nargs,
+            "program lowered for {} args but verifying against {nargs}",
+            self.nargs
+        );
+        ensure!(
+            self.team_regs == plan.team_regs,
+            "team_regs {} != plan team_regs {}",
+            self.team_regs,
+            plan.team_regs
+        );
+        let want_lanes: Vec<u32> = (0..arch.warp_size).collect();
+        ensure!(self.all_lanes == want_lanes, "all-lanes table does not cover the warp");
+        let mut v = Verifier {
+            prog: self,
+            reg,
+            config,
+            arch,
+            nargs,
+            pars_seen: 0,
+            simds_seen: 0,
+            pures_seen: 0,
+        };
+        let end = v.team_ops(&plan.ops, 0)?;
+        ensure!(
+            end == self.ops.len() as u32,
+            "op stream has {} ops but the plan accounts for {end}",
+            self.ops.len()
+        );
+        ensure!(
+            v.pars_seen == self.pars.len(),
+            "orphan ParMeta entries: {} verified, {} present",
+            v.pars_seen,
+            self.pars.len()
+        );
+        ensure!(
+            v.simds_seen == self.simds.len(),
+            "orphan SimdMeta entries: {} verified, {} present",
+            v.simds_seen,
+            self.simds.len()
+        );
+        ensure!(
+            v.pures_seen == self.pures.len(),
+            "orphan pure-trip entries: {} verified, {} present",
+            v.pures_seen,
+            self.pures.len()
+        );
+        Ok(())
+    }
+
+    /// Seeded single-fault mutants of this program, each paired with a
+    /// label, for negative-testing [`FlatProgram::verify`]. The documented
+    /// mutation set covers the verifier's acceptance criteria: overlapping
+    /// / truncated PC ranges, wrong cascade positions, off-by-one staging
+    /// geometry, dropped mapping tables and misclassified trip sources.
+    /// Mutations without an applicable site in this program are omitted.
+    #[doc(hidden)]
+    pub fn seeded_mutations(&self) -> Vec<(&'static str, FlatProgram)> {
+        let mut out: Vec<(&'static str, FlatProgram)> = Vec::new();
+        let block_at = self.ops.iter().position(|op| {
+            matches!(op, FlatOp::Distribute { .. } | FlatOp::Parallel { .. } | FlatOp::For { .. })
+        });
+        let bump_end = |p: &mut FlatProgram, at: usize, delta: i64| match &mut p.ops[at] {
+            FlatOp::Distribute { end, .. }
+            | FlatOp::Parallel { end, .. }
+            | FlatOp::For { end, .. } => *end = (*end as i64 + delta) as u32,
+            _ => unreachable!("mutation site is a block op"),
+        };
+        if let Some(at) = block_at {
+            let mut m = self.clone();
+            bump_end(&mut m, at, -1);
+            out.push(("block-end-shrunk", m));
+            let mut m = self.clone();
+            bump_end(&mut m, at, 1);
+            out.push(("block-end-grown", m));
+        }
+        if !self.pars.is_empty() {
+            let mut m = self.clone();
+            m.pars[0].stage_slots += 1;
+            out.push(("stage-slots-up", m));
+            let mut m = self.clone();
+            m.pars[0].stage_slots -= 1;
+            out.push(("stage-slots-down", m));
+            let mut m = self.clone();
+            m.pars[0].post_slots += 1;
+            out.push(("post-slots-up", m));
+            let mut m = self.clone();
+            m.pars[0].team_fits = !m.pars[0].team_fits;
+            out.push(("team-fit-flip", m));
+            let mut m = self.clone();
+            m.pars[0].group_fits = !m.pars[0].group_fits;
+            out.push(("group-fit-flip", m));
+            let mut m = self.clone();
+            m.pars[0].gs_shift += 1;
+            out.push(("gs-shift-up", m));
+            let mut m = self.clone();
+            m.pars[0].leader_lanes.pop();
+            out.push(("leader-lanes-truncated", m));
+            let mut m = self.clone();
+            m.pars[0].num_groups += 1;
+            out.push(("num-groups-up", m));
+            let mut m = self.clone();
+            m.pars[0].stage_regs += 1;
+            out.push(("stage-regs-up", m));
+        }
+        let cascade_at =
+            self.simds.iter().position(|s| matches!(s.kind, DispatchKind::Cascade { .. }));
+        if let Some(at) = cascade_at {
+            let mut m = self.clone();
+            if let DispatchKind::Cascade { position } = m.simds[at].kind {
+                m.simds[at].kind = DispatchKind::Cascade { position: position + 1 };
+            }
+            out.push(("cascade-pos-up", m));
+            let mut m = self.clone();
+            m.simds[at].kind = DispatchKind::Indirect;
+            out.push(("cascade-to-indirect", m));
+        }
+        if let Some(at) = self.simds.iter().position(|s| matches!(s.kind, DispatchKind::Indirect)) {
+            let mut m = self.clone();
+            m.simds[at].kind = DispatchKind::Cascade { position: 0 };
+            out.push(("indirect-to-cascade", m));
+        }
+        // Trip-source mutations hit the first applicable site among loop
+        // ops and simd metas.
+        let site_of = |src: TripSrc| match src {
+            TripSrc::Const(k) => ("trip-const-up", TripSrc::Const(k + 1)),
+            TripSrc::Pure(_) => ("trip-pure-to-const", TripSrc::Const(0)),
+            TripSrc::Lane(_) => ("trip-lane-to-const", TripSrc::Const(0)),
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            let src = match op {
+                FlatOp::Distribute { trip, .. } | FlatOp::For { trip, .. } => *trip,
+                _ => continue,
+            };
+            let (label, mutated) = site_of(src);
+            if out.iter().any(|(l, _)| *l == label) {
+                continue;
+            }
+            let mut m = self.clone();
+            match &mut m.ops[i] {
+                FlatOp::Distribute { trip, .. } | FlatOp::For { trip, .. } => *trip = mutated,
+                _ => unreachable!(),
+            }
+            out.push((label, m));
+        }
+        for (i, s) in self.simds.iter().enumerate() {
+            let (label, mutated) = site_of(s.trip);
+            if out.iter().any(|(l, _)| *l == label) {
+                continue;
+            }
+            let mut m = self.clone();
+            m.simds[i].trip = mutated;
+            out.push((label, m));
+        }
+        out
+    }
+}
+
+/// Lockstep plan/stream walker behind [`FlatProgram::verify`]. Side-table
+/// indices must be allocated in program order, so each checked op claims
+/// the next unclaimed table entry.
+struct Verifier<'a> {
+    prog: &'a FlatProgram,
+    reg: &'a Registry,
+    config: &'a KernelConfig,
+    arch: &'a DeviceArch,
+    nargs: usize,
+    pars_seen: usize,
+    simds_seen: usize,
+    pures_seen: usize,
+}
+
+impl<'a> Verifier<'a> {
+    fn op(&self, pc: u32) -> Result<&'a FlatOp, String> {
+        self.prog
+            .ops
+            .get(pc as usize)
+            .ok_or_else(|| format!("op stream ends at {} but the plan continues", pc))
+    }
+
+    /// Check a trip source against the §5.5-adjacent classification rule:
+    /// constants are inlined exactly, lane-free closures take the pure
+    /// table (claimed in order), and only device-touching trips keep the
+    /// lane path.
+    fn trip(&mut self, src: TripSrc, id: TripId, pc: u32) -> Result<(), String> {
+        let konst = self.reg.trip_meta(id).konst;
+        match src {
+            TripSrc::Const(n) => {
+                ensure!(
+                    konst == Some(n),
+                    "op {pc}: trip lowered as constant {n} but the registry says {konst:?}"
+                );
+            }
+            TripSrc::Pure(i) => {
+                ensure!(
+                    konst.is_none(),
+                    "op {pc}: constant trip {konst:?} lowered through the pure path"
+                );
+                ensure!(
+                    self.reg.pure_trip(id).is_some(),
+                    "op {pc}: lane-path trip lowered as pure"
+                );
+                ensure!(
+                    i as usize == self.pures_seen,
+                    "op {pc}: pure-trip table index {i} out of order (expected {})",
+                    self.pures_seen
+                );
+                self.pures_seen += 1;
+            }
+            TripSrc::Lane(lid) => {
+                ensure!(lid == id, "op {pc}: lane trip bound to {lid:?}, plan says {id:?}");
+                ensure!(
+                    konst.is_none() && self.reg.pure_trip(id).is_none(),
+                    "op {pc}: trip kept on the lane path despite a const/pure shortcut"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn team_ops(&mut self, ops: &[TeamOp], mut pc: u32) -> Result<u32, String> {
+        for op in ops {
+            match op {
+                TeamOp::Seq(id) => {
+                    match self.op(pc)? {
+                        FlatOp::TeamSeq(fid) if fid == id => {}
+                        other => {
+                            return Err(format!("op {pc}: expected TeamSeq({id:?}), got {other:?}"))
+                        }
+                    }
+                    pc += 1;
+                }
+                TeamOp::Distribute { trip, sched, iv_reg, ops } => {
+                    let (src, s, r, end) = match self.op(pc)? {
+                        FlatOp::Distribute { trip, sched, iv_reg, end } => {
+                            (*trip, *sched, *iv_reg, *end)
+                        }
+                        other => {
+                            return Err(format!("op {pc}: expected Distribute, got {other:?}"))
+                        }
+                    };
+                    ensure!(s == *sched, "op {pc}: schedule {s:?} != plan {sched:?}");
+                    ensure!(r == *iv_reg as u32, "op {pc}: iv reg {r} != plan {iv_reg}");
+                    self.trip(src, *trip, pc)?;
+                    let body_end = self.team_ops(ops, pc + 1)?;
+                    ensure!(
+                        end == body_end,
+                        "op {pc}: distribute claims body range ..{end} but the body ends at \
+                         {body_end}"
+                    );
+                    pc = end;
+                }
+                TeamOp::Parallel(p) => {
+                    let (meta_i, end) = match self.op(pc)? {
+                        FlatOp::Parallel { meta, end } => (*meta, *end),
+                        other => return Err(format!("op {pc}: expected Parallel, got {other:?}")),
+                    };
+                    ensure!(
+                        meta_i as usize == self.pars_seen,
+                        "op {pc}: ParMeta index {meta_i} out of order (expected {})",
+                        self.pars_seen
+                    );
+                    let meta =
+                        self.prog.pars.get(meta_i as usize).ok_or_else(|| {
+                            format!("op {pc}: ParMeta index {meta_i} out of range")
+                        })?;
+                    self.par_meta(p, meta, pc)?;
+                    self.pars_seen += 1;
+                    let body_end = self.thread_ops(&p.ops, pc + 1)?;
+                    ensure!(
+                        end == body_end,
+                        "op {pc}: parallel claims body range ..{end} but the body ends at \
+                         {body_end}"
+                    );
+                    pc = end;
+                }
+            }
+        }
+        Ok(pc)
+    }
+
+    /// Recompute every [`ParMeta`] fact from the plan, config and arch and
+    /// compare field for field.
+    fn par_meta(&self, p: &ParallelOp, m: &ParMeta, pc: u32) -> Result<(), String> {
+        let desc = p.desc.normalized(self.arch);
+        let sm = SimdMapping::new(self.config.threads_per_team, desc.simdlen, self.arch.warp_size);
+        let ng = sm.num_groups();
+        let layout = SlotLayout::for_bytes(self.config.sharing_space_bytes, ng);
+        let post_slots = omp_core::sharing::post_slots(self.nargs, self.prog.team_regs) as u64;
+        ensure!(p.stage_regs <= p.nregs, "op {pc}: plan stage_regs exceeds nregs");
+        let stage_slots = omp_core::sharing::stage_slots(p.stage_regs);
+        let gs = desc.simdlen;
+        let gpw = sm.groups_per_warp();
+        ensure!(
+            (m.desc.mode, m.desc.simdlen) == (desc.mode, desc.simdlen),
+            "op {pc}: ParMeta desc {:?} != normalized plan desc {:?}",
+            m.desc,
+            desc
+        );
+        ensure!(m.nregs == p.nregs, "op {pc}: ParMeta nregs {} != plan {}", m.nregs, p.nregs);
+        ensure!(
+            m.stage_regs == p.stage_regs,
+            "op {pc}: ParMeta stage_regs {} != plan {}",
+            m.stage_regs,
+            p.stage_regs
+        );
+        ensure!(
+            m.post_slots == post_slots,
+            "op {pc}: post_slots {} != recomputed {post_slots}",
+            m.post_slots
+        );
+        ensure!(
+            m.stage_slots == stage_slots,
+            "op {pc}: stage_slots {} != recomputed {stage_slots}",
+            m.stage_slots
+        );
+        let region_kind =
+            if p.known { DispatchKind::Cascade { position: 0 } } else { DispatchKind::Indirect };
+        ensure!(
+            m.region_kind == region_kind,
+            "op {pc}: region dispatch {:?} != rule {region_kind:?}",
+            m.region_kind
+        );
+        ensure!(
+            m.team_fits == layout.team_fits(post_slots as u32),
+            "op {pc}: team_fits {} != SlotLayout arithmetic",
+            m.team_fits
+        );
+        ensure!(
+            m.group_fits == layout.group_fits(stage_slots),
+            "op {pc}: group_fits {} != SlotLayout arithmetic",
+            m.group_fits
+        );
+        ensure!(m.num_groups == ng, "op {pc}: num_groups {} != mapping {ng}", m.num_groups);
+        ensure!(m.gpw == gpw, "op {pc}: groups-per-warp {} != mapping {gpw}", m.gpw);
+        ensure!(m.gs == gs, "op {pc}: group size {} != normalized simdlen {gs}", m.gs);
+        ensure!(
+            m.gs_shift == gs.trailing_zeros(),
+            "op {pc}: gs_shift {} != log2({gs})",
+            m.gs_shift
+        );
+        let leader_lanes: Vec<u32> = (0..gpw).map(|k| k * gs).collect();
+        ensure!(m.leader_lanes == leader_lanes, "op {pc}: leader-lane table mismatch");
+        let all_lanes: Vec<u32> = (0..self.arch.warp_size).collect();
+        ensure!(m.all_lanes == all_lanes, "op {pc}: warp lane table mismatch");
+        let groups: Vec<u32> = (0..ng).collect();
+        ensure!(m.groups == groups, "op {pc}: initial active-group list mismatch");
+        ensure!(
+            m.full_mask == LaneMask::contiguous(0, self.arch.warp_size),
+            "op {pc}: full warp mask mismatch"
+        );
+        let group_masks: Vec<LaneMask> =
+            (0..gpw).map(|k| LaneMask::contiguous(k * gs, gs)).collect();
+        ensure!(m.group_masks == group_masks, "op {pc}: per-group mask table mismatch");
+        Ok(())
+    }
+
+    fn thread_ops(&mut self, ops: &[ThreadOp], mut pc: u32) -> Result<u32, String> {
+        for op in ops {
+            match op {
+                ThreadOp::Seq(id) => {
+                    match self.op(pc)? {
+                        FlatOp::ThreadSeq(fid) if fid == id => {}
+                        other => {
+                            return Err(format!(
+                                "op {pc}: expected ThreadSeq({id:?}), got {other:?}"
+                            ))
+                        }
+                    }
+                    pc += 1;
+                }
+                ThreadOp::For { trip, sched, iv_reg, across_teams, ops } => {
+                    let (src, s, r, across, end) = match self.op(pc)? {
+                        FlatOp::For { trip, sched, iv_reg, across_teams, end } => {
+                            (*trip, *sched, *iv_reg, *across_teams, *end)
+                        }
+                        other => return Err(format!("op {pc}: expected For, got {other:?}")),
+                    };
+                    ensure!(s == *sched, "op {pc}: schedule {s:?} != plan {sched:?}");
+                    ensure!(r == *iv_reg as u32, "op {pc}: iv reg {r} != plan {iv_reg}");
+                    ensure!(across == *across_teams, "op {pc}: across-teams flag mismatch");
+                    self.trip(src, *trip, pc)?;
+                    let body_end = self.thread_ops(ops, pc + 1)?;
+                    ensure!(
+                        end == body_end,
+                        "op {pc}: for claims body range ..{end} but the body ends at {body_end}"
+                    );
+                    pc = end;
+                }
+                ThreadOp::Simd { trip, body, known } => {
+                    let meta_i = match self.op(pc)? {
+                        FlatOp::Simd { meta } => *meta,
+                        other => return Err(format!("op {pc}: expected Simd, got {other:?}")),
+                    };
+                    self.simd_meta(meta_i, *trip, FlatBody::Plain(*body), *known, pc)?;
+                    pc += 1;
+                }
+                ThreadOp::SimdReduce { trip, body, known, dst_reg } => {
+                    let (meta_i, dst) = match self.op(pc)? {
+                        FlatOp::SimdReduce { meta, dst_reg } => (*meta, *dst_reg),
+                        other => {
+                            return Err(format!("op {pc}: expected SimdReduce, got {other:?}"))
+                        }
+                    };
+                    ensure!(
+                        dst == *dst_reg as u32,
+                        "op {pc}: reduce dst reg {dst} != plan {dst_reg}"
+                    );
+                    self.simd_meta(meta_i, *trip, FlatBody::Reduce(*body), *known, pc)?;
+                    pc += 1;
+                }
+                ThreadOp::ReduceAcross { src_reg, dst_arg, dst_idx } => {
+                    match self.op(pc)? {
+                        FlatOp::ReduceAcross { src_reg: s, dst_arg: a, dst_idx: i }
+                            if *s == *src_reg as u32 && *a == *dst_arg as u32 && i == dst_idx => {}
+                        other => {
+                            return Err(format!("op {pc}: expected ReduceAcross, got {other:?}"))
+                        }
+                    }
+                    pc += 1;
+                }
+            }
+        }
+        Ok(pc)
+    }
+
+    fn simd_meta(
+        &mut self,
+        meta_i: u32,
+        trip: TripId,
+        body: FlatBody,
+        known: bool,
+        pc: u32,
+    ) -> Result<(), String> {
+        ensure!(
+            meta_i as usize == self.simds_seen,
+            "op {pc}: SimdMeta index {meta_i} out of order (expected {})",
+            self.simds_seen
+        );
+        let sm = self
+            .prog
+            .simds
+            .get(meta_i as usize)
+            .ok_or_else(|| format!("op {pc}: SimdMeta index {meta_i} out of range"))?;
+        self.simds_seen += 1;
+        let (want_kind, bodies_match) = match (body, sm.body) {
+            (FlatBody::Plain(b), FlatBody::Plain(fb)) => {
+                (resolve_dispatch(self.reg.get_body(b).1, known), b == fb)
+            }
+            (FlatBody::Reduce(b), FlatBody::Reduce(fb)) => {
+                (resolve_dispatch(self.reg.get_red(b).1, known), b == fb)
+            }
+            _ => return Err(format!("op {pc}: simd body kind mismatch")),
+        };
+        ensure!(bodies_match, "op {pc}: simd body id mismatch");
+        ensure!(
+            sm.kind == want_kind,
+            "op {pc}: dispatch {:?} != registry rule {want_kind:?} (cascade order)",
+            sm.kind
+        );
+        self.trip(sm.trip, trip, pc)
     }
 }
 
@@ -254,8 +767,8 @@ impl<'a> Lowerer<'a> {
         let m = SimdMapping::new(self.config.threads_per_team, desc.simdlen, self.arch.warp_size);
         let ng = m.num_groups();
         let layout = SlotLayout::for_bytes(self.config.sharing_space_bytes, ng);
-        let post_slots = (1 + self.nargs + self.team_regs) as u64;
-        let stage_slots = 2 + p.nregs as u32;
+        let post_slots = omp_core::sharing::post_slots(self.nargs, self.team_regs) as u64;
+        let stage_slots = omp_core::sharing::stage_slots(p.stage_regs);
         let gs = desc.simdlen;
         assert!(
             gs.is_power_of_two(),
@@ -265,6 +778,7 @@ impl<'a> Lowerer<'a> {
         let meta = ParMeta {
             desc,
             nregs: p.nregs,
+            stage_regs: p.stage_regs,
             post_slots,
             region_kind: if p.known {
                 DispatchKind::Cascade { position: 0 }
@@ -991,10 +1505,12 @@ impl<'a, 'g> FlatExec<'a, 'g> {
                 ExecMode::Generic => {
                     let stage_slots = meta.stage_slots;
                     self.tc.counters.state_machine_posts += wg.len() as u64;
+                    self.tc.counters.staged_slots += wg.len() as u64 * stage_slots as u64;
                     let fits = meta.group_fits;
                     let g_base = w * gpw;
                     let shift = meta.gs_shift;
 
+                    let stage_regs = meta.stage_regs;
                     if fits {
                         let leaders = leader_lane_list(&mut sc.leaders, meta, w, wg);
                         let sharing = &self.sharing;
@@ -1004,7 +1520,7 @@ impl<'a, 'g> FlatExec<'a, 'g> {
                             let (off, _) = sharing.group_slice(g);
                             lane.smem_write_slot(off, 0, Slot::from_u32(body_tag));
                             lane.smem_write_slot(off, 1, Slot::from_u64(trips[g as usize]));
-                            for (k, s) in regs[g as usize].iter().enumerate() {
+                            for (k, s) in regs[g as usize][..stage_regs].iter().enumerate() {
                                 lane.smem_write_slot(off, 2 + k as u32, *s);
                             }
                         });
@@ -1024,7 +1540,7 @@ impl<'a, 'g> FlatExec<'a, 'g> {
                             let seg = fallback[g].expect("fallback allocated");
                             lane.write(seg, 0, body_tag as u64);
                             lane.write(seg, 1, trips[g]);
-                            for (k, s) in regs[g].iter().enumerate() {
+                            for (k, s) in regs[g][..stage_regs].iter().enumerate() {
                                 lane.write(seg, 2 + k as u64, s.0);
                             }
                         });

@@ -36,6 +36,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod bytecode;
+pub mod dataflow;
 pub mod diag;
 pub mod lint;
 
@@ -46,5 +47,6 @@ pub use builder::{
     CompiledKernel, KernelParams, ParScope, RegH, Schedule, TargetBuilder, TeamsScope, TripH,
 };
 pub use bytecode::{launch_flat, run_flat_block, Engine, FlatProgram};
+pub use dataflow::{AbsVal, Interval, Lattice, Proof, Written};
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use lint::lint_kernel;

@@ -13,6 +13,7 @@ use gpu_sim::{Device, DeviceArch, Slot, Violation};
 use omp_codegen::builder::{Schedule, TargetBuilder};
 use omp_core::config::ExecMode;
 use omp_core::dispatch::Footprint;
+use omp_kernels::stencil2d;
 use testkit::{cases, SimRng};
 
 fn sanitized() -> Device {
@@ -181,6 +182,191 @@ fn degenerate_schedules_warn() {
     assert_eq!(report.with_code("W-ZERO-TRIP").count(), 1, "{}", report.render("kernel"));
     assert_eq!(report.with_code("W-CHUNK").count(), 1, "{}", report.render("kernel"));
     assert!(!report.has_errors());
+}
+
+/// The forgotten-`synchronizeWarp` halo bug, plan-built
+/// ([`stencil2d::build_halo_demo`]): SPMD halo staging through raw
+/// sharing-space slots with nothing ordering the redundant writes against
+/// the lanes' reads. The static race detector proves one E-RACE per
+/// declared halo slot; launching anyway makes simtcheck report the
+/// predicted `SharedMemRace` on each of them.
+#[test]
+fn static_race_errors_pair_with_runtime_shared_mem_races() {
+    let k = stencil2d::build_halo_demo(false);
+    let report = k.lint(&DeviceArch::a100(), 2);
+    assert_eq!(report.with_code("E-RACE").count(), 8, "{}", report.render("kernel"));
+    for diag in report.with_code("E-RACE") {
+        assert!(diag.message.contains("SharedMemRace"), "{}", diag.message);
+    }
+
+    let mut dev = sanitized();
+    let row: Vec<f64> = (0..64).map(|x| (x * 3 % 23) as f64).collect();
+    let u = dev.global.alloc_from(&row);
+    let out = dev.global.alloc_zeroed::<f64>(32);
+    let stats = k.launch(&mut dev, &[Slot::from_ptr(u), Slot::from_ptr(out)]).unwrap();
+    for slot in 0..8u32 {
+        assert!(
+            stats
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::SharedMemRace { slot: s, .. } if *s == slot)),
+            "statically proven race on slot {slot} never fired: {:#?}",
+            stats.violations
+        );
+    }
+    // And nothing raced outside the statically predicted slots.
+    for v in &stats.violations {
+        if let Violation::SharedMemRace { slot, .. } = v {
+            assert!(*slot < 8, "unpredicted race: {v}");
+        }
+    }
+}
+
+/// The same halo blend with the staging protocol doing the ordering
+/// (generic mode, halo in staged scope registers): simtlint-clean and
+/// sanitizer-clean.
+#[test]
+fn protocol_ordered_halo_staging_is_race_free() {
+    let k = stencil2d::build_halo_demo(true);
+    let report = k.lint(&DeviceArch::a100(), 2);
+    assert!(!report.has_errors() && !report.has_warnings(), "{}", report.render("kernel"));
+
+    let mut dev = sanitized();
+    let row: Vec<f64> = (0..64).map(|x| (x * 3 % 23) as f64).collect();
+    let u = dev.global.alloc_from(&row);
+    let out = dev.global.alloc_zeroed::<f64>(32);
+    let stats = k.run(&mut dev, &[Slot::from_ptr(u), Slot::from_ptr(out)]);
+    assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+}
+
+/// A generic-mode simd body declaring its own warp-level barrier: legal on
+/// a100 (warp syncs exist), impossible on mi100 (§5.4.1 sequential
+/// fallback runs SIMD mains only). simtlint proves the mismatch per
+/// target (E-ARCH); running on the barrier-less target anyway makes
+/// simtcheck report the predicted BarrierDivergence.
+#[test]
+fn arch_barrier_error_pairs_with_runtime_divergence() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(64);
+    let rows = b.trip_const(2);
+    let inner = b.trip_const(8);
+    let k = b.build(|t| {
+        t.distribute_parallel_for_with_mode(
+            rows,
+            Schedule::Static,
+            8,
+            ExecMode::Generic,
+            |p, _row| {
+                p.simd_footprint(inner, Footprint::new().uses_barriers(), |lane, _, _| {
+                    lane.work(1);
+                });
+            },
+        );
+    });
+
+    // Clean case: the same plan on an arch with warp-level barriers.
+    let report = k.lint(&DeviceArch::a100(), 0);
+    assert_eq!(report.with_code("E-ARCH").count(), 0, "{}", report.render("kernel"));
+    assert!(!report.has_errors(), "{}", report.render("kernel"));
+    let mut dev = sanitized();
+    let stats = k.run(&mut dev, &[]);
+    assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+
+    // mi100: statically rejected, dynamically divergent.
+    let report = k.lint(&DeviceArch::mi100(), 0);
+    assert_eq!(report.with_code("E-ARCH").count(), 1, "{}", report.render("kernel"));
+    let mut dev = Device::new(DeviceArch::mi100());
+    dev.enable_sanitizer();
+    let stats = k.launch(&mut dev, &[]).unwrap();
+    assert!(
+        stats.violations.iter().any(|v| matches!(v, Violation::BarrierDivergence { .. })),
+        "expected the predicted barrier divergence: {:#?}",
+        stats.violations
+    );
+}
+
+/// W-DEAD-STAGE verdicts, the builder's dead-stage shrink pass, and the
+/// runtime staging counters must agree on seeded random plans: the staged
+/// prefix is `max(declared read) + 1`, the warning fires exactly when that
+/// prefix has interior holes, and a launch stages exactly
+/// `rows × stage_slots(stage_regs)` slots (the satellite agreement check
+/// that lint, the staging report, and the runtime all use the same
+/// `omp_core::sharing` arithmetic).
+#[test]
+fn dead_stage_verdicts_match_runtime_staging_counters() {
+    cases("dead_stage_vs_staging_counters", 24, |rng: &mut SimRng| {
+        let rows = rng.range_u64(1, 9);
+        let gs = *rng.pick(&[2u32, 4, 8]);
+        let extra = rng.range_usize(1, 6);
+        let nregs = 1 + extra; // iv + the extras
+        let reads: Vec<usize> = (0..nregs).filter(|_| rng.flip()).collect();
+
+        let mut b = TargetBuilder::new().num_teams(1).threads(32);
+        let rows_t = b.trip_const(rows);
+        let inner = b.trip_const(4);
+        let reads_cl = reads.clone();
+        let k = b.build(|t| {
+            t.distribute_parallel_for_with_mode(
+                rows_t,
+                Schedule::Static,
+                gs,
+                ExecMode::Generic,
+                |p, row| {
+                    let regs: Vec<usize> = (0..extra).map(|_| p.alloc_reg().0).collect();
+                    let wr = regs.clone();
+                    p.seq_footprint(
+                        Footprint::new().reads_regs(&[row.0]).writes_regs(&regs),
+                        move |lane, v| {
+                            lane.work(1);
+                            let r = v.regs[row.0].as_u64();
+                            for &reg in &wr {
+                                v.regs[reg] = Slot::from_u64(r * 7 + reg as u64);
+                            }
+                        },
+                    );
+                    let rd = reads_cl.clone();
+                    p.simd_footprint(
+                        inner,
+                        Footprint::new().writes_args(&[0]).reads_regs(&reads_cl),
+                        move |lane, iv, v| {
+                            let out = v.args[0].as_ptr::<f64>();
+                            let acc: u64 = rd.iter().map(|&reg| v.regs[reg].as_u64()).sum();
+                            lane.write(out, (acc + iv) % 64, acc as f64);
+                        },
+                    );
+                },
+            );
+        });
+
+        let expected_stage = reads.iter().max().map_or(0, |&m| m + 1);
+        assert_eq!(k.analysis.parallels[0].stage_regs, expected_stage, "reads={reads:?}");
+        let report = k.lint(&DeviceArch::a100(), 1);
+        assert!(!report.has_errors(), "{}", report.render("kernel"));
+        // Register 0 is the worksharing iv — pinned to its slot by the
+        // loop machinery, so the lint exempts it from the dead set.
+        let holes = (1..expected_stage).any(|r| !reads.contains(&r));
+        assert_eq!(
+            report.with_code("W-DEAD-STAGE").count(),
+            usize::from(holes),
+            "reads={reads:?} stage={expected_stage}: {}",
+            report.render("kernel")
+        );
+
+        // The staging report and the runtime counter both reduce to the
+        // same omp_core::sharing::stage_slots arithmetic.
+        let sr = k.analysis.staging_report(&k.config, 32, 0);
+        assert_eq!(sr.stage_slots, omp_core::sharing::stage_slots(expected_stage));
+        assert!(!sr.falls_back, "default space must fit {} slots", sr.stage_slots);
+
+        let mut dev = sanitized();
+        let out = dev.global.alloc_zeroed::<f64>(64);
+        let stats = k.run(&mut dev, &[Slot::from_ptr(out)]);
+        assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+        assert_eq!(
+            stats.counters.staged_slots,
+            rows * u64::from(omp_core::sharing::stage_slots(expected_stage)),
+            "rows={rows} gs={gs} reads={reads:?} stage={expected_stage}"
+        );
+    });
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,11 @@ pub struct Footprint {
     pub atomics: bool,
     /// Whether the function contains its own barriers.
     pub barriers: bool,
+    /// Sharing-space slots written (absolute slot indices from the base of
+    /// the space). Drives the static race detector (E-RACE).
+    pub smem_written: Vec<u32>,
+    /// Sharing-space slots read (absolute slot indices).
+    pub smem_read: Vec<u32>,
 }
 
 impl Footprint {
@@ -107,12 +112,29 @@ impl Footprint {
         self
     }
 
+    /// Declare sharing-space slots written (absolute slot indices).
+    pub fn writes_smem(mut self, slots: &[u32]) -> Self {
+        self.smem_written.extend_from_slice(slots);
+        self
+    }
+
+    /// Declare sharing-space slots read (absolute slot indices).
+    pub fn reads_smem(mut self, slots: &[u32]) -> Self {
+        self.smem_read.extend_from_slice(slots);
+        self
+    }
+
     /// Whether the declared effects are safe to execute redundantly:
-    /// nothing outside scope registers is written, no atomics, no barriers.
-    /// (Register writes are private per executing thread/group, so they do
-    /// not block SPMD-ization.)
+    /// nothing outside scope registers is written, no atomics, no barriers,
+    /// no shared-memory writes. (Register writes are private per executing
+    /// thread/group, so they do not block SPMD-ization; a shared-memory
+    /// write executed redundantly by every lane is exactly the race E-RACE
+    /// exists to reject.)
     pub fn is_pure(&self) -> bool {
-        self.args_written.is_empty() && !self.atomics && !self.barriers
+        self.args_written.is_empty()
+            && !self.atomics
+            && !self.barriers
+            && self.smem_written.is_empty()
     }
 }
 

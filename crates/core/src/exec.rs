@@ -308,7 +308,7 @@ impl<'a, 'g> Interp<'a, 'g> {
         // thread arrives; it posts the outlined function and payload, then
         // the block barrier releases the workers, which fetch and dispatch.
         // In SPMD mode every thread arrives and dispatches locally.
-        let post_slots = (1 + self.args.len() + team_regs.len()) as u64;
+        let post_slots = crate::sharing::post_slots(self.args.len(), team_regs.len()) as u64;
         // The parallel-region outline itself is not a registry entry; when
         // the front end knows it, it compiles to the *first* compare of the
         // region's dispatch cascade (position 0), otherwise to an indirect
@@ -346,7 +346,16 @@ impl<'a, 'g> Interp<'a, 'g> {
         let active: Vec<u32> = (0..m.num_groups()).collect();
         let mut fallback: Vec<Option<DPtr<u64>>> = vec![None; ng];
 
-        self.run_thread_ops(&op.ops, &desc, &m, &mut regs, &active, team_regs, &mut fallback);
+        self.run_thread_ops(
+            &op.ops,
+            &desc,
+            &m,
+            &mut regs,
+            &active,
+            team_regs,
+            &mut fallback,
+            op.stage_regs,
+        );
 
         // End of the parallel region. Generic SIMD mode: every SIMD main
         // posts the termination signal (null function pointer) and
@@ -420,6 +429,7 @@ impl<'a, 'g> Interp<'a, 'g> {
         active: &[u32],
         team_regs: &[Slot],
         fallback: &mut [Option<DPtr<u64>>],
+        stage_regs: usize,
     ) {
         for op in ops {
             match op {
@@ -462,7 +472,9 @@ impl<'a, 'g> Interp<'a, 'g> {
                             self.tc.charge_alu(w, LOOP_OVERHEAD_CYCLES + atomic);
                         }
                         let sub_now = std::mem::take(&mut sub);
-                        self.run_thread_ops(ops, desc, m, regs, &sub_now, team_regs, fallback);
+                        self.run_thread_ops(
+                            ops, desc, m, regs, &sub_now, team_regs, fallback, stage_regs,
+                        );
                         sub = sub_now;
                         r += 1;
                     }
@@ -480,6 +492,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                         SimdBody::Plain(*body),
                         *known,
                         0,
+                        stage_regs,
                     );
                 }
                 ThreadOp::SimdReduce { trip, body, known, dst_reg } => {
@@ -495,6 +508,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                         SimdBody::Reduce(*body),
                         *known,
                         *dst_reg,
+                        stage_regs,
                     );
                 }
                 ThreadOp::ReduceAcross { src_reg, dst_arg, dst_idx } => {
@@ -634,6 +648,7 @@ impl<'a, 'g> Interp<'a, 'g> {
         body: SimdBody,
         known: bool,
         dst_reg: usize,
+        stage_regs: usize,
     ) {
         let args = self.args;
         let ws = self.ws();
@@ -714,6 +729,30 @@ impl<'a, 'g> Interp<'a, 'g> {
                     self.tc.counters.sequential_simd_fallbacks += wg.len() as u64;
                     let leaders: Vec<u32> =
                         wg.iter().map(|&g| m.lane_of(m.leader_tid(g))).collect();
+                    // A body that declares its own barrier can never
+                    // complete it here: the legalization runs leaders only,
+                    // so the rest of the group never arrives. This is the
+                    // runtime counterpart of simtlint's E-ARCH.
+                    let declares_barriers = match body {
+                        SimdBody::Plain(b) => {
+                            self.reg.body_footprint(b).is_some_and(|fp| fp.barriers)
+                        }
+                        SimdBody::Reduce(b) => {
+                            self.reg.red_footprint(b).is_some_and(|fp| fp.barriers)
+                        }
+                    };
+                    if declares_barriers && self.tc.sanitizing() {
+                        let missing: Vec<u32> = self
+                            .group_lanes(m, &wg)
+                            .into_iter()
+                            .filter(|l| !leaders.contains(l))
+                            .collect();
+                        self.tc.report_violation(gpu_sim::Violation::BarrierDivergence {
+                            block: self.tc.block_id,
+                            kind: gpu_sim::sanitize::BarrierKind::WarpSync { warp: w },
+                            missing,
+                        });
+                    }
                     match body {
                         SimdBody::Plain(b) => {
                             let (f, _) = self.reg.get_body(b);
@@ -744,8 +783,9 @@ impl<'a, 'g> Interp<'a, 'g> {
                     // §5.3.1), synchronizes the warp (releasing Fig 6's
                     // state machine), the whole group runs the loop, and a
                     // final warp sync joins it.
-                    let stage_slots = 2 + regs.first().map_or(0, |r| r.len()) as u32;
+                    let stage_slots = crate::sharing::stage_slots(stage_regs);
                     self.tc.counters.state_machine_posts += wg.len() as u64;
+                    self.tc.counters.staged_slots += wg.len() as u64 * stage_slots as u64;
                     let fits = self.sharing.group_fits(stage_slots);
                     let leaders: Vec<u32> =
                         wg.iter().map(|&g| m.lane_of(m.leader_tid(g))).collect();
@@ -760,7 +800,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                             let (off, _) = sharing.group_slice(g);
                             lane.smem_write_slot(off, 0, Slot::from_u32(body_tag));
                             lane.smem_write_slot(off, 1, Slot::from_u64(trips[g as usize]));
-                            for (k, s) in regs[g as usize].iter().enumerate() {
+                            for (k, s) in regs[g as usize][..stage_regs].iter().enumerate() {
                                 lane.smem_write_slot(off, 2 + k as u32, *s);
                             }
                         });
@@ -780,7 +820,7 @@ impl<'a, 'g> Interp<'a, 'g> {
                             let seg = fallback[g].expect("fallback allocated");
                             lane.write(seg, 0, body_tag as u64);
                             lane.write(seg, 1, trips[g]);
-                            for (k, s) in regs[g].iter().enumerate() {
+                            for (k, s) in regs[g][..stage_regs].iter().enumerate() {
                                 lane.write(seg, 2 + k as u64, s.0);
                             }
                         });

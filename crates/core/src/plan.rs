@@ -112,6 +112,12 @@ pub struct ParallelOp {
     pub known: bool,
     /// Number of private thread-level registers to allocate per group.
     pub nregs: usize,
+    /// Number of leading registers generic-mode staging must actually post
+    /// to SIMD workers (`≤ nregs`). Starts equal to `nregs`; the codegen
+    /// dead-stage shrink pass lowers it when no `simd` body reads the
+    /// trailing registers. Staging is positional, so only a suffix can be
+    /// dropped.
+    pub stage_regs: usize,
     /// Thread-level operations.
     pub ops: Vec<ThreadOp>,
 }
@@ -213,7 +219,13 @@ mod tests {
     #[test]
     fn count_parallel_regions_recurses() {
         let par = |ops| {
-            TeamOp::Parallel(ParallelOp { desc: ParallelDesc::spmd(8), known: true, nregs: 0, ops })
+            TeamOp::Parallel(ParallelOp {
+                desc: ParallelDesc::spmd(8),
+                known: true,
+                nregs: 0,
+                stage_regs: 0,
+                ops,
+            })
         };
         let plan = TargetPlan {
             ops: vec![

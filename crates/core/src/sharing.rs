@@ -17,6 +17,27 @@ use gpu_sim::mem::shared::{SharedMem, SmOff};
 /// posts (the pre-existing single-writer use of the space).
 const TEAM_SLICE_SLOTS: u32 = 32;
 
+/// Slots a generic-mode SIMD main must post into its group slice to stage a
+/// `simd` loop for its workers (§5.3.1): the outlined function, the trip
+/// count, and `stage_regs` thread-level registers the body may read.
+///
+/// Single source of truth — the runtime staging loop, the bytecode lowerer,
+/// and simtlint's overflow analysis all call this, so the fallback
+/// threshold can never drift between execution and prediction.
+pub fn stage_slots(stage_regs: usize) -> u32 {
+    2 + stage_regs as u32
+}
+
+/// Slots the *team* main thread posts into the team slice when parking
+/// workers for a generic-mode parallel region: the region function, the
+/// kernel arguments, and the team-scope registers.
+///
+/// Shared by the runtime post loop, the bytecode lowerer, and simtlint's
+/// E-TEAM-POST overflow check.
+pub fn post_slots(nargs: usize, team_regs: usize) -> u32 {
+    (1 + nargs + team_regs) as u32
+}
+
 /// Pure slot arithmetic of the sharing space: how many slots the team slice
 /// and each group slice get for a given capacity and group count.
 ///
@@ -164,6 +185,16 @@ mod tests {
         let mut smem = SharedMem::new(bytes + 64);
         let s = SharingSpace::reserve(&mut smem, bytes);
         (smem, s)
+    }
+
+    #[test]
+    fn stage_and_post_slot_arithmetic() {
+        // §5.3.1: fn + trip + registers for a SIMD-main stage; fn + args +
+        // team registers for a team-main post.
+        assert_eq!(stage_slots(0), 2);
+        assert_eq!(stage_slots(3), 5);
+        assert_eq!(post_slots(0, 0), 1);
+        assert_eq!(post_slots(4, 2), 7);
     }
 
     #[test]

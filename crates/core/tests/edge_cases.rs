@@ -33,6 +33,7 @@ fn zero_trip_loops_do_nothing() {
                 desc: ParallelDesc { mode, simdlen: 8 },
                 known: true,
                 nregs: 0,
+                stage_regs: 0,
                 ops: vec![
                     ThreadOp::Simd { trip: zero, body, known: true },
                     ThreadOp::For {
@@ -83,6 +84,7 @@ fn trip_smaller_than_one_group() {
             desc: ParallelDesc::generic(32),
             known: true,
             nregs: 0,
+            stage_regs: 0,
             ops: vec![ThreadOp::Simd { trip, body, known: true }],
         })],
         team_regs: 0,
@@ -108,6 +110,7 @@ fn dynamic_schedule_covers_and_charges_atomics() {
             desc: ParallelDesc::spmd(4),
             known: true,
             nregs: 1,
+            stage_regs: 1,
             ops: vec![ThreadOp::For {
                 trip,
                 sched,
@@ -164,12 +167,14 @@ fn two_parallel_regions_with_different_group_sizes() {
                 desc: ParallelDesc::generic(4),
                 known: true,
                 nregs: 0,
+                stage_regs: 0,
                 ops: vec![ThreadOp::Simd { trip, body: body_a, known: true }],
             }),
             TeamOp::Parallel(ParallelOp {
                 desc: ParallelDesc::generic(32),
                 known: true,
                 nregs: 0,
+                stage_regs: 0,
                 ops: vec![ThreadOp::Simd { trip, body: body_b, known: true }],
             }),
         ],
@@ -207,6 +212,7 @@ fn nested_for_loops_expose_nonconforming_semantics() {
             desc: ParallelDesc::spmd(1),
             known: true,
             nregs: 2,
+            stage_regs: 2,
             ops: vec![ThreadOp::For {
                 trip: outer,
                 sched: Schedule::Static,
@@ -249,6 +255,7 @@ fn wave64_group_sizes_up_to_64() {
             desc: ParallelDesc::spmd(64),
             known: true,
             nregs: 0,
+            stage_regs: 0,
             ops: vec![ThreadOp::Simd { trip, body, known: true }],
         })],
         team_regs: 0,
@@ -271,6 +278,7 @@ fn launch_geometry_mismatch_is_rejected() {
             desc: ParallelDesc::spmd(1),
             known: true,
             nregs: 0,
+            stage_regs: 0,
             ops: vec![ThreadOp::Simd { trip, body, known: true }],
         })],
         team_regs: 0,

@@ -118,6 +118,7 @@ fn simd_loop_executes_each_iteration_once() {
                 },
                 known: true,
                 nregs: 0,
+                stage_regs: 0,
                 ops: vec![ThreadOp::Simd { trip: trip_id, body, known: true }],
             })],
             team_regs: 0,
@@ -164,6 +165,7 @@ fn generic_mode_costs_at_least_spmd() {
                     desc: ParallelDesc { mode, simdlen: gs },
                     known: true,
                     nregs: 1,
+                    stage_regs: 1,
                     ops: vec![ThreadOp::For {
                         trip: rows_id,
                         sched: Schedule::Cyclic(1),

@@ -38,6 +38,7 @@ fn saxpy_plan(
             desc: par,
             known: true,
             nregs: 1,
+            stage_regs: 1,
             ops: vec![ThreadOp::For {
                 trip: for_trip,
                 sched: Schedule::Static,
@@ -206,6 +207,7 @@ fn distribute_splits_rows_across_teams() {
                 desc: ParallelDesc::spmd(1),
                 known: true,
                 nregs: 1,
+                stage_regs: 1,
                 ops: vec![ThreadOp::For {
                     trip: for_trip,
                     sched: Schedule::Static,
@@ -262,6 +264,7 @@ fn simd_reduce_computes_group_sums() {
             desc: ParallelDesc::generic(8),
             known: true,
             nregs: 2,
+            stage_regs: 2,
             ops: vec![ThreadOp::For {
                 trip: for_trip,
                 sched: Schedule::Static,
@@ -378,6 +381,7 @@ fn unknown_bodies_pay_indirect_calls() {
             desc: ParallelDesc::spmd(32),
             known: true,
             nregs: 0,
+            stage_regs: 0,
             ops: vec![ThreadOp::Simd { trip: reg.trip_const(64), body, known: false }],
         })],
         team_regs: 0,

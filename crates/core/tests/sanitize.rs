@@ -35,6 +35,7 @@ fn row_plan(mode: ExecMode, simdlen: u32, rows: u64, trip: u64, reg: &mut Regist
             desc: ParallelDesc { mode, simdlen },
             known: true,
             nregs: 2,
+            stage_regs: 2,
             ops: vec![ThreadOp::For {
                 trip: rows_id,
                 sched: Schedule::Dynamic(1),

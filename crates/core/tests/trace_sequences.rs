@@ -16,6 +16,7 @@ fn one_simd_plan(reg: &mut Registry, mode: ExecMode, gs: u32) -> TargetPlan {
             desc: ParallelDesc { mode, simdlen: gs },
             known: true,
             nregs: 0,
+            stage_regs: 0,
             ops: vec![ThreadOp::Simd { trip, body, known: true }],
         })],
         team_regs: 0,
@@ -91,6 +92,7 @@ fn sharing_overflow_emits_global_alloc_events() {
             desc: ParallelDesc::generic(2),
             known: true,
             nregs: 4,
+            stage_regs: 4,
             ops: vec![ThreadOp::Simd { trip, body, known: true }],
         })],
         team_regs: 0,

@@ -111,6 +111,10 @@ pub struct RtCounters {
     pub simd_loops: u64,
     /// Work items posted through a state machine (team- or SIMD-level).
     pub state_machine_posts: u64,
+    /// Sharing-space slots staged to SIMD workers by generic-mode mains
+    /// (fn + trip + live registers per worker; shrinks when the dead-stage
+    /// pass trims registers no body reads).
+    pub staged_slots: u64,
     /// Masked warp-level barriers executed.
     pub warp_syncs: u64,
     /// Block-level barriers executed.
@@ -133,6 +137,7 @@ impl RtCounters {
         self.parallel_regions += o.parallel_regions;
         self.simd_loops += o.simd_loops;
         self.state_machine_posts += o.state_machine_posts;
+        self.staged_slots += o.staged_slots;
         self.warp_syncs += o.warp_syncs;
         self.block_barriers += o.block_barriers;
         self.sharing_global_fallbacks += o.sharing_global_fallbacks;

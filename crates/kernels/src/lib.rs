@@ -30,6 +30,7 @@ pub mod ideal;
 pub mod laplace3d;
 pub mod matrix;
 pub mod muram;
+pub mod plangen;
 pub mod spmv;
 pub mod stencil2d;
 pub mod su3;

@@ -1,0 +1,154 @@
+//! Seeded random plan generator — the shared fuzz surface.
+//!
+//! One deterministic generator feeds every consumer that wants "a random
+//! but reproducible kernel": the root differential suite (engines must
+//! agree launch for launch), the flat-bytecode verifier fuzz tests, and
+//! `simtlint --fuzz`. Living here (rather than in one test file) keeps
+//! the plan-surface coverage — nesting shapes, schedules including the
+//! `Dynamic(0)` clamp, const/pure/lane trip sources, simdlen extremes,
+//! forced modes, extern dispatch, reductions, sharing-space pressure —
+//! identical across all of them.
+//!
+//! Every generated kernel runs against the same argument contract (see
+//! [`random_kernel`]), and every cross-team access is either disjoint by
+//! construction or a `f64` atomic add of exactly-representable values, so
+//! launches are bit-deterministic even when blocks execute on parallel
+//! simulator threads. (An earlier in-test generator used plain
+//! read-modify-writes on indices that collide across teams; under
+//! parallel block execution the *simulated program* raced, and the
+//! differential oracle flaked on the lost updates.)
+
+use gpu_sim::DeviceArch;
+use omp_codegen::builder::{Schedule, TargetBuilder};
+use omp_codegen::CompiledKernel;
+use omp_core::config::ExecMode;
+
+pub use testkit::SimRng;
+
+/// Number of `f64` slots the output buffer (argument 0) must hold.
+pub const OUT_SLOTS: usize = 1024;
+
+/// Build a random-but-deterministic kernel exercising the plan surface.
+///
+/// Argument contract (what a launch must pass):
+/// * `args[0]` — pointer to [`OUT_SLOTS`] zeroed `f64` output slots;
+/// * `args[1]` — pointer to two `u64` trip-table entries, `tbl[0]` any
+///   value, `tbl[1] >= 1`;
+/// * `args[2]` — a `u64` trip scalar `n >= 1`.
+///
+/// Writes land in three disjoint regions of `out`: simd bodies atomically
+/// accumulate into `[0, 512)`, thread-sequential code read-modify-writes
+/// per-row slots in `[640, 704)` (disjoint across teams), and team-level
+/// accumulation targets slot `600` (atomic) or `1000` (reductions).
+pub fn random_kernel(rng: &mut SimRng) -> (CompiledKernel, DeviceArch) {
+    let arch = match rng.range_u32(0, 3) {
+        0 => DeviceArch::a100(),
+        1 => DeviceArch::mi100(),
+        _ => DeviceArch::tiny(),
+    };
+    let ws = arch.warp_size;
+    let threads = ws * rng.range_u32(1, 3);
+    let teams = rng.range_u32(1, 4);
+    let simdlen = *rng.pick(&[1u32, 2, 4, 8, ws]);
+    let sharing = *rng.pick(&[0u32, 64, 256, 2048]);
+    let sched = match rng.range_u32(0, 4) {
+        0 => Schedule::Static,
+        1 => Schedule::Cyclic(rng.range_u32(1, 4)),
+        2 => Schedule::Dynamic(rng.range_u32(1, 4)),
+        _ => Schedule::Dynamic(0), // the clamp-rule regression case
+    };
+    let mut b = TargetBuilder::new().num_teams(teams).threads(threads).sharing_space(sharing);
+
+    // Trip sources: const (incl. zero), pure-uniform from an arg, or a
+    // lane-path load from the device-side table.
+    let outer = match rng.range_u32(0, 3) {
+        0 => b.trip_const(rng.range_u64(0, 9)),
+        1 => b.trip_uniform(|v| v.args[2].as_u64()),
+        _ => b.trip_uniform_lane(|lane, v| {
+            let tbl = v.args[1].as_ptr::<u64>();
+            lane.read(tbl, 0)
+        }),
+    };
+    let inner = match rng.range_u32(0, 3) {
+        0 => b.trip_const(rng.range_u64(1, 17)),
+        1 => b.trip_uniform(|v| v.args[2].as_u64() * 2 + 1),
+        _ => b.trip_uniform_lane(|lane, v| {
+            let tbl = v.args[1].as_ptr::<u64>();
+            lane.read(tbl, 1)
+        }),
+    };
+
+    // Cross-team accumulation must be atomic: rows from different teams
+    // hash onto overlapping slots, and all addends are small multiples of
+    // 0.5 (exactly representable, far below 2^52), so the final sums are
+    // bit-identical no matter how parallel blocks interleave.
+    let body = |lane: &mut gpu_sim::Lane<'_, '_>, iv: u64, v: &omp_core::plan::Vars<'_>| {
+        let out = v.args[0].as_ptr::<f64>();
+        let row = v.regs[0].as_u64();
+        let i = (row * 131 + iv * 7) % 512;
+        lane.atomic_add_f64(out, i, 1.0 + iv as f64 * 0.5);
+    };
+
+    let shape = rng.range_u32(0, 5);
+    let k = match shape {
+        // Tight 3-level: distribute parallel for + simd (SPMD-eligible).
+        0 => b.build(|t| {
+            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
+                p.simd(inner, body);
+            });
+        }),
+        // Reduction pipeline: simd reduce + across-team combine (into
+        // slot 1000 — outside every region the reduce bodies read).
+        1 => b.build(|t| {
+            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
+                let part = p.simd_reduce(inner, |lane, iv, v| {
+                    let out = v.args[0].as_ptr::<f64>();
+                    let i = (v.regs[0].as_u64() * 13 + iv) % 512;
+                    lane.read(out, i) + iv as f64
+                });
+                p.reduce_across(part, 0, 1000);
+            });
+        }),
+        // Generic teams: sequential team code between parallel regions.
+        2 => b.build(|t| {
+            t.distribute(outer, sched, move |t, _iv| {
+                t.seq(|lane, vm| {
+                    let out = vm.args[0].as_ptr::<f64>();
+                    lane.atomic_add_f64(out, 600, 1.0);
+                });
+                t.parallel(simdlen, move |p| {
+                    p.for_loop(inner, Schedule::Static, move |p, _iv2| {
+                        p.simd(inner, body);
+                    });
+                });
+            });
+        }),
+        // Extern dispatch + thread-sequential code (forced state machine).
+        // The per-row slot 640+row is touched by exactly one team, so the
+        // redundant read-modify-write stays deterministic.
+        3 => b.build(|t| {
+            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
+                p.seq(|lane, vm| {
+                    let out = vm.args[0].as_ptr::<f64>();
+                    let r = vm.regs[0].as_u64() % 64;
+                    let x = lane.read(out, 640 + r);
+                    lane.write(out, 640 + r, x + 0.25);
+                });
+                p.simd_extern(inner, body);
+            });
+        }),
+        // Forced-generic mode override on a tight nest.
+        _ => b.build(|t| {
+            t.distribute_parallel_for_with_mode(
+                outer,
+                sched,
+                simdlen,
+                ExecMode::Generic,
+                move |p, _row| {
+                    p.simd(inner, body);
+                },
+            );
+        }),
+    };
+    (k, arch)
+}

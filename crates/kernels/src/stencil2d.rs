@@ -336,6 +336,129 @@ pub fn demo_halo_staging(dev: &mut Device, sync: bool) -> LaunchStats {
     .unwrap()
 }
 
+/// Plan-built analog of [`demo_halo_staging`]: the same four-group halo
+/// blend expressed as a target region, with the staging discipline chosen
+/// by `sync`. Arguments: `args[0]` = the 64-cell input row, `args[1]` = 32
+/// output cells.
+///
+/// With `sync = true` the parallel region is pinned **generic**: the halo
+/// pair travels from each tile's SIMD main to its lanes as staged scope
+/// registers, and the Fig 4 protocol's masked warp syncs order every post
+/// before every read — simtlint-clean, sanitizer-clean.
+///
+/// With `sync = false` the region is pinned **SPMD** and the halo pair is
+/// pushed through raw sharing-space slots (`2·tile` / `2·tile + 1`) with
+/// *nothing* ordering the redundant lane writes against the readers — the
+/// plan-level rendition of the forgotten `synchronizeWarp`. simtlint proves
+/// the race statically (`E-RACE` on every declared slot, plus
+/// `E-SPMD-EFFECT` for the effectful sequential chunk); launching anyway
+/// through the ungated escape hatch makes simtcheck report the predicted
+/// [`gpu_sim::Violation::SharedMemRace`]. The simulator's in-order op
+/// execution still computes the right blend — every racing write carries
+/// the same value — which is exactly why this bug ships: it "works" until
+/// the hardware reorders it.
+pub fn build_halo_demo(sync: bool) -> CompiledKernel {
+    use gpu_sim::mem::shared::SmOff;
+    use omp_core::config::ExecMode;
+    use omp_core::dispatch::Footprint;
+
+    const GS: u64 = 8;
+    const GROUPS: u64 = 4;
+    const HALO_SLOTS: [u32; 2 * GROUPS as usize] = [0, 1, 2, 3, 4, 5, 6, 7];
+    let mut b = TargetBuilder::new().num_teams(1).threads(32);
+    let ntiles = b.trip_const(GROUPS);
+    let tile = b.trip_const(GS);
+    let mode = if sync { ExecMode::Generic } else { ExecMode::Spmd };
+    b.build(|t| {
+        t.parallel_with_mode(GS as u32, mode, |p| {
+            p.for_loop(ntiles, Schedule::Cyclic(1), |p, tv| {
+                if sync {
+                    let halo_l = p.alloc_reg();
+                    let halo_r = p.alloc_reg();
+                    p.seq_footprint(
+                        Footprint::new()
+                            .reads_args(&[0])
+                            .reads_regs(&[tv.0])
+                            .writes_regs(&[halo_l.0, halo_r.0]),
+                        move |lane, v| {
+                            let u = v.args[0].as_ptr::<f64>();
+                            let j0 = 1 + v.regs[tv.0].as_u64() * GS;
+                            let l = lane.read(u, j0 - 1);
+                            let r = lane.read(u, j0 + GS);
+                            v.regs[halo_l.0] = Slot::from_f64(l);
+                            v.regs[halo_r.0] = Slot::from_f64(r);
+                        },
+                    );
+                    p.simd_footprint(
+                        tile,
+                        Footprint::new()
+                            .reads_args(&[0])
+                            .writes_args(&[1])
+                            .reads_regs(&[tv.0, halo_l.0, halo_r.0]),
+                        move |lane, k, v| {
+                            let u = v.args[0].as_ptr::<f64>();
+                            let out = v.args[1].as_ptr::<f64>();
+                            let j = 1 + v.regs[tv.0].as_u64() * GS + k;
+                            let left = if k == 0 {
+                                v.regs[halo_l.0].as_f64()
+                            } else {
+                                lane.read(u, j - 1)
+                            };
+                            let right = if k == GS - 1 {
+                                v.regs[halo_r.0].as_f64()
+                            } else {
+                                lane.read(u, j + 1)
+                            };
+                            lane.write(out, j - 1, (left + right) / 2.0);
+                        },
+                    );
+                } else {
+                    p.seq_footprint(
+                        Footprint::new()
+                            .reads_args(&[0])
+                            .reads_regs(&[tv.0])
+                            .writes_smem(&HALO_SLOTS),
+                        move |lane, v| {
+                            let u = v.args[0].as_ptr::<f64>();
+                            let t = v.regs[tv.0].as_u64();
+                            let j0 = 1 + t * GS;
+                            let l = lane.read(u, j0 - 1);
+                            let r = lane.read(u, j0 + GS);
+                            lane.smem_write_f64(SmOff(0), (2 * t) as u32, l);
+                            lane.smem_write_f64(SmOff(0), (2 * t + 1) as u32, r);
+                        },
+                    );
+                    p.simd_footprint(
+                        tile,
+                        Footprint::new()
+                            .reads_args(&[0])
+                            .writes_args(&[1])
+                            .reads_regs(&[tv.0])
+                            .reads_smem(&HALO_SLOTS),
+                        move |lane, k, v| {
+                            let u = v.args[0].as_ptr::<f64>();
+                            let out = v.args[1].as_ptr::<f64>();
+                            let t = v.regs[tv.0].as_u64();
+                            let j = 1 + t * GS + k;
+                            let left = if k == 0 {
+                                lane.smem_read_f64(SmOff(0), (2 * t) as u32)
+                            } else {
+                                lane.read(u, j - 1)
+                            };
+                            let right = if k == GS - 1 {
+                                lane.smem_read_f64(SmOff(0), (2 * t + 1) as u32)
+                            } else {
+                                lane.read(u, j + 1)
+                            };
+                            lane.write(out, j - 1, (left + right) / 2.0);
+                        },
+                    );
+                }
+            });
+        });
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,5 +547,30 @@ mod tests {
         dev.enable_sanitizer();
         let stats = demo_halo_staging(&mut dev, true);
         assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+    }
+
+    /// Both plan-built demo variants compute the same blend (the racy one
+    /// only because the simulator executes ops in order and every racing
+    /// write carries the same value); only the synced one stages through
+    /// the protocol.
+    #[test]
+    fn plan_halo_demo_variants_agree_on_the_blend() {
+        let row: Vec<f64> = (0..64).map(|x| (x * 3 % 23) as f64).collect();
+        let want: Vec<f64> = (1..=32).map(|j| (row[j - 1] + row[j + 1]) / 2.0).collect();
+        for sync in [true, false] {
+            let k = build_halo_demo(sync);
+            assert_eq!(
+                k.analysis.parallels[0].desc.mode,
+                if sync { ExecMode::Generic } else { ExecMode::Spmd },
+            );
+            let mut dev = Device::a100();
+            let u = dev.global.alloc_from(&row);
+            let out = dev.global.alloc_zeroed::<f64>(32);
+            let stats = k.launch(&mut dev, &[Slot::from_ptr(u), Slot::from_ptr(out)]).unwrap();
+            assert_eq!(dev.global.read_slice(out, 32), want, "sync={sync}");
+            if sync {
+                assert!(stats.counters.state_machine_posts > 0, "generic staging must post");
+            }
+        }
     }
 }

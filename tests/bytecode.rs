@@ -8,14 +8,13 @@
 //! covers every in-tree kernel and a seeded stream of random plans, each ×
 //! block-execution thread counts {1, 4} × sanitizer {off, on}.
 
-use simt_omp::codegen::builder::{Schedule, TargetBuilder};
 use simt_omp::codegen::CompiledKernel;
 use simt_omp::gpu::{Device, DeviceArch, Slot};
 use simt_omp::kernels::harness::Fig10Variant;
 use simt_omp::kernels::matrix::{CsrMatrix, RowProfile};
+use simt_omp::kernels::plangen::{self, random_kernel};
 use simt_omp::kernels::{batched, ideal, laplace3d, muram, spmv, stencil2d, su3};
-use simt_omp::rt::config::ExecMode;
-use testkit::{cases, SimRng};
+use testkit::cases;
 
 /// Run one kernel through the oracle across the sim-thread / sanitizer
 /// matrix. `setup` uploads the workload and returns the argument payload.
@@ -151,121 +150,11 @@ fn amd_sequential_fallback_engines_agree() {
     });
 }
 
-/// Build a random-but-deterministic kernel exercising the plan surface:
-/// nesting shapes, schedules (incl. `Dynamic(0)` — the clamp rule), trip
-/// sources (const / pure / lane), simdlen extremes, forced modes, extern
-/// dispatch, reductions, and sharing-space pressure.
-fn random_kernel(rng: &mut SimRng) -> (CompiledKernel, DeviceArch) {
-    let arch = match rng.range_u32(0, 3) {
-        0 => DeviceArch::a100(),
-        1 => DeviceArch::mi100(),
-        _ => DeviceArch::tiny(),
-    };
-    let ws = arch.warp_size;
-    let threads = ws * rng.range_u32(1, 3);
-    let teams = rng.range_u32(1, 4);
-    let simdlen = *rng.pick(&[1u32, 2, 4, 8, ws]);
-    let sharing = *rng.pick(&[0u32, 64, 256, 2048]);
-    let sched = match rng.range_u32(0, 4) {
-        0 => Schedule::Static,
-        1 => Schedule::Cyclic(rng.range_u32(1, 4)),
-        2 => Schedule::Dynamic(rng.range_u32(1, 4)),
-        _ => Schedule::Dynamic(0), // the clamp-rule regression case
-    };
-    let mut b = TargetBuilder::new().num_teams(teams).threads(threads).sharing_space(sharing);
-
-    // Trip sources: const (incl. zero), pure-uniform from an arg, or a
-    // lane-path load from the device-side table.
-    let outer = match rng.range_u32(0, 3) {
-        0 => b.trip_const(rng.range_u64(0, 9)),
-        1 => b.trip_uniform(|v| v.args[2].as_u64()),
-        _ => b.trip_uniform_lane(|lane, v| {
-            let tbl = v.args[1].as_ptr::<u64>();
-            lane.read(tbl, 0)
-        }),
-    };
-    let inner = match rng.range_u32(0, 3) {
-        0 => b.trip_const(rng.range_u64(1, 17)),
-        1 => b.trip_uniform(|v| v.args[2].as_u64() * 2 + 1),
-        _ => b.trip_uniform_lane(|lane, v| {
-            let tbl = v.args[1].as_ptr::<u64>();
-            lane.read(tbl, 1)
-        }),
-    };
-
-    let body =
-        |lane: &mut simt_omp::gpu::Lane<'_, '_>, iv: u64, v: &simt_omp::rt::plan::Vars<'_>| {
-            let out = v.args[0].as_ptr::<f64>();
-            let row = v.regs[0].as_u64();
-            let i = (row * 131 + iv * 7) % 512;
-            let x = lane.read(out, i);
-            lane.write(out, i, x + 1.0 + iv as f64 * 0.5);
-        };
-
-    let shape = rng.range_u32(0, 5);
-    let k = match shape {
-        // Tight 3-level: distribute parallel for + simd (SPMD-eligible).
-        0 => b.build(|t| {
-            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
-                p.simd(inner, body);
-            });
-        }),
-        // Reduction pipeline: simd reduce + across-team combine.
-        1 => b.build(|t| {
-            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
-                let part = p.simd_reduce(inner, |lane, iv, v| {
-                    let out = v.args[0].as_ptr::<f64>();
-                    let i = (v.regs[0].as_u64() * 13 + iv) % 512;
-                    lane.read(out, i) + iv as f64
-                });
-                p.reduce_across(part, 0, 0);
-            });
-        }),
-        // Generic teams: sequential team code between parallel regions.
-        2 => b.build(|t| {
-            t.distribute(outer, sched, move |t, _iv| {
-                t.seq(|lane, vm| {
-                    let out = vm.args[0].as_ptr::<f64>();
-                    let x = lane.read(out, 600);
-                    lane.write(out, 600, x + 1.0);
-                });
-                t.parallel(simdlen, move |p| {
-                    p.for_loop(inner, Schedule::Static, move |p, _iv2| {
-                        p.simd(inner, body);
-                    });
-                });
-            });
-        }),
-        // Extern dispatch + thread-sequential code (forced state machine).
-        3 => b.build(|t| {
-            t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
-                p.seq(|lane, vm| {
-                    let out = vm.args[0].as_ptr::<f64>();
-                    let r = vm.regs[0].as_u64() % 64;
-                    let x = lane.read(out, 640 + r);
-                    lane.write(out, 640 + r, x + 0.25);
-                });
-                p.simd_extern(inner, body);
-            });
-        }),
-        // Forced-generic mode override on a tight nest.
-        _ => b.build(|t| {
-            t.distribute_parallel_for_with_mode(
-                outer,
-                sched,
-                simdlen,
-                ExecMode::Generic,
-                move |p, _row| {
-                    p.simd(inner, body);
-                },
-            );
-        }),
-    };
-    (k, arch)
-}
-
 #[test]
 fn random_plans_engines_agree() {
+    // Plans come from the shared seeded generator
+    // (`omp_kernels::plangen`), whose kernels are deterministic under
+    // parallel block execution — the property the oracle needs.
     cases("random_plans_engines_agree", 40, |rng| {
         let (k, arch) = random_kernel(rng);
         let sim_threads = if rng.flip() { 1 } else { 4 };
@@ -275,7 +164,7 @@ fn random_plans_engines_agree() {
         if sanitize {
             dev.enable_sanitizer();
         }
-        let out = dev.global.alloc_zeroed::<f64>(1024);
+        let out = dev.global.alloc_zeroed::<f64>(plangen::OUT_SLOTS);
         let tbl = dev.global.alloc_from(&[rng.range_u64(0, 7), rng.range_u64(1, 9)]);
         let n = rng.range_u64(1, 7);
         let args = [Slot::from_ptr(out), Slot::from_ptr(tbl), Slot::from_u64(n)];
