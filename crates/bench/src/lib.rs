@@ -19,6 +19,9 @@
 //! * [`simspeed`] — throughput of the simulator itself: wall-clock and
 //!   simulated-cycles-per-second across block-execution thread counts
 //!   (`SIMT_SIM_THREADS`) and sanitizer modes.
+//! * [`mem`] — flat vs hierarchical memory model (`SIMT_SIM_MEM`) across
+//!   the Fig 9 sweep, with the DRAM traffic/burst-atom counters the
+//!   hierarchical makespan consumes.
 //! * [`report`] — table printing + JSON persistence so EXPERIMENTS.md
 //!   numbers are regenerable.
 //!
@@ -30,6 +33,7 @@ pub mod ablations;
 pub mod dispatch;
 pub mod fig10;
 pub mod fig9;
+pub mod mem;
 pub mod pipeline;
 pub mod report;
 pub mod simspeed;

@@ -17,6 +17,43 @@ pub enum Vendor {
     Amd,
 }
 
+/// Per-architecture memory-hierarchy geometry, consumed by the
+/// hierarchical memory model ([`crate::mem::hier`], `SIMT_SIM_MEM=hier`).
+///
+/// The flat model collapses all of this into the two device-wide
+/// sectors-per-cycle roofs in [`crate::cost::CostModel`]; the hierarchical
+/// model splits them into a per-SM LSU pipe, banked L2 slices, and a
+/// DRAM roofline whose effective bandwidth is capped by memory-level
+/// parallelism (Little's law over the launch's outstanding requests).
+#[derive(Clone, Debug)]
+pub struct CacheGeom {
+    /// Number of independent L2 bank slices (address-hashed).
+    pub l2_banks: u32,
+    /// Sectors per cycle one L2 bank slice can serve. The aggregate
+    /// `l2_banks × l2_bank_sectors_per_cycle` matches the flat model's
+    /// [`crate::cost::CostModel::l2_sectors_per_cycle`] for a perfectly
+    /// balanced access stream; bank camping degrades from there.
+    pub l2_bank_sectors_per_cycle: u64,
+    /// Full-line L1-hit transactions one SM's LSU retires per cycle.
+    /// Replays whose line is entirely valid in the warp's L1 window
+    /// (temporal reuse) are serviced at L1 bandwidth off the issue
+    /// path; partial fills and misses stay on the warp — they allocate
+    /// MSHRs and serialize like the flat model says.
+    pub lsu_hit_lines_per_cycle: u64,
+    /// Minimum DRAM access granularity in 32-byte sectors (HBM burst
+    /// atom = 64 B → 2). A fill carrying fewer useful sectors than this
+    /// still occupies a whole atom of bandwidth, which is what makes
+    /// uncoalesced streaming pay up to 2× its useful traffic at the
+    /// hierarchical DRAM roof.
+    pub dram_burst_sectors: u64,
+    /// Round-trip DRAM latency in cycles (Little's law input).
+    pub dram_latency: u64,
+    /// Maximum outstanding DRAM sectors one resident warp sustains
+    /// (MSHR/LDST queue share). Occupancy × this bounds the launch's
+    /// memory-level parallelism.
+    pub mlp_per_warp: u64,
+}
+
 /// Static description of a simulated device.
 ///
 /// The resource limits feed the occupancy calculation in [`crate::sched`];
@@ -44,6 +81,8 @@ pub struct DeviceArch {
     /// Whether a warp-level barrier over a lane mask exists. The generic
     /// SIMD execution mode requires it (paper §5.4.1).
     pub warp_sync_supported: bool,
+    /// Memory-hierarchy geometry for the hierarchical cost model.
+    pub cache: CacheGeom,
 }
 
 impl DeviceArch {
@@ -61,6 +100,17 @@ impl DeviceArch {
             smem_per_block: 96 * 1024,
             smem_per_sm: 164 * 1024,
             warp_sync_supported: true,
+            // 40 L2 slices × 2 sectors/cycle = the flat model's 80
+            // aggregate; ~400-cycle DRAM round trip per published A100
+            // microbenchmarks.
+            cache: CacheGeom {
+                l2_banks: 40,
+                l2_bank_sectors_per_cycle: 2,
+                lsu_hit_lines_per_cycle: 2,
+                dram_burst_sectors: 2,
+                dram_latency: 400,
+                mlp_per_warp: 32,
+            },
         }
     }
 
@@ -78,6 +128,14 @@ impl DeviceArch {
             smem_per_block: 64 * 1024,
             smem_per_sm: 64 * 1024,
             warp_sync_supported: false,
+            cache: CacheGeom {
+                l2_banks: 32,
+                l2_bank_sectors_per_cycle: 2,
+                lsu_hit_lines_per_cycle: 2,
+                dram_burst_sectors: 2,
+                dram_latency: 350,
+                mlp_per_warp: 32,
+            },
         }
     }
 
@@ -95,6 +153,16 @@ impl DeviceArch {
             smem_per_block: 8 * 1024,
             smem_per_sm: 16 * 1024,
             warp_sync_supported: true,
+            // Scaled-down hierarchy so occupancy and banking effects stay
+            // visible with tiny launches.
+            cache: CacheGeom {
+                l2_banks: 8,
+                l2_bank_sectors_per_cycle: 2,
+                lsu_hit_lines_per_cycle: 2,
+                dram_burst_sectors: 2,
+                dram_latency: 400,
+                mlp_per_warp: 32,
+            },
         }
     }
 

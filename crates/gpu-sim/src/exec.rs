@@ -289,6 +289,20 @@ struct WarpState {
     dram_sectors: u64,
     smem_ops: u64,
     l1_hits: u64,
+    /// L1-hit replay cycles included in `issue` and `clock` that the
+    /// hierarchical makespan retires through the LSU pipe instead of the
+    /// issue pipe: the whole `line_cycles` charge for a full-line hit
+    /// (temporal reuse), all but one `sector_cycles` beat for a
+    /// partial-line hit (the sector comes off the in-flight fill).
+    /// Misses keep their replay cycles on the warp — they allocate MSHRs
+    /// and serialize either way.
+    tx: u64,
+    /// Full-line L1 hits (subset of `l1_hits`): tag hits on a way whose
+    /// entire sector mask is populated.
+    full_hits: u64,
+    /// Deduplicated sectors touched per ordinal, L1 hits included (LSU
+    /// pipe occupancy).
+    lsu_sectors: u64,
     /// 4-way set-associative tag store: `l1[set*4..set*4+4]`.
     l1: Vec<u64>,
     /// LRU ages parallel to `l1`.
@@ -296,6 +310,43 @@ struct WarpState {
     /// Per-way sector-validity bitmasks (sectored cache: a line tag can be
     /// present with only some of its sectors fetched).
     l1_mask: Vec<u8>,
+}
+
+/// Program-order log of the block's line visits, kept for the launch's
+/// deterministic first-touch replay (see `Device::launch`).
+///
+/// Which *visit* claims a sector's compulsory DRAM fill depends on how
+/// blocks interleave, and the 64-byte burst-atom charge is a nonlinear
+/// function of that per-visit grouping — so it cannot be computed online
+/// without becoming thread-count dependent. Instead every block records
+/// `(line, sector-bits first requested by this block in this visit)` in
+/// its own execution order; the launch replays the logs in block-index
+/// order against one sequential touched-set, which reproduces the
+/// `SIMT_SIM_THREADS=1` attribution exactly at any thread count.
+///
+/// Entries are packed `line << 8 | mask`; the per-block `seen` prefilter
+/// keeps the log bounded by the block's distinct (line, sector) footprint.
+#[derive(Default)]
+pub(crate) struct VisitLog {
+    seen: std::collections::HashMap<u64, u8>,
+    log: Vec<u64>,
+}
+
+impl VisitLog {
+    #[inline]
+    fn record(&mut self, line: u64, smask: u8) {
+        let seen = self.seen.entry(line).or_insert(0);
+        let new = smask & !*seen;
+        if new != 0 {
+            *seen |= new;
+            self.log.push((line << 8) | new as u64);
+        }
+    }
+
+    /// Packed `(line << 8 | mask)` entries in block execution order.
+    pub(crate) fn entries(&self) -> &[u64] {
+        &self.log
+    }
 }
 
 /// Execution context handed to a per-lane program: typed access to global
@@ -409,6 +460,11 @@ pub struct TeamCtx<'g> {
     trace_pool: Vec<LaneTrace>,
     scratch_sectors: Vec<u64>,
     scratch_atomic: Vec<u64>,
+    /// Per-block L1-missing sectors per L2 bank slice (length =
+    /// `arch.cache.l2_banks`), folded by both commit paths.
+    l2_bank_sectors: Vec<u64>,
+    /// Line-visit log for the launch's deterministic first-touch replay.
+    visits: VisitLog,
     flat_acc: FlatAcc,
     event_trace: Option<crate::trace::Trace>,
     sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
@@ -441,6 +497,8 @@ impl<'g> TeamCtx<'g> {
             trace_pool: Vec::new(),
             scratch_sectors: Vec::new(),
             scratch_atomic: Vec::new(),
+            l2_bank_sectors: vec![0; arch.cache.l2_banks as usize],
+            visits: VisitLog::default(),
             flat_acc: FlatAcc::default(),
             event_trace: None,
             sanitizer: None,
@@ -668,6 +726,9 @@ impl<'g> TeamCtx<'g> {
         let mut hits_add = 0u64;
         let mut dram_add = 0u64;
         let mut lines_add = 0u64;
+        let mut tx_add = 0u64;
+        let mut full_hits_add = 0u64;
+        let mut lsu_add = 0u64;
         // Lazily initialize this warp's L1 window (4-way set associative,
         // line-granular tags).
         if self.warps[warp as usize].l1.is_empty() && cost.l1_lines >= 4 {
@@ -678,6 +739,8 @@ impl<'g> TeamCtx<'g> {
         let mut l1 = std::mem::take(&mut self.warps[warp as usize].l1);
         let mut l1_age = std::mem::take(&mut self.warps[warp as usize].l1_age);
         let mut l1_mask = std::mem::take(&mut self.warps[warp as usize].l1_mask);
+        let mut banks = std::mem::take(&mut self.l2_bank_sectors);
+        let mut visits = std::mem::take(&mut self.visits);
         let nsets = l1.len() / 4;
 
         let spl = (cost.line_bytes / cost.sector_bytes).max(1) as u64;
@@ -703,7 +766,7 @@ impl<'g> TeamCtx<'g> {
             }
             scratch_sectors.sort_unstable();
             scratch_sectors.dedup();
-            let (lines, sectors, hits) = line_walk(
+            let (lines, sectors, hits, full) = line_walk(
                 &scratch_sectors,
                 spl,
                 nsets,
@@ -712,19 +775,26 @@ impl<'g> TeamCtx<'g> {
                 &mut l1_mask,
                 &self.gview,
                 &mut dram_add,
+                &mut visits,
+                &mut banks,
             );
             let misses = sectors;
-            let mut c = lines * cost.line_cycles + sectors * cost.sector_cycles;
-            c += atomic_serialize_cycles(&mut scratch_atomic, cost);
+            let tx = lines * cost.line_cycles + sectors * cost.sector_cycles;
+            let c = tx + atomic_serialize_cycles(&mut scratch_atomic, cost);
             issue_add += c;
             clock_add += c + if misses > 0 { cost.exposed_latency } else { 0 };
             sectors_add += sectors;
             hits_add += hits;
             lines_add += lines;
+            tx_add += hit_replay_offload(hits, full, cost);
+            full_hits_add += full;
+            lsu_add += scratch_sectors.len() as u64;
         }
 
         self.scratch_sectors = scratch_sectors;
         self.scratch_atomic = scratch_atomic;
+        self.l2_bank_sectors = banks;
+        self.visits = visits;
         if let Some(t) = &mut self.event_trace {
             t.push(crate::trace::TraceEvent::SuperStep {
                 block: self.block_id,
@@ -744,6 +814,9 @@ impl<'g> TeamCtx<'g> {
         w.dram_sectors += dram_add;
         w.smem_ops += max_smem;
         w.l1_hits += hits_add;
+        w.tx += tx_add;
+        w.full_hits += full_hits_add;
+        w.lsu_sectors += lsu_add;
         let _ = max_smem;
     }
 
@@ -768,6 +841,9 @@ impl<'g> TeamCtx<'g> {
         let mut sectors_add = 0u64;
         let mut hits_add = 0u64;
         let mut dram_add = 0u64;
+        let mut tx_add = 0u64;
+        let mut full_hits_add = 0u64;
+        let mut lsu_add = 0u64;
         if self.warps[warp as usize].l1.is_empty() && cost.l1_lines >= 4 {
             self.warps[warp as usize].l1 = vec![u64::MAX; cost.l1_lines as usize];
             self.warps[warp as usize].l1_age = vec![0; cost.l1_lines as usize];
@@ -776,6 +852,8 @@ impl<'g> TeamCtx<'g> {
         let mut l1 = std::mem::take(&mut self.warps[warp as usize].l1);
         let mut l1_age = std::mem::take(&mut self.warps[warp as usize].l1_age);
         let mut l1_mask = std::mem::take(&mut self.warps[warp as usize].l1_mask);
+        let mut banks = std::mem::take(&mut self.l2_bank_sectors);
+        let mut visits = std::mem::take(&mut self.visits);
         let nsets = l1.len() / 4;
         let spl = (cost.line_bytes / cost.sector_bytes).max(1) as u64;
 
@@ -787,7 +865,7 @@ impl<'g> TeamCtx<'g> {
                 o.sectors.sort_unstable();
                 o.sectors.dedup();
             }
-            let (lines, sectors, hits) = line_walk(
+            let (lines, sectors, hits, full) = line_walk(
                 &o.sectors,
                 spl,
                 nsets,
@@ -796,14 +874,19 @@ impl<'g> TeamCtx<'g> {
                 &mut l1_mask,
                 &self.gview,
                 &mut dram_add,
+                &mut visits,
+                &mut banks,
             );
             let misses = sectors;
-            let mut c = lines * cost.line_cycles + sectors * cost.sector_cycles;
-            c += atomic_serialize_cycles(&mut o.atomics, cost);
+            let tx = lines * cost.line_cycles + sectors * cost.sector_cycles;
+            let c = tx + atomic_serialize_cycles(&mut o.atomics, cost);
             issue_add += c;
             clock_add += c + if misses > 0 { cost.exposed_latency } else { 0 };
             sectors_add += sectors;
             hits_add += hits;
+            tx_add += hit_replay_offload(hits, full, cost);
+            full_hits_add += full;
+            lsu_add += o.sectors.len() as u64;
         }
 
         let w = &mut self.warps[warp as usize];
@@ -816,6 +899,11 @@ impl<'g> TeamCtx<'g> {
         w.dram_sectors += dram_add;
         w.smem_ops += acc.max_smem_ops;
         w.l1_hits += hits_add;
+        w.tx += tx_add;
+        w.full_hits += full_hits_add;
+        w.lsu_sectors += lsu_add;
+        self.l2_bank_sectors = banks;
+        self.visits = visits;
         self.flat_acc = acc;
     }
 
@@ -983,16 +1071,36 @@ impl<'g> TeamCtx<'g> {
         self.gview.alloc_zeroed(n)
     }
 
+    /// Take the block's line-visit log for the launch's deterministic
+    /// first-touch replay (leaves an empty log behind).
+    pub(crate) fn take_visits(&mut self) -> VisitLog {
+        std::mem::take(&mut self.visits)
+    }
+
     /// Finish the block: produce its resource profile. `threads` and
     /// `smem_bytes` are the occupancy inputs recorded by the launch.
+    /// `dram_atoms` is left at zero here — burst-atom attribution depends
+    /// on cross-block first-touch order, so the launch fills it during the
+    /// block-index-order replay of [`Self::take_visits`] logs.
     pub fn finish(self, threads: u32, smem_bytes: u32) -> (BlockProfile, RtCounters) {
         let profile = BlockProfile {
             cycles: self.warps.iter().map(|w| w.clock).max().unwrap_or(0),
             issue: self.warps.iter().map(|w| w.issue).sum(),
             sectors: self.warps.iter().map(|w| w.sectors).sum(),
             dram_sectors: self.warps.iter().map(|w| w.dram_sectors).sum(),
+            dram_atoms: 0,
             smem_ops: self.warps.iter().map(|w| w.smem_ops).sum(),
             l1_hits: self.warps.iter().map(|w| w.l1_hits).sum(),
+            l1_full_hits: self.warps.iter().map(|w| w.full_hits).sum(),
+            tx_cycles: self.warps.iter().map(|w| w.tx).sum(),
+            lsu_sectors: self.warps.iter().map(|w| w.lsu_sectors).sum(),
+            resid_cycles: self
+                .warps
+                .iter()
+                .map(|w| w.clock.saturating_sub(w.tx))
+                .max()
+                .unwrap_or(0),
+            l2_bank_sectors: self.l2_bank_sectors,
             threads,
             smem_bytes,
         };
@@ -1000,11 +1108,40 @@ impl<'g> TeamCtx<'g> {
     }
 }
 
+/// Replay cycles of an ordinal's L1 hits that the hierarchical makespan
+/// may retire through the LSU pipe instead of the issue pipe: the full
+/// `line_cycles` charge for a full-line hit (the data is entirely L1
+/// resident), and all but one `sector_cycles` beat for a partial-line hit
+/// — its sector drains off the in-flight fill buffer at sector cost on
+/// the issue path, while the fill's bandwidth cost is carried by the DRAM
+/// burst wall. Both engines bank this identically (it is pure arithmetic
+/// over `line_walk`'s counts), so the oracle contract extends to it.
+#[inline]
+fn hit_replay_offload(hits: u64, full_hits: u64, cost: &CostModel) -> u64 {
+    let partial = hits - full_hits;
+    full_hits * cost.line_cycles + partial * cost.line_cycles.saturating_sub(cost.sector_cycles)
+}
+
+/// Number of 64-byte DRAM burst atoms (pairs of adjacent 32-byte sectors)
+/// a fill's sector mask occupies — the HBM minimum-access-granularity
+/// rule: a single-sector fill still spends a whole atom of bandwidth.
+#[inline]
+pub(crate) fn burst_atoms(mask: u8) -> u64 {
+    ((mask | (mask >> 1)) & 0b0101_0101).count_ones() as u64
+}
+
 /// Walk one ordinal's unique, sorted sector set grouped by cache line:
 /// each distinct line is one LSU transaction; a line missing the warp's L1
 /// window (4-way LRU, line tags, sectored validity) sends its
 /// not-yet-fetched sectors to DRAM. Returns `(lines, dram-bound sectors,
-/// line hits)` and bumps `dram_add` for first-touched (compulsory) sectors.
+/// line hits, full-line hits)` — a *hit* is a tag hit with every requested
+/// sector already valid; it is a *full-line* hit when the way's entire
+/// sector mask is populated (temporal reuse of a completed fill, as
+/// opposed to re-touching a sector of a line whose fill is still in
+/// progress). Bumps `dram_add` for first-touched (compulsory) sectors,
+/// records the visit in `visits` for the launch's deterministic
+/// burst-atom replay (see [`VisitLog`]), and attributes every L1-missing
+/// sector to its L2 bank slice in `banks` (no-op when `banks` is empty).
 ///
 /// Shared by [`TeamCtx::commit`] and [`TeamCtx::commit_flat`] so the two
 /// execution engines agree on the memory model by construction — including
@@ -1019,24 +1156,31 @@ fn line_walk(
     l1_mask: &mut [u8],
     gview: &GlobalView<'_>,
     dram_add: &mut u64,
-) -> (u64, u64, u64) {
+    visits: &mut VisitLog,
+    banks: &mut [u64],
+) -> (u64, u64, u64, u64) {
     let mut dram_sectors = 0u64;
     let mut lines = 0u64;
     let mut hits = 0u64;
+    let mut full_hits = 0u64;
+    let full_line_mask = ((1u16 << spl.min(8)) - 1) as u8;
     let mut i = 0usize;
     while i < sectors.len() {
         let line = sectors[i] / spl;
         let mut smask = 0u8;
         while i < sectors.len() && sectors[i] / spl == line {
+            let bit = 1u8 << (sectors[i] % spl).min(7);
             if gview.first_touch(sectors[i]) {
                 *dram_add += 1;
             }
-            smask |= 1 << (sectors[i] % spl).min(7);
+            smask |= bit;
             i += 1;
         }
+        visits.record(line, smask);
         lines += 1;
         if nsets == 0 {
             dram_sectors += smask.count_ones() as u64;
+            bank_missing_sectors(smask, line, spl, banks);
             continue;
         }
         // Fibonacci-hash the set index so power-of-two array strides do
@@ -1052,8 +1196,12 @@ fn line_walk(
             let new = smask & !masks[w];
             if new == 0 {
                 hits += 1;
+                if masks[w] == full_line_mask {
+                    full_hits += 1;
+                }
             } else {
                 dram_sectors += new.count_ones() as u64;
+                bank_missing_sectors(new, line, spl, banks);
                 masks[w] |= new;
             }
             ages[w] = 0;
@@ -1064,6 +1212,7 @@ fn line_walk(
             }
         } else {
             dram_sectors += smask.count_ones() as u64;
+            bank_missing_sectors(smask, line, spl, banks);
             let victim =
                 ages.iter().enumerate().max_by_key(|(_, &a)| a).map(|(k, _)| k).unwrap_or(0);
             ways[victim] = line;
@@ -1076,7 +1225,25 @@ fn line_walk(
             }
         }
     }
-    (lines, dram_sectors, hits)
+    (lines, dram_sectors, hits, full_hits)
+}
+
+/// Attribute each set bit of `mask` (an L1-missing sector within `line`)
+/// to its L2 bank slice. Bank counts therefore sum to exactly the
+/// L1-missing sector total, which is what the hierarchical makespan's
+/// per-bank L2 roof consumes.
+#[inline]
+fn bank_missing_sectors(mask: u8, line: u64, spl: u64, banks: &mut [u64]) {
+    if banks.is_empty() {
+        return;
+    }
+    let n = banks.len() as u32;
+    let mut m = mask;
+    while m != 0 {
+        let bit = m.trailing_zeros() as u64;
+        m &= m - 1;
+        banks[crate::mem::hier::l2_bank_of(line * spl + bit, n) as usize] += 1;
+    }
 }
 
 /// Serialization cost of one ordinal's atomic accesses: the max same-address

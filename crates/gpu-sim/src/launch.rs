@@ -12,11 +12,12 @@
 
 use crate::arch::DeviceArch;
 use crate::cost::CostModel;
-use crate::exec::TeamCtx;
+use crate::exec::{burst_atoms, TeamCtx, VisitLog};
 use crate::mem::global::{FallbackRange, GlobalMem};
+use crate::mem::hier::{self, MemModel};
 use crate::sanitize::{ForeignTouch, Sanitizer, Violation};
 use crate::sched;
-use crate::stats::{BlockProfile, LaunchStats, RtCounters};
+use crate::stats::{BlockProfile, LaunchStats, MemStats, RtCounters};
 use crate::trace::Trace;
 
 /// Everything one block's execution produced, collected by the worker pool
@@ -28,6 +29,7 @@ struct BlockOutcome {
     foreign: Vec<ForeignTouch>,
     fallbacks: Vec<FallbackRange>,
     trace: Option<Trace>,
+    visits: VisitLog,
 }
 
 /// Geometry of one kernel launch.
@@ -97,6 +99,9 @@ pub struct Device {
     /// Block-execution thread count override; `None` = `SIMT_SIM_THREADS`
     /// env or available parallelism (see [`sched::resolve_threads`]).
     sim_threads: Option<usize>,
+    /// Memory cost-model override; `None` = `SIMT_SIM_MEM` env or the
+    /// hierarchical default (see [`hier::resolve_mem_model`]).
+    mem_model: Option<MemModel>,
 }
 
 impl Device {
@@ -119,6 +124,7 @@ impl Device {
             sanitize_enabled: sanitize_env,
             san_dense: dense_env,
             sim_threads: None,
+            mem_model: None,
         }
     }
 
@@ -140,6 +146,19 @@ impl Device {
     /// Thread count the next launch will use.
     pub fn sim_threads(&self) -> usize {
         sched::resolve_threads(self.sim_threads)
+    }
+
+    /// Pin the memory cost model, overriding `SIMT_SIM_MEM`. `None`
+    /// returns to environment/default resolution. Tests needing the
+    /// legacy flat model must use this rather than mutating the
+    /// environment (env mutation races under a parallel test harness).
+    pub fn set_mem_model(&mut self, model: Option<MemModel>) {
+        self.mem_model = model;
+    }
+
+    /// Memory model the next launch will use.
+    pub fn mem_model(&self) -> MemModel {
+        hier::resolve_mem_model(self.mem_model)
     }
 
     /// Select the sanitizer's sync-history representation: `true` = the
@@ -251,8 +270,9 @@ impl Device {
                 None => (Vec::new(), Vec::new()),
             };
             let fallbacks = team.fallback_ranges();
+            let visits = team.take_visits();
             let (profile, counters) = team.finish(cfg.threads_per_block, cfg.smem_bytes);
-            BlockOutcome { profile, counters, violations, foreign, fallbacks, trace }
+            BlockOutcome { profile, counters, violations, foreign, fallbacks, trace, visits }
         });
 
         // Deterministic merge: `run_blocks` returns outcomes sorted by
@@ -264,6 +284,7 @@ impl Device {
         let mut merged_trace = trace_enabled.then(|| Trace::with_capacity(trace_cap));
         let mut fallbacks_by_block: Vec<Vec<FallbackRange>> = Vec::with_capacity(outcomes.len());
         let mut foreign_by_block: Vec<Vec<ForeignTouch>> = Vec::with_capacity(outcomes.len());
+        let mut visits_by_block: Vec<VisitLog> = Vec::with_capacity(outcomes.len());
         for (_, o) in outcomes {
             counters.merge(&o.counters);
             violations.extend(o.violations);
@@ -273,6 +294,28 @@ impl Device {
             profiles.push(o.profile);
             fallbacks_by_block.push(o.fallbacks);
             foreign_by_block.push(o.foreign);
+            visits_by_block.push(o.visits);
+        }
+        // Deterministic first-touch replay: walk every block's line-visit
+        // log in block-index order against one sequential touched-set and
+        // charge each compulsory fill's 64-byte DRAM burst atoms to the
+        // visit that claims it. Which visit wins a cross-block shared
+        // sector is interleaving-dependent online, and the burst-atom
+        // count is nonlinear in that grouping — replaying here reproduces
+        // the `SIMT_SIM_THREADS=1` attribution at any thread count.
+        let mut touched: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (p, visits) in profiles.iter_mut().zip(&visits_by_block) {
+            let mut atoms = 0u64;
+            for &packed in visits.entries() {
+                let (line, mask) = (packed >> 8, (packed & 0xff) as u8);
+                let seen = touched.entry(line).or_insert(0);
+                let fresh = mask & !*seen;
+                if fresh != 0 {
+                    *seen |= fresh;
+                    atoms += burst_atoms(fresh);
+                }
+            }
+            p.dram_atoms = atoms;
         }
         if let Some(m) = merged_trace {
             self.trace = m;
@@ -304,9 +347,17 @@ impl Device {
         for v in &violations {
             eprintln!("simtcheck: {v}");
         }
-        let span = sched::makespan(&self.arch, &self.cost, &profiles, resident);
+        let span =
+            sched::makespan_model(&self.arch, &self.cost, self.mem_model(), &profiles, resident);
+        // Block-index-order fold of the memory counters (profiles are
+        // already sorted by block id) — bit-identical at any thread count.
+        let mut mem = MemStats::default();
+        for p in &profiles {
+            mem.merge_block(p);
+        }
+        mem.mlp_stalls = span.mlp_stalls;
         Ok(LaunchStats {
-            cycles: span + self.cost.launch_overhead,
+            cycles: span.cycles + self.cost.launch_overhead,
             blocks: cfg.num_blocks,
             blocks_per_sm: resident,
             total_issue: profiles.iter().map(|p| p.issue).sum(),
@@ -314,6 +365,7 @@ impl Device {
             total_smem_ops: profiles.iter().map(|p| p.smem_ops).sum(),
             total_l1_hits: profiles.iter().map(|p| p.l1_hits).sum(),
             total_dram_sectors: profiles.iter().map(|p| p.dram_sectors).sum(),
+            mem,
             counters,
             violations,
         })

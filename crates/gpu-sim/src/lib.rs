@@ -46,13 +46,14 @@ pub mod sched;
 pub mod stats;
 pub mod trace;
 
-pub use arch::{DeviceArch, Vendor};
+pub use arch::{CacheGeom, DeviceArch, Vendor};
 pub use exec::{DispatchKind, Lane, ObservedEffects, TeamCtx};
 pub use launch::{Device, LaunchConfig, LaunchError};
 pub use mask::LaneMask;
 pub use mem::global::{FallbackRange, GlobalMem, GlobalView, MemCheckpoint};
+pub use mem::hier::{MemModel, MEM_MODEL_ENV};
 pub use mem::ptr::{DPtr, Slot};
 pub use mem::shared::SharedMem;
 pub use sanitize::{ForeignTouch, Sanitizer, SharingLayout, Violation};
-pub use stats::{BlockProfile, LaunchStats, Resource, ResourceCycles};
+pub use stats::{BlockProfile, LaunchStats, MemStats, Resource, ResourceCycles};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,226 @@
+//! The hierarchical memory cost model (`SIMT_SIM_MEM=hier`, the default).
+//!
+//! The flat model charges every transaction-replay cycle to the issuing
+//! warp and roofs the device with two aggregate sectors-per-cycle numbers.
+//! That overstates the cost of temporal-reuse baselines (the su3_bench
+//! deviation documented in EXPERIMENTS.md): a replay whose line is fully
+//! valid in L1 retires at L1 bandwidth through the LSU pipe on real
+//! hardware instead of stalling instruction issue for a line-fill's worth
+//! of cycles. Replays that *miss* (or partially fill a line) genuinely do
+//! serialize — they allocate MSHRs and wait — so their cost stays on the
+//! warp in both models.
+//!
+//! The hierarchical model keeps the per-block *charging* identical (so the
+//! two execution engines, the sanitizer and the counter tests are
+//! unaffected) and changes only how the per-block counters combine into a
+//! makespan ([`crate::sched::makespan_model`]):
+//!
+//! * **L1/LSU (per SM)** — L1-hit replay cycles are *subtracted* from the
+//!   warp-issue total and the latency critical path: the whole
+//!   `line_cycles` charge for a *full-line* hit (every sector of the way
+//!   valid — temporal reuse of a completed fill, retired by the LSU's
+//!   line port at [`CacheGeom::lsu_hit_lines_per_cycle`]), and all but
+//!   one issue cycle for a *partial-line* hit (the sector drains off the
+//!   in-flight fill buffer). A kernel with no temporal reuse
+//!   (`l1_hits == 0`) sees the flat per-SM wave unchanged.
+//! * **L2 (device)** — L1-missing sectors hash to one of
+//!   [`CacheGeom::l2_banks`] slices; the slowest bank is the roof.
+//! * **DRAM (device)** — compulsory traffic crosses a bandwidth roof at
+//!   its *effective* size: HBM's minimum access granularity
+//!   ([`CacheGeom::dram_burst_sectors`] = 64 B) makes a single-sector
+//!   fill occupy a whole burst atom, so uncoalesced baselines pay up to
+//!   2× their useful traffic. The roof's rate is further capped by
+//!   memory-level parallelism: by Little's law a launch sustaining
+//!   `outstanding` sectors against `dram_latency` cycles of latency
+//!   cannot exceed `outstanding / dram_latency` sectors per cycle,
+//!   however wide the DRAM interface is. Cycles the cap adds are
+//!   reported as [`MemStats::mlp_stalls`].
+//!
+//! Determinism (DESIGN §11) is preserved by construction: all new
+//! counters are folded per block and merged in block-index order, and the
+//! makespan arithmetic consumes only launch totals.
+//!
+//! [`CacheGeom::l2_banks`]: crate::arch::CacheGeom::l2_banks
+//! [`MemStats::mlp_stalls`]: crate::stats::MemStats::mlp_stalls
+
+use crate::arch::CacheGeom;
+
+/// Environment variable selecting the memory model for new devices:
+/// `flat` for the legacy single-tier roofs, anything else (or unset) for
+/// the hierarchical model. [`crate::Device::set_mem_model`] overrides it
+/// per device (tests must use the override — env mutation is racy under
+/// a parallel test harness).
+pub const MEM_MODEL_ENV: &str = "SIMT_SIM_MEM";
+
+/// Which memory cost model a device's makespan uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemModel {
+    /// Legacy single-tier model: replay cycles on the warp critical path,
+    /// flat `l2_sectors_per_cycle`/`dram_sectors_per_cycle` device roofs.
+    Flat,
+    /// Hierarchical L1/L2/DRAM model (this module).
+    #[default]
+    Hier,
+}
+
+/// Resolve the memory model: an explicit per-device override wins, then
+/// [`MEM_MODEL_ENV`], then the hierarchical default.
+pub fn resolve_mem_model(override_model: Option<MemModel>) -> MemModel {
+    if let Some(m) = override_model {
+        return m;
+    }
+    match std::env::var(MEM_MODEL_ENV) {
+        Ok(v) if v.trim().eq_ignore_ascii_case("flat") => MemModel::Flat,
+        _ => MemModel::Hier,
+    }
+}
+
+/// Coalesce one warp instruction's per-lane accesses into the unique,
+/// sorted set of 32-byte sectors it touches — the transaction-generation
+/// rule both execution engines apply per access ordinal (an access
+/// straddling a sector boundary touches every sector it overlaps).
+///
+/// This is the pure-function mirror of the engines' in-line coalescing,
+/// exercised directly by the coalescing unit/property tests.
+pub fn coalesce_sectors(accesses: &[(u64, u32)], sector_bytes: u32) -> Vec<u64> {
+    let sb = sector_bytes.max(1) as u64;
+    let mut sectors = Vec::new();
+    for &(addr, bytes) in accesses {
+        if bytes == 0 {
+            continue;
+        }
+        let first = addr / sb;
+        let last = (addr + bytes as u64 - 1) / sb;
+        for s in first..=last {
+            sectors.push(s);
+        }
+    }
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors
+}
+
+/// L2 bank slice an L1-missing sector is served by. Fibonacci-hashed (with
+/// a different shift than the L1 set hash) so power-of-two strides spread
+/// instead of camping on one slice.
+#[inline]
+pub fn l2_bank_of(sector: u64, n_banks: u32) -> u32 {
+    if n_banks <= 1 {
+        return 0;
+    }
+    let h = sector.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 31;
+    (h % n_banks as u64) as u32
+}
+
+/// Device-level L2 time: the slowest bank slice serves its sectors at
+/// [`CacheGeom::l2_bank_sectors_per_cycle`]; a trailing partial beat
+/// costs a full cycle.
+pub fn l2_bank_time(bank_sectors: &[u64], geom: &CacheGeom) -> u64 {
+    let rate = geom.l2_bank_sectors_per_cycle.max(1);
+    bank_sectors.iter().map(|&s| s.div_ceil(rate)).max().unwrap_or(0)
+}
+
+/// DRAM roof with the memory-level-parallelism cap and the burst
+/// (minimum-access) granularity rule: returns `(dram_cycles,
+/// mlp_stall_cycles)` for the launch's compulsory traffic when it
+/// sustains at most `outstanding` in-flight sectors device-wide.
+/// `peak_rate` is the interface's sectors per cycle
+/// ([`crate::cost::CostModel::dram_sectors_per_cycle`]).
+///
+/// HBM serves a minimum of [`CacheGeom::dram_burst_sectors`] sectors per
+/// access, so the roof charges `dram_atoms × dram_burst_sectors`
+/// *effective* sectors when that exceeds `dram_sectors`: a baseline whose
+/// fills each carry one useful 32-byte sector pays double bandwidth,
+/// while fully-coalesced line fills pay exactly their sector count. This
+/// is what separates uncoalesced from coalesced streaming at *equal*
+/// useful traffic — the core of Fig 9's baseline penalty.
+pub fn dram_time(
+    dram_sectors: u64,
+    dram_atoms: u64,
+    outstanding: u64,
+    peak_rate: u64,
+    geom: &CacheGeom,
+) -> (u64, u64) {
+    let effective = dram_sectors.max(dram_atoms.saturating_mul(geom.dram_burst_sectors));
+    if effective == 0 {
+        return (0, 0);
+    }
+    let peak = peak_rate.max(1);
+    // Little's law: sustained rate = outstanding / latency.
+    let sustained = (outstanding / geom.dram_latency.max(1)).max(1);
+    let rate = sustained.min(peak);
+    let t = effective.div_ceil(rate);
+    let t_peak = effective.div_ceil(peak);
+    (t, t - t_peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeom {
+        crate::arch::DeviceArch::a100().cache
+    }
+
+    #[test]
+    fn env_default_is_hier_and_override_wins() {
+        assert_eq!(resolve_mem_model(Some(MemModel::Flat)), MemModel::Flat);
+        assert_eq!(resolve_mem_model(Some(MemModel::Hier)), MemModel::Hier);
+        assert_eq!(MemModel::default(), MemModel::Hier);
+    }
+
+    #[test]
+    fn bank_hash_spreads_power_of_two_strides() {
+        // 128 consecutive lines' worth of stride-4 sectors (a power-of-two
+        // pattern) must not all camp on a handful of banks.
+        let mut counts = vec![0u64; 40];
+        for i in 0..128u64 {
+            counts[l2_bank_of(i * 4, 40) as usize] += 1;
+        }
+        let used = counts.iter().filter(|&&c| c > 0).count();
+        assert!(used >= 20, "stride-4 pattern used only {used}/40 banks");
+        assert_eq!(counts.iter().sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn l2_time_is_slowest_bank() {
+        let g = geom(); // 2 sectors/cycle per bank
+        assert_eq!(l2_bank_time(&[10, 4, 0], &g), 5);
+        assert_eq!(l2_bank_time(&[3], &g), 2); // partial beat rounds up
+        assert_eq!(l2_bank_time(&[], &g), 0);
+    }
+
+    #[test]
+    fn dram_mlp_cap_binds_at_low_occupancy() {
+        let g = geom(); // latency 400, peak 32/cycle
+                        // Plenty of parallelism: 108 SMs × 4 warps × 32 = 13824
+                        // outstanding → sustained 34 > peak 32, no stall. Coalesced
+                        // traffic: 2 sectors per atom → effective == sectors.
+        let (t, stalls) = dram_time(46656, 23_328, 13_824, 32, &g);
+        assert_eq!(t, 46656u64.div_ceil(32));
+        assert_eq!(stalls, 0);
+        // One warp on one SM: 32 outstanding / 400 latency → the sustained
+        // rate clamps to the 1 sector/cycle floor.
+        let (t1, stalls1) = dram_time(1000, 500, 32, 32, &g);
+        assert_eq!(t1, 1000);
+        assert!(stalls1 > 0);
+        assert_eq!(t1 - stalls1, 1000u64.div_ceil(32));
+    }
+
+    #[test]
+    fn dram_burst_granularity_doubles_single_sector_fills() {
+        let g = geom(); // dram_burst_sectors = 2
+                        // 1000 fills of one sector each: 1000 atoms → 2000 effective
+                        // sectors, double the useful traffic.
+        let (t, _) = dram_time(1000, 1000, 1 << 20, 32, &g);
+        assert_eq!(t, 2000u64.div_ceil(32));
+        // Fully coalesced: 1000 sectors in 500 atoms → effective 1000.
+        let (tc, _) = dram_time(1000, 500, 1 << 20, 32, &g);
+        assert_eq!(tc, 1000u64.div_ceil(32));
+    }
+
+    #[test]
+    fn dram_zero_traffic_is_free() {
+        assert_eq!(dram_time(0, 0, 0, 32, &geom()), (0, 0));
+    }
+}

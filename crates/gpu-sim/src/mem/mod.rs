@@ -4,6 +4,7 @@
 //! argument payloads (the `void**` of the paper's outlined functions).
 
 pub mod global;
+pub mod hier;
 pub mod pod;
 pub mod ptr;
 pub mod shared;

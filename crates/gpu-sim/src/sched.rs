@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::arch::DeviceArch;
 use crate::cost::CostModel;
+use crate::mem::hier::{self, MemModel};
 use crate::stats::BlockProfile;
 
 /// Environment variable selecting how many host threads execute blocks.
@@ -100,18 +101,58 @@ pub fn blocks_per_sm(arch: &DeviceArch, threads_per_block: u32, smem_bytes: u32)
     by_threads.min(by_smem).min(arch.max_blocks_per_sm)
 }
 
-/// Compute the device makespan (in cycles, excluding launch overhead) for a
-/// set of executed blocks.
+/// Makespan result: the device cycles plus the hierarchical model's
+/// MLP-stall attribution (always 0 under the flat model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Makespan {
+    /// Device cycles, excluding launch overhead.
+    pub cycles: u64,
+    /// Cycles the DRAM roof grew beyond peak-bandwidth time because the
+    /// launch's memory-level parallelism could not cover the latency.
+    pub mlp_stalls: u64,
+}
+
+/// Compute the flat-model device makespan (in cycles, excluding launch
+/// overhead) for a set of executed blocks. Kept as the legacy entry point;
+/// [`makespan_model`] selects between this and the hierarchical model.
 pub fn makespan(
     arch: &DeviceArch,
     cost: &CostModel,
     profiles: &[BlockProfile],
     resident_per_sm: u32,
 ) -> u64 {
+    makespan_model(arch, cost, MemModel::Flat, profiles, resident_per_sm).cycles
+}
+
+/// Compute the device makespan under the selected memory model.
+///
+/// Both models consume the same per-block counters (the charge path is
+/// identical — DESIGN §15); they differ in how counters combine:
+///
+/// * **Flat**: per-wave `max(latency, issue/width, sectors × cycle)` with
+///   device-wide aggregate L2/DRAM roofs. Every transaction-replay cycle
+///   stays inside `issue` and `cycles`, so baselines with heavy temporal
+///   reuse pay L1-hit replays on the issue pipe — the documented
+///   su3_bench overshoot.
+/// * **Hier**: full-line L1-hit replays (`l1_hits × line_cycles`) retire
+///   through a per-SM LSU pipe at L1 bandwidth; the issue and latency
+///   terms are net of them. Partial fills and misses keep their replay
+///   cycles on the issue path (MSHR allocation serializes them in either
+///   model), so kernels without temporal reuse see the flat per-SM wave
+///   unchanged. The L2 roof is per bank slice and the DRAM roof is capped
+///   by the launch's memory-level parallelism.
+pub fn makespan_model(
+    arch: &DeviceArch,
+    cost: &CostModel,
+    model: MemModel,
+    profiles: &[BlockProfile],
+    resident_per_sm: u32,
+) -> Makespan {
     assert!(resident_per_sm >= 1, "occupancy must allow at least one block");
     if profiles.is_empty() {
-        return 0;
+        return Makespan::default();
     }
+    let geom = &arch.cache;
     let nsms = arch.num_sms as usize;
     // Round-robin assignment of blocks to SMs.
     let mut sm_time = vec![0u64; nsms];
@@ -122,17 +163,49 @@ pub fn makespan(
     for (sm, blocks) in per_sm.iter().enumerate() {
         let mut t = 0u64;
         for wave in blocks.chunks(resident_per_sm as usize) {
-            let latency = wave.iter().map(|b| b.cycles).max().unwrap_or(0);
-            let issue: u64 = wave.iter().map(|b| b.issue).sum();
-            let sectors: u64 = wave.iter().map(|b| b.sectors).sum();
-            // Round up: a trailing partial issue group still costs a cycle.
-            let issue_time = issue.div_ceil(cost.sm_issue_width.max(1));
-            let mem_time = sectors * cost.sm_sector_cycles;
-            let mut w = latency.max(issue_time).max(mem_time);
-            // Compute and memory pipelines overlap imperfectly.
-            if let Some(extra) = issue_time.min(mem_time).checked_div(cost.overlap_denom) {
-                w += extra;
-            }
+            let w = match model {
+                MemModel::Flat => {
+                    let latency = wave.iter().map(|b| b.cycles).max().unwrap_or(0);
+                    let issue: u64 = wave.iter().map(|b| b.issue).sum();
+                    let sectors: u64 = wave.iter().map(|b| b.sectors).sum();
+                    // Round up: a trailing partial issue group still costs
+                    // a cycle.
+                    let issue_time = issue.div_ceil(cost.sm_issue_width.max(1));
+                    let mem_time = sectors * cost.sm_sector_cycles;
+                    let mut w = latency.max(issue_time).max(mem_time);
+                    // Compute and memory pipelines overlap imperfectly.
+                    if let Some(extra) = issue_time.min(mem_time).checked_div(cost.overlap_denom) {
+                        w += extra;
+                    }
+                    w
+                }
+                MemModel::Hier => {
+                    // Latency and issue net of the L1-hit replay cycles
+                    // that retire in the LSU pipe below, overlapped with
+                    // issue. Misses (and one sector beat per partial-line
+                    // hit) stay on the issue path exactly as in the flat
+                    // wave.
+                    let latency = wave.iter().map(|b| b.resid_cycles).max().unwrap_or(0);
+                    let issue: u64 = wave.iter().map(|b| b.issue.saturating_sub(b.tx_cycles)).sum();
+                    let full_hits: u64 = wave.iter().map(|b| b.l1_full_hits).sum();
+                    let sectors: u64 = wave.iter().map(|b| b.sectors).sum();
+                    let issue_time = issue.div_ceil(cost.sm_issue_width.max(1));
+                    // The LSU's line port replays full-line hits at L1
+                    // bandwidth; its sector port drains L1-missing sectors
+                    // exactly as in the flat wave. Partial-line hit replays
+                    // cost their retained sector beat on the issue path and
+                    // their fill bandwidth at the DRAM burst roof — they
+                    // occupy no extra LSU throughput.
+                    let mem_time = full_hits
+                        .div_ceil(geom.lsu_hit_lines_per_cycle.max(1))
+                        .max(sectors * cost.sm_sector_cycles);
+                    let mut w = latency.max(issue_time).max(mem_time);
+                    if let Some(extra) = issue_time.min(mem_time).checked_div(cost.overlap_denom) {
+                        w += extra;
+                    }
+                    w
+                }
+            };
             t += w;
         }
         sm_time[sm] = t;
@@ -142,10 +215,43 @@ pub fn makespan(
     // first-touch (compulsory) traffic crosses DRAM.
     let total_sectors: u64 = profiles.iter().map(|b| b.sectors).sum();
     let total_dram: u64 = profiles.iter().map(|b| b.dram_sectors).sum();
-    // Round up: a final partial beat of sectors occupies a full cycle.
-    let l2_time = total_sectors.div_ceil(cost.l2_sectors_per_cycle.max(1));
-    let dram_time = total_dram.div_ceil(cost.dram_sectors_per_cycle.max(1));
-    device_time.max(l2_time).max(dram_time)
+    match model {
+        MemModel::Flat => {
+            // Round up: a final partial beat of sectors occupies a full
+            // cycle.
+            let l2_time = total_sectors.div_ceil(cost.l2_sectors_per_cycle.max(1));
+            let dram_time = total_dram.div_ceil(cost.dram_sectors_per_cycle.max(1));
+            Makespan { cycles: device_time.max(l2_time).max(dram_time), mlp_stalls: 0 }
+        }
+        MemModel::Hier => {
+            // Slowest L2 bank slice (block-index-order fold keeps the
+            // totals deterministic).
+            let nbanks = geom.l2_banks.max(1) as usize;
+            let mut banks = vec![0u64; nbanks];
+            for p in profiles {
+                for (acc, &b) in banks.iter_mut().zip(&p.l2_bank_sectors) {
+                    *acc += b;
+                }
+            }
+            let l2_time = hier::l2_bank_time(&banks, geom);
+            // Outstanding DRAM sectors the launch can sustain: resident
+            // warps across the SMs it actually occupies.
+            let warps_per_block =
+                profiles.iter().map(|p| arch.warps_for(p.threads)).max().unwrap_or(1).max(1);
+            let sms_used = (profiles.len() as u64).min(nsms as u64).max(1);
+            let outstanding =
+                sms_used * resident_per_sm as u64 * warps_per_block as u64 * geom.mlp_per_warp;
+            let total_atoms: u64 = profiles.iter().map(|b| b.dram_atoms).sum();
+            let (dram_time, mlp_stalls) = hier::dram_time(
+                total_dram,
+                total_atoms,
+                outstanding,
+                cost.dram_sectors_per_cycle,
+                geom,
+            );
+            Makespan { cycles: device_time.max(l2_time).max(dram_time), mlp_stalls }
+        }
+    }
 }
 
 #[cfg(test)]

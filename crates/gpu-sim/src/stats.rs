@@ -92,13 +92,97 @@ pub struct BlockProfile {
     pub smem_ops: u64,
     /// Sectors served from the warp-local L1 window.
     pub l1_hits: u64,
+    /// Full-line L1 hits (subset of `l1_hits`): tag hits whose way had
+    /// every sector valid — temporal reuse of a completed fill, as opposed
+    /// to re-touching a sector while the line fill is still in flight.
+    pub l1_full_hits: u64,
     /// First-touch (compulsory) sectors — DRAM-side traffic.
     pub dram_sectors: u64,
+    /// 64-byte DRAM burst atoms the compulsory traffic occupies: HBM's
+    /// minimum access granularity means a single-sector (32 B) fill still
+    /// spends a whole atom of bandwidth, so `2 × dram_atoms ≥
+    /// dram_sectors`, with equality only for fully-coalesced fills.
+    /// Filled by the launch's block-index-order visit replay (not during
+    /// block execution) so the per-visit burst grouping is bit-identical
+    /// at any `SIMT_SIM_THREADS`.
+    pub dram_atoms: u64,
+    /// L1-hit replay cycles included in `issue`/`cycles` that the
+    /// hierarchical model moves off the issue pipe into the LSU: the whole
+    /// `line_cycles` charge per full-line hit, all but one `sector_cycles`
+    /// beat per partial-line hit.
+    pub tx_cycles: u64,
+    /// Deduplicated sectors touched by warp instructions, L1 hits
+    /// included — LSU pipe occupancy in the hierarchical model.
+    pub lsu_sectors: u64,
+    /// Critical-path cycles net of each warp's own transaction-replay
+    /// charges: `max` over warps of `clock − tx` — the latency term the
+    /// hierarchical makespan uses instead of `cycles`.
+    pub resid_cycles: u64,
+    /// L1-missing sectors per L2 bank slice (length =
+    /// [`crate::arch::CacheGeom::l2_banks`]); sums to `sectors`.
+    pub l2_bank_sectors: Vec<u64>,
     /// Threads the block occupies (occupancy input; includes the extra
     /// team-main warp in generic mode).
     pub threads: u32,
     /// Shared-memory bytes the block occupies (occupancy input).
     pub smem_bytes: u32,
+}
+
+/// Memory-hierarchy counters aggregated over a launch, merged from the
+/// per-block profiles in block-index order (DESIGN §11) so they are
+/// bit-identical at any `SIMT_SIM_THREADS`. Filled for both memory
+/// models — only the makespan interpretation differs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Warp-L1 window hits (every requested sector already valid).
+    pub l1_hits: u64,
+    /// Full-line hits among `l1_hits` (way's entire sector mask valid —
+    /// temporal reuse; the rest re-touched a line whose fill was still
+    /// in progress).
+    pub l1_full_hits: u64,
+    /// L1-missing sectors (L2-bound traffic). Equals
+    /// [`LaunchStats::total_sectors`].
+    pub l1_miss_sectors: u64,
+    /// Deduplicated sectors through the SM LSU pipes (hits included).
+    pub lsu_sectors: u64,
+    /// Offloadable L1-hit replay cycles contained in the issue totals
+    /// (full `line_cycles` per full-line hit, all but one `sector_cycles`
+    /// beat per partial-line hit).
+    pub tx_cycles: u64,
+    /// L1-missing sectors per L2 bank slice; sums to `l1_miss_sectors`.
+    pub l2_bank_sectors: Vec<u64>,
+    /// Compulsory (first-touch) sectors — DRAM traffic. Equals
+    /// [`LaunchStats::total_dram_sectors`].
+    pub dram_sectors: u64,
+    /// 64-byte burst atoms the compulsory traffic occupies (HBM minimum
+    /// access granularity); the hierarchical DRAM roof charges
+    /// `max(dram_sectors, 2 × dram_atoms)` effective sectors.
+    pub dram_atoms: u64,
+    /// Cycles the DRAM roof grew because the launch's memory-level
+    /// parallelism could not sustain peak bandwidth (hierarchical model
+    /// only; always 0 under the flat model).
+    pub mlp_stalls: u64,
+}
+
+impl MemStats {
+    /// Fold one block's profile in. Callers iterate profiles in
+    /// block-index order, which is what keeps the merge bit-identical
+    /// across block-execution thread counts.
+    pub fn merge_block(&mut self, p: &BlockProfile) {
+        self.l1_hits += p.l1_hits;
+        self.l1_full_hits += p.l1_full_hits;
+        self.l1_miss_sectors += p.sectors;
+        self.lsu_sectors += p.lsu_sectors;
+        self.tx_cycles += p.tx_cycles;
+        self.dram_sectors += p.dram_sectors;
+        self.dram_atoms += p.dram_atoms;
+        if self.l2_bank_sectors.len() < p.l2_bank_sectors.len() {
+            self.l2_bank_sectors.resize(p.l2_bank_sectors.len(), 0);
+        }
+        for (acc, &b) in self.l2_bank_sectors.iter_mut().zip(&p.l2_bank_sectors) {
+            *acc += b;
+        }
+    }
 }
 
 /// Runtime-behavior counters, aggregated over a launch. These are what the
@@ -169,6 +253,9 @@ pub struct LaunchStats {
     pub total_l1_hits: u64,
     /// Total compulsory (DRAM) sectors.
     pub total_dram_sectors: u64,
+    /// Memory-hierarchy counters (block-index-order merge of the
+    /// per-block profiles, plus the makespan's MLP-stall attribution).
+    pub mem: MemStats,
     /// Runtime-behavior counters summed over blocks.
     pub counters: RtCounters,
     /// Protocol violations found by the simtcheck sanitizer, over all

@@ -203,3 +203,102 @@ fn smem_broadcast_is_free_of_conflicts() {
         .unwrap();
     assert_eq!(stats.total_issue, sc, "broadcast costs one wavefront");
 }
+
+// ---------------------------------------------------------------------------
+// Coalescing unit: `mem::hier::coalesce_sectors` is the pure mirror of the
+// transaction generation both engines perform per ordinal; these pin its
+// canonical shapes and its monotonicity in the active-lane set.
+// ---------------------------------------------------------------------------
+
+use gpu_sim::mem::hier::coalesce_sectors;
+
+#[test]
+fn coalesce_broadcast_is_one_sector() {
+    // Every lane reads the same f64: one 32 B sector, however many lanes.
+    let accesses: Vec<(u64, u32)> = (0..32).map(|_| (128, 8)).collect();
+    assert_eq!(coalesce_sectors(&accesses, 32), vec![4]);
+}
+
+#[test]
+fn coalesce_unit_stride_is_minimal() {
+    // 32 consecutive f64 = 256 B = exactly 8 sectors, nothing duplicated.
+    let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 8, 8)).collect();
+    assert_eq!(coalesce_sectors(&accesses, 32), (0..8).collect::<Vec<u64>>());
+}
+
+#[test]
+fn coalesce_wide_stride_is_one_sector_per_lane() {
+    // 128 B stride: every lane lands in its own line — worst case, one
+    // sector per active lane.
+    let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 128, 8)).collect();
+    let sectors = coalesce_sectors(&accesses, 32);
+    assert_eq!(sectors.len(), 32);
+    assert_eq!(sectors, (0..32).map(|i| i * 4).collect::<Vec<u64>>());
+}
+
+#[test]
+fn coalesce_misaligned_warp_pays_one_extra_sector() {
+    // Shifting a unit-stride warp 4 bytes off sector alignment straddles
+    // one more 32 B sector (9 instead of 8); the lone straddling lane
+    // pays two sectors.
+    let aligned: Vec<(u64, u32)> = (0..32).map(|i| (i * 8, 8)).collect();
+    let shifted: Vec<(u64, u32)> = (0..32).map(|i| (4 + i * 8, 8)).collect();
+    assert_eq!(coalesce_sectors(&shifted, 32).len(), coalesce_sectors(&aligned, 32).len() + 1);
+    assert_eq!(coalesce_sectors(&[(28, 8)], 32), vec![0, 1]);
+}
+
+#[test]
+fn coalesce_partial_mask_touches_only_active_sectors() {
+    // Lanes 0..8 of a unit-stride warp: 64 B = 2 sectors; the inactive
+    // lanes' sectors never appear.
+    let accesses: Vec<(u64, u32)> = (0..8).map(|i| (i * 8, 8)).collect();
+    assert_eq!(coalesce_sectors(&accesses, 32), vec![0, 1]);
+}
+
+#[test]
+fn coalesce_is_monotone_in_active_lanes() {
+    // Enabling one more lane never shrinks the sector set, and only ever
+    // adds that lane's own sectors — for an arbitrary deterministic
+    // access pattern mixing strides, overlaps, and misalignment.
+    let pattern: Vec<(u64, u32)> = (0..32u64).map(|i| ((i * 37) % 61 * 8 + (i % 3), 8)).collect();
+    let mut prev: Vec<u64> = Vec::new();
+    for n in 0..=pattern.len() {
+        let cur = coalesce_sectors(&pattern[..n], 32);
+        assert!(cur.len() >= prev.len(), "sector count must be monotone in active lanes");
+        assert!(prev.iter().all(|s| cur.contains(s)), "sector set must grow monotonically");
+        prev = cur;
+    }
+}
+
+#[test]
+fn burst_atoms_separate_strided_from_coalesced_fills() {
+    // Equal useful DRAM traffic, different burst-atom cost: a coalesced
+    // fill pays one 64 B atom per two sectors; 128 B-strided single-sector
+    // fills pay a whole atom each, doubling their effective bandwidth at
+    // the hierarchical DRAM roof.
+    let mut dev = device();
+    let p = dev.global.alloc_zeroed::<f64>(32 * 16);
+    let coalesced = dev
+        .launch(&one_block(), |team| {
+            let lanes: Vec<u32> = (0..32).collect();
+            team.run_lanes(0, &lanes, |lane, id| {
+                lane.read(p, id as u64);
+            });
+        })
+        .unwrap();
+    assert_eq!(coalesced.mem.dram_sectors, 8);
+    assert_eq!(coalesced.mem.dram_atoms, 4, "fully-coalesced: 2 sectors per atom");
+
+    let mut dev = device();
+    let p = dev.global.alloc_zeroed::<f64>(32 * 16);
+    let strided = dev
+        .launch(&one_block(), |team| {
+            let lanes: Vec<u32> = (0..32).collect();
+            team.run_lanes(0, &lanes, |lane, id| {
+                lane.read(p, id as u64 * 16);
+            });
+        })
+        .unwrap();
+    assert_eq!(strided.mem.dram_sectors, 32);
+    assert_eq!(strided.mem.dram_atoms, 32, "single-sector fills burn one atom each");
+}

@@ -1,0 +1,354 @@
+//! Differential + golden-shape suite for the hierarchical memory model
+//! (`gpu_sim::mem::hier`).
+//!
+//! Three contracts:
+//!
+//! 1. **Differential**: every in-tree kernel runs under both memory models
+//!    (`Device::set_mem_model` — the env knob is racy under a parallel
+//!    test harness) × both execution engines × block-execution thread
+//!    counts {1, 4}. Within one model, all four runs must produce
+//!    bit-identical [`LaunchStats`] — including every [`MemStats`]
+//!    counter, whose block-index-order merge (DESIGN §11) is exactly what
+//!    this asserts. Across models, every *charge* counter must agree
+//!    (the models reinterpret the same per-block profiles; only the
+//!    makespan and its MLP-stall attribution may differ).
+//! 2. **Seed pin**: the flat-path results are pinned to the exact values
+//!    the pre-hierarchy seed produced, so `SIMT_SIM_MEM=flat` remains a
+//!    faithful escape hatch to the old model.
+//! 3. **Golden shape**: the Fig 9 speedup curves under the hierarchical
+//!    model hold their paper shape — su3's benefit capped at ≤ 2× with
+//!    small groups worst, sparse_matvec peaking at an interior group
+//!    size, ideal's group-32 factor within ±15% of the paper's 2.15× —
+//!    at a reduced size in tier-1 and at full Fig 9 size behind
+//!    `#[ignore]` (run with `cargo test --release -- --ignored`).
+
+use simt_omp::codegen::{CompiledKernel, Engine};
+use simt_omp::gpu::{Device, DeviceArch, LaunchStats, MemModel, Slot};
+use simt_omp::kernels::harness::Fig10Variant;
+use simt_omp::kernels::matrix::{CsrMatrix, RowProfile};
+use simt_omp::kernels::stencil2d::Stencil2dVariant;
+use simt_omp::kernels::{batched, ideal, laplace3d, muram, spmv, stencil2d, su3};
+use simt_omp::rt::config::KernelConfig;
+
+/// Run one kernel across the model × engine × sim-thread matrix. Asserts
+/// bit-identical stats within each model and charge-counter agreement
+/// across models; returns the canonical `(flat, hier)` stats.
+fn model_matrix(
+    label: &str,
+    k: &CompiledKernel,
+    arch: &DeviceArch,
+    mut setup: impl FnMut(&mut Device) -> Vec<Slot>,
+) -> (LaunchStats, LaunchStats) {
+    let mut canon: Vec<LaunchStats> = Vec::new();
+    for model in [MemModel::Flat, MemModel::Hier] {
+        let mut first: Option<LaunchStats> = None;
+        for engine in [Engine::Bytecode, Engine::Tree] {
+            for threads in [1usize, 4] {
+                let mut dev = Device::new(arch.clone());
+                dev.set_mem_model(Some(model));
+                dev.set_sim_threads(Some(threads));
+                let args = setup(&mut dev);
+                let stats = k
+                    .launch_with_engine(&mut dev, &args, engine)
+                    .unwrap_or_else(|e| panic!("{label} {model:?} {engine:?}: {e:?}"));
+                match &first {
+                    None => first = Some(stats),
+                    Some(c) => assert_eq!(
+                        *c, stats,
+                        "{label} {model:?}: {engine:?} threads={threads} diverged"
+                    ),
+                }
+            }
+        }
+        canon.push(first.unwrap());
+    }
+    let (flat, hier) = (canon.remove(0), canon.remove(0));
+    // The models share one charge path: every traffic counter agrees.
+    assert_eq!(flat.blocks, hier.blocks, "{label}: block count");
+    assert_eq!(flat.total_issue, hier.total_issue, "{label}: issue");
+    assert_eq!(flat.total_sectors, hier.total_sectors, "{label}: sectors");
+    assert_eq!(flat.total_l1_hits, hier.total_l1_hits, "{label}: l1 hits");
+    assert_eq!(flat.total_dram_sectors, hier.total_dram_sectors, "{label}: dram");
+    let mut flat_mem = flat.mem.clone();
+    flat_mem.mlp_stalls = hier.mem.mlp_stalls;
+    assert_eq!(flat_mem, hier.mem, "{label}: MemStats diverged beyond mlp_stalls");
+    (flat, hier)
+}
+
+/// Pin the flat-model stats to the seed's values (captured from the
+/// pre-hierarchy tree at these exact configs).
+#[allow(clippy::too_many_arguments)]
+fn assert_seed(
+    label: &str,
+    s: &LaunchStats,
+    cycles: u64,
+    issue: u64,
+    sectors: u64,
+    l1_hits: u64,
+    dram: u64,
+    blocks: u32,
+) {
+    assert_eq!(s.cycles, cycles, "{label}: flat cycles drifted from seed");
+    assert_eq!(s.total_issue, issue, "{label}: flat issue drifted from seed");
+    assert_eq!(s.total_sectors, sectors, "{label}: flat sectors drifted from seed");
+    assert_eq!(s.total_l1_hits, l1_hits, "{label}: flat l1 hits drifted from seed");
+    assert_eq!(s.total_dram_sectors, dram, "{label}: flat dram drifted from seed");
+    assert_eq!(s.blocks, blocks, "{label}: flat block count drifted from seed");
+}
+
+#[test]
+fn spmv_models_differential() {
+    let mat = CsrMatrix::generate(2048, 2048, RowProfile::Banded { min: 4, max: 44 }, 42);
+    let x: Vec<f64> = (0..mat.ncols).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
+    let k = spmv::build_two_level(108);
+    let (flat, _) = model_matrix("spmv two-level", &k, &DeviceArch::a100(), |dev| {
+        spmv::SpmvDev::upload(dev, &mat, &x).args().to_vec()
+    });
+    assert_seed("spmv two-level", &flat, 21_669, 2_055_646, 46_738, 9_982, 26_153, 108);
+
+    let k = spmv::build_three_level(27, 64, 8);
+    let (flat, _) = model_matrix("spmv three-level gs=8", &k, &DeviceArch::a100(), |dev| {
+        spmv::SpmvDev::upload(dev, &mat, &x).args().to_vec()
+    });
+    assert_seed("spmv three-level gs=8", &flat, 18_668, 615_768, 43_512, 9_955, 26_153, 27);
+}
+
+#[test]
+fn su3_models_differential() {
+    let w = su3::Su3Workload::generate(1728, 7);
+    let k = su3::build(27, 64, 1);
+    let (flat, hier) = model_matrix("su3 base", &k, &DeviceArch::a100(), |dev| {
+        su3::Su3Dev::upload(dev, &w).args().to_vec()
+    });
+    assert_seed("su3 base", &flat, 107_447, 5_456_378, 94_339, 776_573, 93_312, 27);
+    // The hierarchical model is the whole point for su3: its temporal
+    // reuse must stop being charged as issue-serialized replays.
+    assert!(
+        hier.cycles < flat.cycles,
+        "su3 base: hier ({}) should beat flat ({})",
+        hier.cycles,
+        flat.cycles
+    );
+
+    let k = su3::build(27, 64, 8);
+    let (flat, _) = model_matrix("su3 gs=8", &k, &DeviceArch::a100(), |dev| {
+        su3::Su3Dev::upload(dev, &w).args().to_vec()
+    });
+    assert_seed("su3 gs=8", &flat, 34_548, 1_483_704, 93_312, 148_608, 93_312, 27);
+}
+
+#[test]
+fn ideal_models_differential() {
+    let w = ideal::IdealWorkload::generate(6912, 3);
+    let k = ideal::build(27, 64, 8);
+    let (flat, _) = model_matrix("ideal gs=8", &k, &DeviceArch::a100(), |dev| {
+        ideal::IdealDev::upload(dev, &w).args().to_vec()
+    });
+    assert_seed("ideal gs=8", &flat, 20_548, 687_960, 112_320, 0, 112_320, 27);
+}
+
+#[test]
+fn laplace3d_models_differential() {
+    let w = laplace3d::Laplace3dWorkload::generate(18);
+    let pins = [
+        (Fig10Variant::NoSimd, 6_456u64, 30_912u64, 1_132u64),
+        (Fig10Variant::SpmdSimd, 7_270, 40_960, 1_472),
+        (Fig10Variant::GenericSimd, 8_786, 65_216, 1_472),
+    ];
+    for (variant, cycles, issue, hits) in pins {
+        let k = laplace3d::build(8, 64, variant);
+        let label = format!("laplace3d {}", variant.label());
+        let (flat, _) = model_matrix(&label, &k, &DeviceArch::a100(), |dev| {
+            laplace3d::Laplace3dDev::upload(dev, &w).args().to_vec()
+        });
+        assert_seed(&label, &flat, cycles, issue, 5_024, hits, 2_610, 8);
+    }
+}
+
+#[test]
+fn muram_models_differential() {
+    let w = muram::MuramWorkload::generate(16);
+    let k = muram::build(muram::MuramKernel::Transpose, 8, 64, Fig10Variant::SpmdSimd);
+    let (flat, _) = model_matrix("muram transpose", &k, &DeviceArch::a100(), |dev| {
+        muram::MuramDev::upload(dev, &w).args().to_vec()
+    });
+    assert_seed("muram transpose", &flat, 6_652, 38_464, 2_048, 3_072, 2_048, 8);
+
+    let k = muram::build(muram::MuramKernel::Interpol, 8, 64, Fig10Variant::GenericSimd);
+    let (flat, _) = model_matrix("muram interpol", &k, &DeviceArch::a100(), |dev| {
+        muram::MuramDev::upload(dev, &w).args().to_vec()
+    });
+    assert_seed("muram interpol", &flat, 6_960, 42_240, 2_048, 256, 2_048, 8);
+}
+
+#[test]
+fn stencil2d_models_differential() {
+    let w = stencil2d::Stencil2dWorkload::generate(37, 14);
+    let k = stencil2d::build(
+        6,
+        64,
+        8,
+        KernelConfig::SHARING_SPACE_DEFAULT,
+        Stencil2dVariant::HaloShared,
+    );
+    let (flat, _) = model_matrix("stencil2d halo", &k, &DeviceArch::a100(), |dev| {
+        stencil2d::Stencil2dDev::upload(dev, &w, 8).args().to_vec()
+    });
+    assert_seed("stencil2d halo", &flat, 5_703, 19_818, 504, 125, 241, 6);
+}
+
+#[test]
+fn batched_models_differential() {
+    let w = batched::BatchedWorkload::generate(4, 8, 8);
+    let k = batched::build(2, 64, 8, w.n_bodies, batched::DispatchMode::Cascade);
+    let (flat, _) = model_matrix("batched cascade", &k, &DeviceArch::a100(), |dev| {
+        batched::BatchedDev::upload(dev, &w).args().to_vec()
+    });
+    assert_seed("batched cascade", &flat, 4_926, 1_916, 128, 0, 128, 2);
+}
+
+/// MemStats merge bit-identity at every supported worker count — the
+/// block-index-order fold must make the merged counters independent of
+/// how blocks were partitioned across threads.
+#[test]
+fn memstats_merge_is_thread_count_invariant() {
+    let w = su3::Su3Workload::generate(1728, 7);
+    let k = su3::build(27, 64, 8);
+    let mut canon: Option<LaunchStats> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut dev = Device::a100();
+        dev.set_sim_threads(Some(threads));
+        let ops = su3::Su3Dev::upload(&mut dev, &w);
+        let (_, stats) = su3::run(&mut dev, &k, &ops);
+        assert!(stats.mem.l1_hits > 0 && stats.mem.dram_atoms > 0, "counters populated");
+        match &canon {
+            None => canon = Some(stats),
+            Some(c) => assert_eq!(*c, stats, "threads={threads}: merge not bit-identical"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-shape regression: Fig 9 curves under the hierarchical model.
+// ---------------------------------------------------------------------------
+
+const GROUP_SIZES: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+fn su3_sweep(sites: usize, teams: u32, threads: u32) -> Vec<u64> {
+    let w = su3::Su3Workload::generate(sites, 7);
+    GROUP_SIZES
+        .iter()
+        .map(|&gs| {
+            let mut dev = Device::a100();
+            dev.set_mem_model(Some(MemModel::Hier));
+            let ops = su3::Su3Dev::upload(&mut dev, &w);
+            su3::run(&mut dev, &su3::build(teams, threads, gs), &ops).1.cycles
+        })
+        .collect()
+}
+
+fn ideal_sweep(outer: usize, teams: u32, threads: u32) -> Vec<u64> {
+    let w = ideal::IdealWorkload::generate(outer, 3);
+    GROUP_SIZES
+        .iter()
+        .map(|&gs| {
+            let mut dev = Device::a100();
+            dev.set_mem_model(Some(MemModel::Hier));
+            let ops = ideal::IdealDev::upload(&mut dev, &w);
+            ideal::run(&mut dev, &ideal::build(teams, threads, gs), &ops).1.cycles
+        })
+        .collect()
+}
+
+/// spmv sweep: `[base, gs=2, 4, 8, 16, 32]` cycles.
+fn spmv_sweep(rows: usize, base_teams: u32, teams: u32, threads: u32) -> Vec<u64> {
+    let mat = CsrMatrix::generate(rows, rows, RowProfile::Banded { min: 4, max: 44 }, 42);
+    let x: Vec<f64> = (0..mat.ncols).map(|i| ((i * 13) % 31) as f64 * 0.0625).collect();
+    let mut out = Vec::new();
+    {
+        let mut dev = Device::a100();
+        dev.set_mem_model(Some(MemModel::Hier));
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        out.push(spmv::run(&mut dev, &spmv::build_two_level(base_teams), &ops).1.cycles);
+    }
+    for gs in [2u32, 4, 8, 16, 32] {
+        let mut dev = Device::a100();
+        dev.set_mem_model(Some(MemModel::Hier));
+        let ops = spmv::SpmvDev::upload(&mut dev, &mat, &x);
+        out.push(spmv::run(&mut dev, &spmv::build_three_level(teams, threads, gs), &ops).1.cycles);
+    }
+    out
+}
+
+fn ratios(cycles: &[u64]) -> Vec<f64> {
+    cycles.iter().map(|&c| cycles[0] as f64 / c as f64).collect()
+}
+
+fn assert_su3_shape(r: &[f64], cap: f64) {
+    let max = r.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max <= cap, "su3 max benefit {max:.3} exceeds {cap} (curve {r:?})");
+    // Small groups are the worst performers: strictly rising up to gs=8.
+    assert!(
+        r[0] < r[1] && r[1] < r[2] && r[2] < r[3],
+        "su3 benefit must rise through small group sizes (curve {r:?})"
+    );
+}
+
+fn assert_spmv_interior_peak(r: &[f64]) {
+    let peak = (0..r.len()).max_by(|&a, &b| r[a].partial_cmp(&r[b]).unwrap()).unwrap();
+    assert!(
+        peak != 0 && peak != r.len() - 1,
+        "sparse_matvec peak must be at an interior group size (curve {r:?})"
+    );
+}
+
+/// Tier-1 variant at reduced size (~5 s in debug). Bands are pinned to
+/// the measured curve at this size; the paper-band asserts run at full
+/// Fig 9 size in [`golden_shape_full`].
+#[test]
+fn golden_shape_quick() {
+    let su3_r = ratios(&su3_sweep(1728, 27, 64));
+    assert_su3_shape(&su3_r, 2.0);
+
+    let spmv_r = ratios(&spmv_sweep(2048, 108, 27, 64));
+    assert_spmv_interior_peak(&spmv_r);
+
+    let ideal_r = ratios(&ideal_sweep(6912, 27, 64));
+    // At this size the curve peaks at gs=16 (group-32 divergence overhead
+    // shows at small trip counts); pin the peak region.
+    assert!(
+        ideal_r[4] > 1.65 && ideal_r[4] < 2.0,
+        "ideal gs=16 factor {:.3} outside measured band (curve {ideal_r:?})",
+        ideal_r[4]
+    );
+    assert!(
+        ideal_r[5] > 1.45,
+        "ideal gs=32 factor {:.3} collapsed (curve {ideal_r:?})",
+        ideal_r[5]
+    );
+}
+
+/// Full Fig 9 geometry — the paper-shape contract. Release-only
+/// (`cargo test --release -- --ignored`): several minutes in debug.
+#[test]
+#[ignore = "full Fig 9 size; run with --release -- --ignored"]
+fn golden_shape_full() {
+    // su3_bench: benefit capped at ≤ 2× (paper: ~1.3×), small groups
+    // worst — the deviation the hierarchical model exists to fix.
+    let su3_r = ratios(&su3_sweep(55_296, 108, 128));
+    assert_su3_shape(&su3_r, 2.0);
+
+    // sparse_matvec keeps its interior peak.
+    let spmv_r = ratios(&spmv_sweep(65_536, 3_456, 108, 128));
+    assert_spmv_interior_peak(&spmv_r);
+    let peak = (0..spmv_r.len()).max_by(|&a, &b| spmv_r[a].partial_cmp(&spmv_r[b]).unwrap());
+    assert_eq!(peak, Some(2), "sparse_matvec peak moved off gs=4 (curve {spmv_r:?})");
+
+    // ideal: group-32 factor within ±15% of the paper's 2.15×.
+    let ideal_r = ratios(&ideal_sweep(55_296, 108, 128));
+    assert!(
+        (1.8275..=2.4725).contains(&ideal_r[5]),
+        "ideal gs=32 factor {:.3} outside 2.15 ± 15% (curve {ideal_r:?})",
+        ideal_r[5]
+    );
+}
