@@ -1,0 +1,7 @@
+//! `cargo bench -p simt-omp-bench --bench serve` — multi-tenant launch
+//! service: throughput/latency sweep plus the cold-vs-warm plan ablation.
+fn main() {
+    let quick = simt_omp_bench::quick_from_args();
+    let rows = simt_omp_bench::serve::run(quick);
+    simt_omp_bench::serve::report(&rows);
+}

@@ -22,6 +22,9 @@
 //! * [`mem`] — flat vs hierarchical memory model (`SIMT_SIM_MEM`) across
 //!   the Fig 9 sweep, with the DRAM traffic/burst-atom counters the
 //!   hierarchical makespan consumes.
+//! * [`serve`] — the multi-tenant launch service: throughput and virtual
+//!   latency across tenants × devices × kernel mix, plus the cold-vs-warm
+//!   warm-plan-cache ablation.
 //! * [`report`] — table printing + JSON persistence so EXPERIMENTS.md
 //!   numbers are regenerable.
 //!
@@ -36,6 +39,7 @@ pub mod fig9;
 pub mod mem;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 pub mod simspeed;
 
 /// Parse the common `--quick` flag from bench argv.

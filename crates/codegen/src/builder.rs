@@ -23,7 +23,8 @@ use omp_core::exec::launch_target;
 pub use omp_core::plan::Schedule;
 use omp_core::plan::{ParallelOp, TargetPlan, TeamOp, ThreadOp, TripId, Vars, VarsMut};
 
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 use crate::analysis::{infer_parallel_mode, infer_teams_mode, Analysis, ParallelInfo};
 use crate::bytecode::{launch_flat, Engine, FlatProgram};
@@ -194,7 +195,13 @@ impl TargetBuilder {
         // Dead-stage shrink: stage only the register prefix some simd body
         // declares it reads (see crate::dataflow).
         crate::dataflow::shrink_dead_stages(&mut plan, &mut analysis, &self.reg);
-        CompiledKernel { plan, registry: self.reg, config, analysis, flat: Mutex::new(None) }
+        CompiledKernel {
+            plan,
+            registry: self.reg,
+            config,
+            analysis,
+            flat: RwLock::new(HashMap::new()),
+        }
     }
 }
 
@@ -568,9 +575,14 @@ impl<'b> ParScope<'b> {
     }
 }
 
-/// Cached flat-bytecode lowering: the launch-geometry key
-/// (warp size, argument count) and the compiled program.
-type FlatCache = Mutex<Option<((u32, usize), Arc<FlatProgram>)>>;
+/// Cached flat-bytecode lowerings, keyed by launch geometry
+/// (warp size, argument count). Read-mostly: warm launches take the read
+/// lock, clone the `Arc`, and never serialize against each other; a miss
+/// lowers *outside* any lock and publishes under a brief write section
+/// (first writer wins, so concurrent misses converge on one shared
+/// program). The old single-slot `Mutex<Option<..>>` both serialized every
+/// warm launch on one lock and thrashed when two geometries alternated.
+type FlatCache = RwLock<HashMap<(u32, usize), Arc<FlatProgram>>>;
 
 /// A compiled target region, ready to launch.
 pub struct CompiledKernel {
@@ -643,19 +655,136 @@ impl CompiledKernel {
     /// launch error, so divergence panics here.
     pub fn flat_program(&self, arch: &DeviceArch, nargs: usize) -> Arc<FlatProgram> {
         let key = (arch.warp_size, nargs);
-        let mut slot = self.flat.lock().unwrap();
-        if let Some((k, prog)) = slot.as_ref() {
-            if *k == key {
-                return Arc::clone(prog);
-            }
+        if let Some(prog) = self.flat.read().unwrap().get(&key) {
+            return Arc::clone(prog);
         }
+        // Miss: lower and verify with no lock held, so warm launches on
+        // other geometries keep streaming through the read path meanwhile.
         let prog =
             Arc::new(FlatProgram::lower(&self.plan, &self.registry, &self.config, arch, nargs));
         if let Err(e) = prog.verify(&self.plan, &self.registry, &self.config, arch, nargs) {
             panic!("flat-bytecode verifier rejected the lowering: {e}");
         }
-        *slot = Some((key, Arc::clone(&prog)));
-        prog
+        Arc::clone(self.flat.write().unwrap().entry(key).or_insert(prog))
+    }
+
+    /// A content fingerprint of the compiled kernel: an FNV-1a walk over
+    /// the launch configuration, the plan tree (op discriminants,
+    /// schedules, register indices, outlined-function ids, dispatch
+    /// classes), and the registry's cascade length. Two kernels with equal
+    /// hashes lower to the same bytecode for any given launch geometry, so
+    /// a launch service can content-address its warm-plan cache on
+    /// `(plan_hash, warp_size, nargs)` instead of trusting caller-supplied
+    /// kernel names.
+    pub fn plan_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn u64(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.0 = (self.0 ^ b as u64).wrapping_mul(PRIME);
+                }
+            }
+            fn u32(&mut self, v: u32) {
+                self.u64(v as u64);
+            }
+        }
+        fn mode_tag(mode: ExecMode) -> u64 {
+            match mode {
+                ExecMode::Spmd => 1,
+                ExecMode::Generic => 2,
+            }
+        }
+        fn sched_tag(h: &mut Fnv, s: Schedule) {
+            match s {
+                Schedule::Static => h.u64(1),
+                Schedule::Cyclic(c) => {
+                    h.u64(2);
+                    h.u32(c);
+                }
+                Schedule::Dynamic(c) => {
+                    h.u64(3);
+                    h.u32(c);
+                }
+            }
+        }
+        fn thread_ops(h: &mut Fnv, ops: &[ThreadOp]) {
+            for op in ops {
+                match op {
+                    ThreadOp::Seq(id) => {
+                        h.u64(10);
+                        h.u32(id.0);
+                    }
+                    ThreadOp::For { trip, sched, iv_reg, across_teams, ops } => {
+                        h.u64(11);
+                        h.u32(trip.0);
+                        sched_tag(h, *sched);
+                        h.u64(*iv_reg as u64);
+                        h.u64(*across_teams as u64);
+                        thread_ops(h, ops);
+                        h.u64(12); // close marker: nesting is part of the shape
+                    }
+                    ThreadOp::Simd { trip, body, known } => {
+                        h.u64(13);
+                        h.u32(trip.0);
+                        h.u32(body.0);
+                        h.u64(*known as u64);
+                    }
+                    ThreadOp::SimdReduce { trip, body, known, dst_reg } => {
+                        h.u64(14);
+                        h.u32(trip.0);
+                        h.u32(body.0);
+                        h.u64(*known as u64);
+                        h.u64(*dst_reg as u64);
+                    }
+                    ThreadOp::ReduceAcross { src_reg, dst_arg, dst_idx } => {
+                        h.u64(15);
+                        h.u64(*src_reg as u64);
+                        h.u64(*dst_arg as u64);
+                        h.u64(*dst_idx);
+                    }
+                }
+            }
+        }
+        fn team_ops(h: &mut Fnv, ops: &[TeamOp]) {
+            for op in ops {
+                match op {
+                    TeamOp::Seq(id) => {
+                        h.u64(20);
+                        h.u32(id.0);
+                    }
+                    TeamOp::Distribute { trip, sched, iv_reg, ops } => {
+                        h.u64(21);
+                        h.u32(trip.0);
+                        sched_tag(h, *sched);
+                        h.u64(*iv_reg as u64);
+                        team_ops(h, ops);
+                        h.u64(22);
+                    }
+                    TeamOp::Parallel(p) => {
+                        h.u64(23);
+                        h.u64(mode_tag(p.desc.mode));
+                        h.u32(p.desc.simdlen);
+                        h.u64(p.known as u64);
+                        h.u64(p.nregs as u64);
+                        h.u64(p.stage_regs as u64);
+                        thread_ops(h, &p.ops);
+                        h.u64(24);
+                    }
+                }
+            }
+        }
+        let mut h = Fnv(OFFSET);
+        h.u64(mode_tag(self.config.teams_mode));
+        h.u32(self.config.num_teams);
+        h.u32(self.config.threads_per_team);
+        h.u32(self.config.sharing_space_bytes);
+        h.u32(self.config.extra_smem_bytes);
+        h.u64(self.plan.team_regs as u64);
+        team_ops(&mut h, &self.plan.ops);
+        h.u32(self.registry.cascade_len());
+        h.0
     }
 
     /// Differential-oracle launch: run the tree walker, snapshot the memory

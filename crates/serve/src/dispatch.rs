@@ -1,0 +1,150 @@
+//! The work-stealing dispatcher: per-device worker deques, a deterministic
+//! steal scan, and isolated per-unit execution.
+//!
+//! Each sealed [`Unit`] lands on its home device's deque (affinity
+//! sharding). A worker prefers its own device's deque (popping the front,
+//! FIFO) and, when empty, scans the other deques in a fixed order stealing
+//! from the back — the classic owner-front/thief-back discipline, which
+//! keeps stolen work coarse (the oldest, largest backlog) and owner work
+//! cache-warm.
+//!
+//! **Why stealing cannot perturb stats.** A unit executes on a **fresh
+//! scratch [`Device`]** — device construction is cheap in this simulator,
+//! and the fleet is homogeneous (one [`DeviceArch`]), so a unit's
+//! [`LaunchStats`] is a pure function of (plan, workload, arch,
+//! `SIMT_SIM_THREADS`) no matter which worker runs it, in which order,
+//! concurrently with what. The fleet's *devices* exist as virtual-timeline
+//! accounting streams only (see the fold in `service.rs`); they own no
+//! mutable execution state a steal could disturb. This is DESIGN §11's
+//! isolate-then-fold discipline lifted to the service layer.
+
+use gpu_sim::{Device, DeviceArch, LaunchStats};
+use omp_codegen::launch_flat;
+use omp_kernels::harness::max_abs_err;
+use omp_kernels::{batched, ideal};
+
+use crate::plan::WarmPlan;
+use crate::queue::{Unit, UnitKind};
+
+/// Everything one unit execution produced, before the deterministic fold.
+#[derive(Clone, Debug)]
+pub struct UnitOutcome {
+    /// The unit (members, home device, drain stamp).
+    pub unit: Unit,
+    /// The launch's stats — shared by every member of a batch.
+    pub stats: LaunchStats,
+    /// Plan fingerprint of the kernel that ran.
+    pub plan_hash: u64,
+    /// Max abs error vs the host reference, when verification ran.
+    pub max_abs_err: Option<f64>,
+    /// Executing worker (diagnostics only — excluded from digests, since
+    /// which worker ran a unit is scheduling-dependent by design).
+    pub executed_by: u32,
+    /// Whether the executing worker's home device differed from the
+    /// unit's (a steal). Diagnostics only, like `executed_by`.
+    pub stolen: bool,
+}
+
+/// Execute one unit on a fresh scratch device and return its outcome
+/// fields (stats + optional verification).
+pub fn execute_unit(
+    unit: &Unit,
+    plan: &WarmPlan,
+    arch: &DeviceArch,
+    sim_threads: Option<usize>,
+    verify: bool,
+) -> (LaunchStats, Option<f64>) {
+    let mut dev = Device::new(arch.clone());
+    dev.set_sim_threads(sim_threads);
+    match unit.kind {
+        UnitKind::Ideal { outer, seed } => {
+            let w = ideal::IdealWorkload::generate(outer, seed);
+            let ops = ideal::IdealDev::upload(&mut dev, &w);
+            let stats = launch_flat(
+                &mut dev,
+                &plan.kernel.config,
+                &plan.flat,
+                &plan.kernel.registry,
+                &ops.args(),
+            )
+            .expect("service launch failed");
+            let err = verify.then(|| max_abs_err(&ops.read_out(&dev), &w.reference()));
+            (stats, err)
+        }
+        UnitKind::Micro { rows, inner } => {
+            let w = batched::BatchedWorkload::generate(unit.members.len(), rows, inner);
+            let ops = batched::BatchedDev::upload(&mut dev, &w);
+            let stats = launch_flat(
+                &mut dev,
+                &plan.kernel.config,
+                &plan.flat,
+                &plan.kernel.registry,
+                &ops.args(),
+            )
+            .expect("service launch failed");
+            let err = verify.then(|| max_abs_err(&ops.read_out(&dev), &w.reference()));
+            (stats, err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_warm_plan;
+    use crate::queue::Member;
+    use crate::spec::{PlanKernel, PlanKey, NARGS};
+
+    fn unit(kind: UnitKind, members: usize, kernel: PlanKernel) -> Unit {
+        Unit {
+            device: 0,
+            kind,
+            key: PlanKey { kernel, warp_size: 32, nargs: NARGS, lint: true },
+            members: (0..members)
+                .map(|i| Member { job_id: i as u64, tenant: 0, arrival_vt: 0 })
+                .collect(),
+            arrival_vt: 0,
+            drain_seq: 0,
+        }
+    }
+
+    #[test]
+    fn ideal_unit_executes_and_verifies() {
+        let arch = DeviceArch::a100();
+        let u = unit(
+            UnitKind::Ideal { outer: 4, seed: 3 },
+            1,
+            PlanKernel::Ideal { teams: 1, threads: 32, simdlen: 8 },
+        );
+        let plan = build_warm_plan(&u.key, &arch);
+        let (stats, err) = execute_unit(&u, &plan, &arch, Some(1), true);
+        assert!(stats.cycles > 0);
+        assert_eq!(err, Some(0.0));
+    }
+
+    #[test]
+    fn micro_batch_executes_all_members_in_one_launch() {
+        let arch = DeviceArch::a100();
+        let u = unit(UnitKind::Micro { rows: 2, inner: 8 }, 3, PlanKernel::MicroBatch { k: 3 });
+        let plan = build_warm_plan(&u.key, &arch);
+        let (stats, err) = execute_unit(&u, &plan, &arch, Some(1), true);
+        assert!(stats.cycles > 0);
+        assert_eq!(err, Some(0.0));
+        // One launch dispatched all three bodies.
+        assert!(stats.counters.cascade_dispatches >= 3);
+    }
+
+    #[test]
+    fn repeated_execution_is_bit_identical() {
+        let arch = DeviceArch::a100();
+        let u = unit(
+            UnitKind::Ideal { outer: 2, seed: 9 },
+            1,
+            PlanKernel::Ideal { teams: 1, threads: 32, simdlen: 8 },
+        );
+        let plan = build_warm_plan(&u.key, &arch);
+        let (a, _) = execute_unit(&u, &plan, &arch, Some(1), false);
+        let (b, _) = execute_unit(&u, &plan, &arch, Some(1), false);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,214 @@
+//! The warm-plan cache: compile → simtlint → flat-bytecode lowering once,
+//! share the result via `Arc` across every subsequent launch.
+//!
+//! This is the service's headline amortization (the serving-side analogue
+//! of the paper's runtime doing its setup once per kernel): a cold submit
+//! pays the full builder + lint fixpoint + lowering + verifier pipeline,
+//! a warm submit pays a sharded read-lock and an `Arc` clone. The cache is
+//! **content-addressed** on [`PlanKey`] — kernel identity, warp size,
+//! argument count, lint configuration — and stores nothing derived from
+//! input data, so it is a pure memoization: evicting and rebuilding any
+//! entry mid-stream must (and, per the differential test, does) reproduce
+//! bit-identical launches.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use gpu_sim::DeviceArch;
+use omp_codegen::{CompiledKernel, FlatProgram};
+
+use crate::spec::PlanKey;
+
+/// A fully prepared plan: the compiled kernel plus its flat-bytecode
+/// lowering for the keyed launch geometry, ready to launch with no
+/// per-submit compile work.
+pub struct WarmPlan {
+    /// Compiled kernel (plan + registry + config + analysis).
+    pub kernel: Arc<CompiledKernel>,
+    /// Flat-bytecode program lowered for `(warp_size, nargs)`.
+    pub flat: Arc<FlatProgram>,
+    /// Content fingerprint of the compiled kernel
+    /// ([`CompiledKernel::plan_hash`]); folded into every job report so
+    /// the stress digests also prove cold and warm builds agree.
+    pub plan_hash: u64,
+}
+
+/// Build a plan from scratch — the cold path, and the cache's fill
+/// function. Runs the simtlint gate when `key.lint` is set; a lint error
+/// is a panic, not a job failure: every kernel the service can name is
+/// in-tree and lint-clean, so a rejection here is a build bug.
+pub fn build_warm_plan(key: &PlanKey, arch: &DeviceArch) -> WarmPlan {
+    assert_eq!(key.warp_size, arch.warp_size, "plan key was built for a different architecture");
+    let kernel = key.kernel.build();
+    if key.lint {
+        let report = kernel.lint(arch, key.nargs);
+        if report.has_errors() {
+            panic!(
+                "simtlint rejected a service kernel {:?}:\n{}",
+                key.kernel,
+                report.render("serve")
+            );
+        }
+    }
+    let flat = kernel.flat_program(arch, key.nargs);
+    let plan_hash = kernel.plan_hash();
+    WarmPlan { kernel: Arc::new(kernel), flat, plan_hash }
+}
+
+/// Sharded, read-mostly plan cache. Lookups hash the key to one of
+/// [`PlanCache::SHARDS`] independent `RwLock<HashMap>` shards, so warm
+/// launches from many service workers neither serialize on one lock nor
+/// false-share across distinct plans; fills happen outside any lock and
+/// first-writer-wins, so concurrent cold misses converge on one shared
+/// `Arc`.
+pub struct PlanCache {
+    shards: Vec<RwLock<HashMap<PlanKey, Arc<WarmPlan>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// Shard count (fixed; keys spread by their std hash).
+    pub const SHARDS: usize = 8;
+
+    /// Empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            shards: (0..Self::SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &RwLock<HashMap<PlanKey, Arc<WarmPlan>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % Self::SHARDS]
+    }
+
+    /// Look the key up; on a miss, build (outside the lock) and publish.
+    pub fn get_or_build(&self, key: &PlanKey, arch: &DeviceArch) -> Arc<WarmPlan> {
+        let shard = self.shard(key);
+        if let Some(plan) = shard.read().unwrap().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build_warm_plan(key, arch));
+        Arc::clone(shard.write().unwrap().entry(*key).or_insert(plan))
+    }
+
+    /// Drop one entry; returns whether it was present. Subsequent lookups
+    /// rebuild it — by construction bit-identically.
+    pub fn evict(&self, key: &PlanKey) -> bool {
+        self.shard(key).write().unwrap().remove(key).is_some()
+    }
+
+    /// Drop every entry (the mid-stream eviction the differential test
+    /// exercises, and a memory valve for long-lived services).
+    pub fn evict_all(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap().clear();
+        }
+    }
+
+    /// Cached plan count.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PlanKernel, NARGS};
+
+    fn key(simdlen: u32) -> PlanKey {
+        PlanKey {
+            kernel: PlanKernel::Ideal { teams: 1, threads: 32, simdlen },
+            warp_size: 32,
+            nargs: NARGS,
+            lint: true,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let arch = DeviceArch::a100();
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(&key(8), &arch);
+        let b = cache.get_or_build(&key(8), &arch);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_coexist() {
+        let arch = DeviceArch::a100();
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(&key(8), &arch);
+        let b = cache.get_or_build(&key(16), &arch);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        // Both stay resident: re-lookups are hits.
+        cache.get_or_build(&key(8), &arch);
+        cache.get_or_build(&key(16), &arch);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn evict_rebuilds_identically() {
+        let arch = DeviceArch::a100();
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(&key(8), &arch);
+        assert!(cache.evict(&key(8)));
+        assert!(!cache.evict(&key(8)));
+        let b = cache.get_or_build(&key(8), &arch);
+        assert!(!Arc::ptr_eq(&a, &b), "evicted entry must be rebuilt");
+        assert_eq!(a.plan_hash, b.plan_hash, "rebuild must produce the identical plan");
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_warm_lookups_share_one_plan() {
+        let arch = DeviceArch::a100();
+        let cache = Arc::new(PlanCache::new());
+        let first = cache.get_or_build(&key(8), &arch);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let arch = arch.clone();
+                std::thread::spawn(move || cache.get_or_build(&key(8), &arch))
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            assert!(Arc::ptr_eq(&first, &got));
+        }
+        assert_eq!(cache.misses(), 1);
+    }
+}

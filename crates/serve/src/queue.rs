@@ -1,0 +1,462 @@
+//! Admission control: bounded per-tenant queues, micro-job coalescing,
+//! and a deficit-round-robin drain.
+//!
+//! Submissions land in the submitting tenant's bounded FIFO; a full queue
+//! is a typed [`SubmitError::QueueFull`] back to the client — backpressure,
+//! not silent loss. Consecutive same-shape [`JobKind::Micro`] submissions
+//! accumulate in an **open batch** that seals into one work unit when it
+//! reaches `batch_max`, when the tenant submits something that cannot
+//! join it, or when the service closes. Sealing is therefore a pure
+//! function of each tenant's submission order — never of worker timing —
+//! which is what keeps batch composition (and so per-job stats)
+//! deterministic under any dispatcher interleaving.
+//!
+//! Workers drain with **deficit round-robin**: each nonempty tenant earns
+//! `quantum` weight-units per round and releases queued units while its
+//! deficit covers them, so a tenant flooding the service cannot starve a
+//! light tenant — the light tenant's few units always fit its own quantum.
+
+use std::collections::VecDeque;
+
+use omp_kernels::harness::JobIdLane;
+
+use crate::spec::{JobKind, JobSpec, PlanKernel, PlanKey, SubmitError, NARGS};
+
+/// One job inside a work unit.
+#[derive(Clone, Copy, Debug)]
+pub struct Member {
+    /// Packed job id (`tenant lane << 32 | per-tenant seq`).
+    pub job_id: u64,
+    /// Owning tenant's lane index.
+    pub tenant: u32,
+    /// Virtual arrival time of this job.
+    pub arrival_vt: u64,
+}
+
+/// What a sealed unit launches.
+#[derive(Clone, Copy, Debug)]
+pub enum UnitKind {
+    /// One ideal launch (always a single member).
+    Ideal {
+        /// Outer iterations.
+        outer: usize,
+        /// Input seed.
+        seed: u64,
+    },
+    /// One batched launch of `members.len()` same-shape micro panels.
+    Micro {
+        /// Rows per panel.
+        rows: usize,
+        /// Elements per row.
+        inner: usize,
+    },
+}
+
+/// A sealed, dispatchable work unit: one kernel launch covering one or
+/// more jobs.
+#[derive(Clone, Debug)]
+pub struct Unit {
+    /// Home device (affinity sharding).
+    pub device: u32,
+    /// Workload of the launch.
+    pub kind: UnitKind,
+    /// Plan-cache address of the launch.
+    pub key: PlanKey,
+    /// Jobs covered, in submission order.
+    pub members: Vec<Member>,
+    /// Latest member arrival — the unit cannot start before every member
+    /// exists, so this is its release constraint on the fleet timeline.
+    pub arrival_vt: u64,
+    /// Global drain sequence number, stamped when DRR releases the unit
+    /// (deterministic only under a single worker; see DESIGN §16).
+    pub drain_seq: u64,
+}
+
+impl Unit {
+    /// DRR weight: summed member work estimate.
+    pub fn weight(&self) -> u64 {
+        match self.kind {
+            UnitKind::Ideal { outer, .. } => {
+                JobKind::Ideal { teams: 0, threads: 0, simdlen: 0, outer, seed: 0 }.weight()
+            }
+            UnitKind::Micro { rows, inner } => {
+                JobKind::Micro { rows, inner }.weight() * self.members.len() as u64
+            }
+        }
+    }
+}
+
+/// A not-yet-sealed micro batch.
+struct OpenBatch {
+    rows: usize,
+    inner: usize,
+    device: u32,
+    members: Vec<Member>,
+    arrival_vt: u64,
+}
+
+struct Tenant {
+    #[allow(dead_code)] // reports and debugging; the lane index is the identity
+    name: String,
+    ids: JobIdLane,
+    queue: VecDeque<Unit>,
+    /// Jobs currently admitted (queued units + open batch members) —
+    /// what the capacity bound counts.
+    queued_jobs: usize,
+    open: Option<OpenBatch>,
+    deficit: u64,
+}
+
+/// Shared admission state, held under the service's one admission lock.
+pub struct Admission {
+    tenants: Vec<Tenant>,
+    devices: u32,
+    warp_size: u32,
+    lint: bool,
+    tenant_queue_cap: usize,
+    batch_max: usize,
+    drr_quantum: u64,
+    cursor: usize,
+    drain_seq: u64,
+    closed: bool,
+    paused: bool,
+    rejected: u64,
+}
+
+impl Admission {
+    /// Fresh admission state for a fleet of `devices` same-arch devices.
+    pub fn new(
+        devices: u32,
+        warp_size: u32,
+        lint: bool,
+        tenant_queue_cap: usize,
+        batch_max: usize,
+        drr_quantum: u64,
+    ) -> Admission {
+        assert!(devices >= 1, "a fleet needs at least one device");
+        assert!(tenant_queue_cap >= 1, "queue capacity must admit at least one job");
+        assert!(batch_max >= 1, "batch_max must be at least 1");
+        assert!(drr_quantum >= 1, "a zero quantum would never release work");
+        Admission {
+            tenants: Vec::new(),
+            devices,
+            warp_size,
+            lint,
+            tenant_queue_cap,
+            batch_max,
+            drr_quantum,
+            cursor: 0,
+            drain_seq: 0,
+            closed: false,
+            paused: false,
+            rejected: 0,
+        }
+    }
+
+    /// Pause or resume draining. While paused, submissions queue normally
+    /// but [`Admission::drain_round`] releases nothing — tests use this to
+    /// build a complete backlog before the fleet starts, making the drain
+    /// order a pure function of the queues (no race against submission).
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// Register a tenant; the returned lane index is its identity and the
+    /// high half of all its job ids (registration order = lane order, so
+    /// reruns with the same registration program get the same lanes).
+    pub fn register(&mut self, name: &str) -> u32 {
+        let lane = self.tenants.len() as u32;
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            ids: JobIdLane::new(lane),
+            queue: VecDeque::new(),
+            queued_jobs: 0,
+            open: None,
+            deficit: 0,
+        });
+        lane
+    }
+
+    /// Jobs rejected for backpressure so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Whether [`Admission::close`] has run.
+    pub fn closed(&self) -> bool {
+        self.closed
+    }
+
+    /// No queued units and no open batches remain.
+    pub fn is_drained(&self) -> bool {
+        self.tenants.iter().all(|t| t.queue.is_empty() && t.open.is_none())
+    }
+
+    fn seal_open(&mut self, tenant: usize) {
+        let t = &mut self.tenants[tenant];
+        if let Some(open) = t.open.take() {
+            let k = open.members.len();
+            t.queue.push_back(Unit {
+                device: open.device,
+                kind: UnitKind::Micro { rows: open.rows, inner: open.inner },
+                key: PlanKey {
+                    kernel: PlanKernel::MicroBatch { k },
+                    warp_size: self.warp_size,
+                    nargs: NARGS,
+                    lint: self.lint,
+                },
+                members: open.members,
+                arrival_vt: open.arrival_vt,
+                drain_seq: 0,
+            });
+        }
+    }
+
+    /// Admit one job for `tenant`. Returns the assigned job id, or the
+    /// typed backpressure error.
+    pub fn submit(&mut self, tenant: u32, spec: &JobSpec) -> Result<u64, SubmitError> {
+        if self.closed {
+            return Err(SubmitError::Closed);
+        }
+        let ti = tenant as usize;
+        if self.tenants[ti].queued_jobs >= self.tenant_queue_cap {
+            self.rejected += 1;
+            return Err(SubmitError::QueueFull { tenant, cap: self.tenant_queue_cap });
+        }
+        let device = spec.affinity.unwrap_or(tenant % self.devices) % self.devices;
+        let job_id = self.tenants[ti].ids.next();
+        let member = Member { job_id, tenant, arrival_vt: spec.arrival_vt };
+        match spec.kind {
+            JobKind::Ideal { teams, threads, simdlen, outer, seed } => {
+                // An ideal job cannot join a micro batch; seal any open one
+                // first so per-tenant dispatch order tracks submission order.
+                self.seal_open(ti);
+                let key = PlanKey {
+                    kernel: PlanKernel::Ideal { teams, threads, simdlen },
+                    warp_size: self.warp_size,
+                    nargs: NARGS,
+                    lint: self.lint,
+                };
+                self.tenants[ti].queue.push_back(Unit {
+                    device,
+                    kind: UnitKind::Ideal { outer, seed },
+                    key,
+                    members: vec![member],
+                    arrival_vt: spec.arrival_vt,
+                    drain_seq: 0,
+                });
+            }
+            JobKind::Micro { rows, inner } => {
+                let joins = matches!(
+                    &self.tenants[ti].open,
+                    Some(o) if o.rows == rows && o.inner == inner && o.device == device
+                );
+                if !joins {
+                    self.seal_open(ti);
+                    self.tenants[ti].open =
+                        Some(OpenBatch { rows, inner, device, members: Vec::new(), arrival_vt: 0 });
+                }
+                let open = self.tenants[ti].open.as_mut().expect("open batch just ensured");
+                open.members.push(member);
+                open.arrival_vt = open.arrival_vt.max(spec.arrival_vt);
+                if open.members.len() >= self.batch_max {
+                    self.seal_open(ti);
+                }
+            }
+        }
+        self.tenants[ti].queued_jobs += 1;
+        Ok(job_id)
+    }
+
+    /// Seal every open micro batch (partial batches become drainable
+    /// units). Used by close and by quiescence.
+    pub fn seal_all_open(&mut self) {
+        for ti in 0..self.tenants.len() {
+            self.seal_open(ti);
+        }
+    }
+
+    /// Stop admitting and seal every open batch so the fleet can run dry.
+    /// Also clears any pause — a closed service must be able to drain.
+    pub fn close(&mut self) {
+        self.closed = true;
+        self.paused = false;
+        self.seal_all_open();
+    }
+
+    /// One deficit-round-robin round: every tenant with queued units earns
+    /// one quantum and releases the units its deficit covers, in queue
+    /// order, stamping each with a global drain sequence number. Released
+    /// units are appended to `out`; returns how many were released.
+    pub fn drain_round(&mut self, out: &mut Vec<Unit>) -> usize {
+        let n = self.tenants.len();
+        if n == 0 || self.paused {
+            return 0;
+        }
+        let mut moved = 0;
+        let start = self.cursor % n;
+        for off in 0..n {
+            let ti = (start + off) % n;
+            let t = &mut self.tenants[ti];
+            if t.queue.is_empty() {
+                // Standard DRR: an idle tenant banks no deficit.
+                t.deficit = 0;
+                continue;
+            }
+            t.deficit = t.deficit.saturating_add(self.drr_quantum);
+            while let Some(front) = t.queue.front() {
+                let w = front.weight().max(1);
+                if w > t.deficit {
+                    break;
+                }
+                t.deficit -= w;
+                let mut unit = t.queue.pop_front().expect("front just observed");
+                t.queued_jobs -= unit.members.len();
+                unit.drain_seq = self.drain_seq;
+                self.drain_seq += 1;
+                out.push(unit);
+                moved += 1;
+            }
+            if t.queue.is_empty() {
+                t.deficit = 0;
+            }
+        }
+        self.cursor = (start + 1) % n;
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro(arrival: u64) -> JobSpec {
+        JobSpec { kind: JobKind::Micro { rows: 1, inner: 8 }, arrival_vt: arrival, affinity: None }
+    }
+
+    fn ideal(arrival: u64) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Ideal { teams: 1, threads: 32, simdlen: 8, outer: 1, seed: 1 },
+            arrival_vt: arrival,
+            affinity: None,
+        }
+    }
+
+    fn adm() -> Admission {
+        Admission::new(2, 32, true, 16, 4, 1_000_000)
+    }
+
+    #[test]
+    fn ids_pack_lane_and_order() {
+        let mut a = adm();
+        let t0 = a.register("alpha");
+        let t1 = a.register("beta");
+        assert_eq!(a.submit(t0, &ideal(0)).unwrap(), 0);
+        assert_eq!(a.submit(t1, &ideal(0)).unwrap(), 1 << 32);
+        assert_eq!(a.submit(t0, &ideal(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn queue_cap_backpressures() {
+        let mut a = Admission::new(1, 32, true, 2, 4, 1_000_000);
+        let t = a.register("t");
+        a.submit(t, &ideal(0)).unwrap();
+        a.submit(t, &ideal(0)).unwrap();
+        assert_eq!(a.submit(t, &ideal(0)), Err(SubmitError::QueueFull { tenant: t, cap: 2 }));
+        assert_eq!(a.rejected(), 1);
+        // Draining frees capacity.
+        let mut out = Vec::new();
+        assert_eq!(a.drain_round(&mut out), 2);
+        a.submit(t, &ideal(0)).unwrap();
+    }
+
+    #[test]
+    fn closed_service_rejects() {
+        let mut a = adm();
+        let t = a.register("t");
+        a.close();
+        assert_eq!(a.submit(t, &ideal(0)), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn micro_jobs_coalesce_by_shape_and_submission_order() {
+        let mut a = adm();
+        let t = a.register("t");
+        // 5 same-shape micros with batch_max 4 → one sealed 4-batch, one
+        // open single; an ideal submission seals the single before itself.
+        for i in 0..5 {
+            a.submit(t, &micro(i)).unwrap();
+        }
+        a.submit(t, &ideal(9)).unwrap();
+        let mut out = Vec::new();
+        a.drain_round(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].members.len(), 4);
+        assert!(matches!(out[0].kind, UnitKind::Micro { .. }));
+        assert_eq!(out[0].arrival_vt, 3, "batch released when its last member arrived");
+        assert_eq!(out[1].members.len(), 1);
+        assert!(matches!(out[1].kind, UnitKind::Micro { .. }));
+        assert!(matches!(out[2].kind, UnitKind::Ideal { .. }));
+        // Batch size is content-addressed into the plan key.
+        assert!(matches!(out[0].key.kernel, PlanKernel::MicroBatch { k: 4 }));
+        assert!(matches!(out[1].key.kernel, PlanKernel::MicroBatch { k: 1 }));
+    }
+
+    #[test]
+    fn shape_change_seals_the_open_batch() {
+        let mut a = adm();
+        let t = a.register("t");
+        a.submit(t, &micro(0)).unwrap();
+        a.submit(
+            t,
+            &JobSpec { kind: JobKind::Micro { rows: 2, inner: 8 }, arrival_vt: 1, affinity: None },
+        )
+        .unwrap();
+        a.close();
+        let mut out = Vec::new();
+        a.drain_round(&mut out);
+        assert_eq!(out.len(), 2, "different shapes must not share a launch");
+    }
+
+    #[test]
+    fn drr_interleaves_a_flooded_and_a_light_tenant() {
+        // Heavy floods 32 units; light has 2. With quantum = one unit's
+        // weight, each round releases one unit per tenant — light's two
+        // units are out within the first two rounds.
+        let mut a = Admission::new(1, 32, true, 1024, 1, 32);
+        let heavy = a.register("heavy");
+        let light = a.register("light");
+        for i in 0..32 {
+            a.submit(heavy, &ideal(i)).unwrap();
+        }
+        for i in 0..2 {
+            a.submit(light, &ideal(i)).unwrap();
+        }
+        let mut out = Vec::new();
+        a.drain_round(&mut out);
+        a.drain_round(&mut out);
+        let light_done = out.iter().filter(|u| u.members[0].tenant == light).count();
+        assert_eq!(light_done, 2, "light tenant drains alongside the flood, not after it");
+        assert_eq!(out.len(), 4);
+        // Drain stamps are globally ordered.
+        assert!(out.windows(2).all(|w| w[0].drain_seq < w[1].drain_seq));
+    }
+
+    #[test]
+    fn affinity_shards_devices() {
+        let mut a = adm();
+        let t0 = a.register("a");
+        let t1 = a.register("b");
+        a.submit(t0, &ideal(0)).unwrap();
+        a.submit(t1, &ideal(0)).unwrap();
+        let pinned = JobSpec { affinity: Some(5), ..ideal(0) };
+        a.submit(t0, &pinned).unwrap();
+        a.close();
+        let mut out = Vec::new();
+        while a.drain_round(&mut out) > 0 {}
+        let devs: Vec<u32> = out.iter().map(|u| u.device).collect();
+        assert!(devs.contains(&0) && devs.contains(&1));
+        // Explicit affinity wraps into the fleet range.
+        assert!(devs.iter().all(|&d| d < 2));
+    }
+}

@@ -1,0 +1,110 @@
+//! The fairness property (ISSUE satellite): two tenants with a 100×
+//! offered-load imbalance — the light tenant's p99 queueing delay under
+//! deficit-round-robin must stay within a constant factor of its solo run,
+//! while a drain policy without per-tenant quanta (simulated by an
+//! effectively infinite quantum) starves it by orders of magnitude.
+//!
+//! Setup notes. One device, one worker, `start_paused`: the whole backlog
+//! is queued before draining begins, so the drain order is a pure function
+//! of the queues and the quantum — no race against the submitting thread.
+//! All jobs arrive at vt 0 (a closed-loop burst), so a job's
+//! dispatch-order delay is exactly (its position in the drain order) ×
+//! (per-job cycles), making every assertion a statement about *positions*
+//! — independent of how many cycles the kernel happens to cost.
+
+use omp_serve::{percentile, JobKind, JobSpec, LaunchService, ServiceConfig, ServiceReport};
+
+const HEAVY_JOBS: usize = 2_000;
+const LIGHT_JOBS: usize = 20; // 100x imbalance
+
+fn job() -> JobSpec {
+    // outer=1 => weight 32 == one ideal job per DRR quantum of 32.
+    JobSpec {
+        kind: JobKind::Ideal { teams: 1, threads: 32, simdlen: 8, outer: 1, seed: 11 },
+        arrival_vt: 0,
+        affinity: None,
+    }
+}
+
+/// Run heavy (tenant 0, registered first — the adversarial position: an
+/// unfair drain serves it to exhaustion) plus light (tenant 1), fully
+/// backlogged, with the given quantum.
+fn run_mixed(quantum: u64) -> ServiceReport {
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 1,
+        workers: 1,
+        drr_quantum: quantum,
+        tenant_queue_cap: HEAVY_JOBS + LIGHT_JOBS,
+        start_paused: true,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let heavy = svc.client("heavy");
+    let light = svc.client("light");
+    for _ in 0..HEAVY_JOBS {
+        heavy.submit(&job()).unwrap();
+    }
+    for _ in 0..LIGHT_JOBS {
+        light.submit(&job()).unwrap();
+    }
+    // shutdown() closes admission, which also releases the pause; the
+    // single worker then drains the complete backlog deterministically.
+    svc.shutdown()
+}
+
+fn run_light_solo() -> ServiceReport {
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 1,
+        workers: 1,
+        drr_quantum: 32,
+        tenant_queue_cap: LIGHT_JOBS,
+        start_paused: true,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let light = svc.client("light");
+    for _ in 0..LIGHT_JOBS {
+        light.submit(&job()).unwrap();
+    }
+    svc.resume();
+    svc.shutdown()
+}
+
+#[test]
+fn drr_bounds_the_light_tenants_tail_under_100x_imbalance() {
+    let fair = run_mixed(32); // one job per tenant per round
+    let starved = run_mixed(u64::MAX / 4); // round 1 drains ALL of heavy first
+    let solo = run_light_solo();
+
+    assert_eq!(fair.jobs.len(), HEAVY_JOBS + LIGHT_JOBS);
+    assert_eq!(solo.jobs.len(), LIGHT_JOBS);
+    let light = 1; // registered second
+
+    let p99_fair = percentile(&fair.dispatch_delays(light), 99.0);
+    let p99_starved = percentile(&starved.dispatch_delays(light), 99.0);
+    let p99_solo = percentile(&solo.dispatch_delays(0), 99.0);
+    let per_job = fair.jobs.iter().map(|j| j.stats.cycles).max().unwrap();
+
+    // Fair drain alternates heavy/light while light has work: light job k
+    // runs at position ~2k+1 instead of solo's k, so its tail is within a
+    // small constant factor of the solo tail (position 2k+1 vs k => factor
+    // ~2, asserted with headroom; `per_job` absorbs the +1 when the solo
+    // tail is at the scale of a single job).
+    assert!(
+        p99_fair <= 4 * (p99_solo + per_job),
+        "DRR light-tenant p99 {p99_fair} exceeds 4x solo p99 {p99_solo} (+{per_job}/job)"
+    );
+
+    // Without per-tenant quanta the light tenant waits behind the heavy
+    // tenant's entire backlog — orders of magnitude worse.
+    assert!(
+        p99_starved >= 8 * p99_fair.max(1),
+        "starved p99 {p99_starved} should dwarf fair p99 {p99_fair}"
+    );
+    // And the starved delay really is the whole heavy backlog deep.
+    assert!(p99_starved >= (HEAVY_JOBS as u64 / 2) * per_job);
+
+    // The scenario is deterministic end to end: replaying it reproduces
+    // the canonical digest bit for bit.
+    assert_eq!(run_mixed(32).digest(), fair.digest());
+}

@@ -1,0 +1,165 @@
+//! End-to-end launch-service basics: mixed traffic verifies against host
+//! references, typed backpressure and shutdown behave, stealing happens
+//! under skewed affinity without perturbing the deterministic report.
+
+use omp_serve::{JobKind, JobSpec, LaunchService, ServiceConfig, SubmitError};
+
+fn ideal(outer: usize, seed: u64, arrival_vt: u64) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Ideal { teams: 1, threads: 32, simdlen: 8, outer, seed },
+        arrival_vt,
+        affinity: None,
+    }
+}
+
+fn micro(rows: usize, inner: usize, arrival_vt: u64) -> JobSpec {
+    JobSpec { kind: JobKind::Micro { rows, inner }, arrival_vt, affinity: None }
+}
+
+#[test]
+fn mixed_traffic_end_to_end_verifies() {
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 2,
+        workers: 2,
+        verify: true,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let a = svc.client("tenant-a");
+    let b = svc.client("tenant-b");
+
+    let mut submitted = Vec::new();
+    for i in 0..24u64 {
+        submitted.push(a.submit(&ideal(1 + (i as usize % 3), i, i * 10)).unwrap());
+        // Runs of 6 same-shape micros so coalescing has something to seal.
+        submitted.push(b.submit(&micro(1 + (i as usize / 6) % 2, 8, i * 10)).unwrap());
+    }
+    let report = svc.shutdown();
+
+    assert_eq!(report.jobs.len(), submitted.len());
+    let mut ids: Vec<u64> = report.jobs.iter().map(|j| j.job_id).collect();
+    submitted.sort_unstable();
+    ids.sort_unstable();
+    assert_eq!(ids, submitted, "every admitted job must be reported exactly once");
+
+    for j in &report.jobs {
+        assert_eq!(
+            j.max_abs_err,
+            Some(0.0),
+            "job {:#x} diverged from its host reference",
+            j.job_id
+        );
+        assert!(j.finish_vt > j.start_vt);
+        assert!(j.start_vt >= j.arrival_vt, "virtual start honors the arrival release");
+        assert!(j.stats.cycles > 0);
+    }
+
+    // Coalescing: tenant-b's micro stream must have produced multi-member
+    // launches, so there are strictly fewer launches than jobs.
+    assert!(report.launches < report.jobs.len() as u64);
+    assert!(report.jobs.iter().any(|j| j.batch_size > 1), "micro jobs should coalesce");
+    assert_eq!(report.rejected, 0);
+    // Warm cache: far fewer compiles than launches.
+    assert!(report.plan_misses < report.launches);
+    assert!(report.plan_hits > 0);
+}
+
+#[test]
+fn paused_service_exerts_backpressure_then_drains() {
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 1,
+        workers: 1,
+        tenant_queue_cap: 4,
+        start_paused: true,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let c = svc.client("bursty");
+    for i in 0..4u64 {
+        c.submit(&ideal(1, i, 0)).unwrap();
+    }
+    // Fifth job: the bounded queue is full and nothing drains while paused.
+    let err = c.submit(&ideal(1, 4, 0)).unwrap_err();
+    assert_eq!(err, SubmitError::QueueFull { tenant: 0, cap: 4 });
+
+    svc.resume();
+    let report = svc.shutdown();
+    assert_eq!(report.jobs.len(), 4);
+    assert_eq!(report.rejected, 1);
+}
+
+#[test]
+fn closed_service_rejects_submissions() {
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 1,
+        workers: 1,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let c = svc.client("late");
+    c.submit(&micro(1, 8, 0)).unwrap();
+    let survivor = c.clone();
+    let report = svc.shutdown();
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(survivor.submit(&micro(1, 8, 9)).unwrap_err(), SubmitError::Closed);
+}
+
+#[test]
+fn skewed_affinity_steals_without_changing_the_digest() {
+    let run = |workers: usize| {
+        let svc = LaunchService::start(ServiceConfig {
+            devices: 4,
+            workers,
+            sim_threads: Some(1),
+            ..ServiceConfig::default()
+        });
+        let c = svc.client("hot-device");
+        for i in 0..240u64 {
+            // Everything lands on device 0; workers homed on 1..3 must
+            // steal to help.
+            c.submit(&JobSpec {
+                kind: JobKind::Micro { rows: 1, inner: 8 },
+                arrival_vt: i,
+                affinity: Some(0),
+            })
+            .unwrap();
+        }
+        svc.shutdown()
+    };
+    let wide = run(4);
+    let solo = run(1);
+    assert!(wide.jobs.iter().all(|j| j.device == 0));
+    assert_eq!(
+        wide.digest(),
+        solo.digest(),
+        "stealing moves host work only; the folded report must not see it"
+    );
+    // `steals` is scheduling-dependent by design (and hence outside the
+    // digest) — but with one worker homed per device and every unit on
+    // device 0, a 4-worker fleet cannot finish without stealing unless
+    // worker 0 wins every race; just require the counter is consistent.
+    assert_eq!(solo.steals, 0, "a single worker homed on device 0 never steals");
+    assert!(wide.steals <= wide.launches);
+}
+
+#[test]
+fn warm_cache_compiles_once_per_geometry() {
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 1,
+        workers: 1,
+        start_paused: true,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let c = svc.client("t");
+    for i in 0..8u64 {
+        c.submit(&ideal(1, i, i)).unwrap();
+    }
+    // Nothing has executed yet, so nothing is cached.
+    assert_eq!(svc.cached_plans(), 0);
+    svc.resume();
+    let report = svc.shutdown();
+    assert_eq!(report.jobs.len(), 8);
+    assert_eq!(report.plan_misses, 1, "one geometry, one compile");
+    assert_eq!(report.plan_hits, 7);
+}
