@@ -25,6 +25,9 @@
 //! * [`serve`] — the multi-tenant launch service: throughput and virtual
 //!   latency across tenants × devices × kernel mix, plus the cold-vs-warm
 //!   warm-plan-cache ablation.
+//! * [`portability`] — the Fig 9 / Fig 10 sweeps re-run per backend
+//!   (a100 and the barrier-less wave64 mi100), with per-row
+//!   sequential-simd fallback counters (`BENCH_portability.json`).
 //! * [`report`] — table printing + JSON persistence so EXPERIMENTS.md
 //!   numbers are regenerable.
 //!
@@ -38,6 +41,7 @@ pub mod fig10;
 pub mod fig9;
 pub mod mem;
 pub mod pipeline;
+pub mod portability;
 pub mod report;
 pub mod serve;
 pub mod simspeed;

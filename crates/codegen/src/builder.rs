@@ -582,7 +582,7 @@ impl<'b> ParScope<'b> {
 /// (first writer wins, so concurrent misses converge on one shared
 /// program). The old single-slot `Mutex<Option<..>>` both serialized every
 /// warm launch on one lock and thrashed when two geometries alternated.
-type FlatCache = RwLock<HashMap<(u32, usize), Arc<FlatProgram>>>;
+type FlatCache = RwLock<HashMap<(u32, bool, usize), Arc<FlatProgram>>>;
 
 /// A compiled target region, ready to launch.
 pub struct CompiledKernel {
@@ -594,8 +594,9 @@ pub struct CompiledKernel {
     pub config: KernelConfig,
     /// What the mode analysis decided and why.
     pub analysis: Analysis,
-    /// Cached flat-bytecode lowering, keyed by (warp size, argument count)
-    /// — the two launch-geometry inputs the lowering bakes in.
+    /// Cached flat-bytecode lowering, keyed by (warp size, warp-sync
+    /// capability, argument count) — the launch-geometry and legalization
+    /// inputs the lowering bakes in.
     flat: FlatCache,
 }
 
@@ -654,7 +655,11 @@ impl CompiledKernel {
     /// a side table inconsistent with the plan is a compiler bug, not a
     /// launch error, so divergence panics here.
     pub fn flat_program(&self, arch: &DeviceArch, nargs: usize) -> Arc<FlatProgram> {
-        let key = (arch.warp_size, nargs);
+        // The warp-sync capability is part of the key: sequential-simd
+        // legalization (§5.4.1) is baked into the lowered [`ParMeta`], so
+        // a wave64 program and an equally-wide warp-barrier program are
+        // different bytecode.
+        let key = (arch.warp_size, arch.warp_sync_supported, nargs);
         if let Some(prog) = self.flat.read().unwrap().get(&key) {
             return Arc::clone(prog);
         }

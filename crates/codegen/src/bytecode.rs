@@ -142,6 +142,14 @@ struct ParMeta {
     full_mask: LaneMask,
     /// Per group-in-warp sync mask.
     group_masks: Vec<LaneMask>,
+    /// Sequential-simd legalization (§5.4.1), baked in at lower time from
+    /// [`ParallelDesc::sequential_simd`] on the lowering arch: the region's
+    /// simd loops run sequentially on their SIMD mains and the state
+    /// machine (posts, warp barriers, termination signal) is never
+    /// entered. The executor trusts this bit instead of re-querying the
+    /// device so a program can only run on the arch family it was lowered
+    /// for — the flat-program cache keys on the same capability.
+    sequential_simd: bool,
 }
 
 /// Body reference of a `simd` op.
@@ -176,6 +184,11 @@ pub struct FlatProgram {
     team_regs: usize,
     /// Geometry the program was lowered for (asserted at execution).
     warp_size: u32,
+    /// Warp-sync capability of the lowering arch (asserted at execution):
+    /// sequential-simd legalization is baked into [`ParMeta`], so running
+    /// a program on an arch with the other capability would silently
+    /// mis-charge the state machine.
+    warp_sync: bool,
     nargs: usize,
 }
 
@@ -197,6 +210,7 @@ impl FlatProgram {
             all_lanes: (0..arch.warp_size).collect(),
             team_regs: plan.team_regs,
             warp_size: arch.warp_size,
+            warp_sync: arch.warp_sync_supported,
             nargs,
         };
         let mut lw = Lowerer { prog: &mut p, reg, config, arch, nargs, team_regs: plan.team_regs };
@@ -250,6 +264,12 @@ impl FlatProgram {
             "program lowered for warp size {} but verifying against {}",
             self.warp_size,
             arch.warp_size
+        );
+        ensure!(
+            self.warp_sync == arch.warp_sync_supported,
+            "program lowered with warp_sync={} but verifying against an arch with {}",
+            self.warp_sync,
+            arch.warp_sync_supported
         );
         ensure!(
             self.nargs == nargs,
@@ -605,6 +625,11 @@ impl<'a> Verifier<'a> {
         let group_masks: Vec<LaneMask> =
             (0..gpw).map(|k| LaneMask::contiguous(k * gs, gs)).collect();
         ensure!(m.group_masks == group_masks, "op {pc}: per-group mask table mismatch");
+        ensure!(
+            m.sequential_simd == desc.sequential_simd(self.arch),
+            "op {pc}: sequential_simd {} != legalization predicate on this arch",
+            m.sequential_simd
+        );
         Ok(())
     }
 
@@ -797,6 +822,7 @@ impl<'a> Lowerer<'a> {
             groups: (0..ng).collect(),
             full_mask: LaneMask::contiguous(0, self.arch.warp_size),
             group_masks: (0..gpw).map(|k| LaneMask::contiguous(k * gs, gs)).collect(),
+            sequential_simd: desc.sequential_simd(self.arch),
         };
         self.prog.pars.push(meta);
         let meta_i = self.prog.pars.len() as u32 - 1;
@@ -880,9 +906,9 @@ pub fn launch_flat(
 ) -> Result<LaunchStats, LaunchError> {
     let lcfg = cfg.launch_config(&dev.arch);
     assert_eq!(
-        (prog.warp_size, prog.nargs),
-        (dev.arch.warp_size, args.len()),
-        "flat program was lowered for a different launch geometry"
+        (prog.warp_size, prog.warp_sync, prog.nargs),
+        (dev.arch.warp_size, dev.arch.warp_sync_supported, args.len()),
+        "flat program was lowered for a different launch geometry or arch capability"
     );
     dev.launch(&lcfg, |tc| run_flat_block(tc, cfg, prog, reg, args))
 }
@@ -1176,7 +1202,9 @@ impl<'a, 'g> FlatExec<'a, 'g> {
         );
 
         let meta = &self.prog.pars[meta_i as usize];
-        if meta.desc.mode == ExecMode::Generic && self.tc.arch().warp_sync_supported {
+        // Termination post of the SIMD state machine — skipped on
+        // legalized regions, which never started it (§5.4.1).
+        if meta.desc.mode == ExecMode::Generic && !meta.sequential_simd {
             for w in 0..self.worker_warps {
                 self.tc.charge_smem_ops(w, 1);
                 self.tc.warp_sync(w);
@@ -1472,20 +1500,30 @@ impl<'a, 'g> FlatExec<'a, 'g> {
                     let mask = warp_mask(meta, w, wg);
                     self.tc.warp_sync_masked(w, mask, mask);
                 }
-                ExecMode::Generic if !self.tc.arch().warp_sync_supported => {
-                    // AMD fallback (§5.4.1): sequential on each SIMD main.
+                ExecMode::Generic if meta.sequential_simd => {
+                    // Legalized region (§5.4.1): sequential on each SIMD
+                    // main, decided at lower time.
                     self.tc.counters.sequential_simd_fallbacks += wg.len() as u64;
                     let leaders = leader_lane_list(&mut sc.leaders, meta, w, wg);
                     let g_base = w * gpw;
                     let shift = meta.gs_shift;
+                    // Replay iterations in the state machine's issue order
+                    // (each virtual lane's strided walk, lanes ascending):
+                    // floating-point accumulation order — and so the
+                    // host-visible bits — match the warp-synchronous
+                    // backends exactly.
                     match body {
                         FlatBody::Plain(b) => {
                             let (f, _) = self.reg.get_body(b);
                             self.tc.run_lanes_flat(w, leaders, |lane, l| {
                                 let g = (g_base + (l >> shift)) as usize;
                                 let vars = Vars { args, outer: team_regs, regs: &regs[g] };
-                                for iv in 0..trips[g] {
-                                    f(lane, iv, &vars);
+                                for gid in 0..gs {
+                                    let mut iv = gid;
+                                    while iv < trips[g] {
+                                        f(lane, iv, &vars);
+                                        iv += gs;
+                                    }
                                 }
                             });
                         }
@@ -1495,8 +1533,12 @@ impl<'a, 'g> FlatExec<'a, 'g> {
                             self.tc.run_lanes_flat(w, leaders, |lane, l| {
                                 let g = (g_base + (l >> shift)) as usize;
                                 let vars = Vars { args, outer: team_regs, regs: &regs[g] };
-                                for iv in 0..trips[g] {
-                                    partials[g] += f(lane, iv, &vars);
+                                for gid in 0..gs {
+                                    let mut iv = gid;
+                                    while iv < trips[g] {
+                                        partials[g] += f(lane, iv, &vars);
+                                        iv += gs;
+                                    }
                                 }
                             });
                         }

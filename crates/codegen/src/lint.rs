@@ -13,7 +13,10 @@
 //!   degenerate zero-trip/zero-chunk schedules, reads of registers the
 //!   SIMD main never stages, barriers the target architecture cannot
 //!   legalize (`E-ARCH`, paper §5.4.1), and statically provable
-//!   shared-memory races over declared footprints (`E-RACE`);
+//!   shared-memory races over declared footprints (`E-RACE`). Barrier-free
+//!   generic simd regions on a barrier-less architecture are *not* errors:
+//!   they legalize to sequential leader-lane execution, recorded as an
+//!   `R-SEQ-SIMD` remark;
 //! * **optimization** — [`spmdize`] promotes inferred-generic regions to
 //!   [`ExecMode::Spmd`] when declared effect footprints prove no sequential
 //!   side effects need the state machine, recording each promotion as a
@@ -194,6 +197,10 @@ impl<'a> Cx<'a> {
 
     fn warn(&mut self, code: &'static str, region: &str, message: String) {
         self.report.push(Severity::Warning, code, region.to_string(), message);
+    }
+
+    fn remark(&mut self, code: &'static str, region: &str, message: String) {
+        self.report.push(Severity::Remark, code, region.to_string(), message);
     }
 
     /// Degenerate-schedule checks shared by every worksharing level.
@@ -633,29 +640,34 @@ impl<'a> Cx<'a> {
                 }
                 ThreadOp::Simd { trip, body, .. } => {
                     self.check_trip(*trip, None, &rc.region, "simd loop");
-                    if let Some(fp) = reg.body_footprint(*body) {
-                        let what = format!("simd body #{}", body.0);
+                    let what = format!("simd body #{}", body.0);
+                    let fp = reg.body_footprint(*body);
+                    if let Some(fp) = fp {
                         let staged = rc.mode == ExecMode::Generic;
                         self.check_footprint(fp, rc.nregs, state, staged, live, &rc.region, &what);
                         let t = trip_interval(&reg.trip_meta(*trip));
                         if live {
                             self.check_smem(fp, Self::body_writers(rc, active, t), rc, smem, &what);
                         }
-                        self.check_arch_barriers(fp, rc, live, &what);
                     }
+                    // Footprint-less bodies (plain closures, externs) still
+                    // legalize — the remark must not depend on a declared
+                    // footprint; only the barrier *error* does.
+                    self.check_arch_barriers(fp.is_some_and(|f| f.barriers), rc, live, &what);
                 }
                 ThreadOp::SimdReduce { trip, body, dst_reg, .. } => {
                     self.check_trip(*trip, None, &rc.region, "simd reduction loop");
-                    if let Some(fp) = reg.red_footprint(*body) {
-                        let what = format!("reduce body #{}", body.0);
+                    let what = format!("reduce body #{}", body.0);
+                    let fp = reg.red_footprint(*body);
+                    if let Some(fp) = fp {
                         let staged = rc.mode == ExecMode::Generic;
                         self.check_footprint(fp, rc.nregs, state, staged, live, &rc.region, &what);
                         let t = trip_interval(&reg.trip_meta(*trip));
                         if live {
                             self.check_smem(fp, Self::body_writers(rc, active, t), rc, smem, &what);
                         }
-                        self.check_arch_barriers(fp, rc, live, &what);
                     }
+                    self.check_arch_barriers(fp.is_some_and(|f| f.barriers), rc, live, &what);
                     if *dst_reg >= rc.nregs {
                         let region = rc.region.clone();
                         self.err(
@@ -721,26 +733,37 @@ impl<'a> Cx<'a> {
         }
     }
 
-    /// E-ARCH (paper §5.4.1 / ROADMAP wave64): a generic-mode simd body
-    /// that declares its own barrier cannot be legalized on an
-    /// architecture without warp-level barriers — the sequential fallback
-    /// runs it on SIMD mains only, where the barrier can never complete.
-    fn check_arch_barriers(&mut self, fp: &Footprint, rc: &RegionCx, live: bool, what: &str) {
-        if live
-            && fp.barriers
-            && rc.mode == ExecMode::Generic
-            && rc.gs > 1
-            && !self.arch.warp_sync_supported
-        {
-            let region = rc.region.clone();
-            let arch = self.arch.name;
+    /// E-ARCH / R-SEQ-SIMD (paper §5.4.1 / ROADMAP wave64): on an
+    /// architecture without warp-level barriers, a generic-mode simd
+    /// region is *legalized* — rewritten to sequential leader-lane
+    /// execution — and the lint records the rewrite as a remark. The
+    /// rewrite is only illegal when the body declares its own barrier:
+    /// the legalized loop runs on SIMD mains only, where the barrier can
+    /// never complete, so that case stays an error.
+    fn check_arch_barriers(&mut self, barriers: bool, rc: &RegionCx, live: bool, what: &str) {
+        if !live || rc.mode != ExecMode::Generic || rc.gs <= 1 || self.arch.warp_sync_supported {
+            return;
+        }
+        let region = rc.region.clone();
+        let arch = self.arch.name;
+        if barriers {
             self.err(
                 "E-ARCH",
                 &region,
                 format!(
                     "{what} declares a warp-level barrier but {arch} has no warp barrier: the \
-                     sequential-fallback legalization runs the loop on SIMD mains only, so the \
+                     sequential-simd legalization runs the loop on SIMD mains only, so the \
                      barrier can never complete (simtcheck reports BarrierDivergence)"
+                ),
+            );
+        } else {
+            self.remark(
+                "R-SEQ-SIMD",
+                &region,
+                format!(
+                    "{what} legalized to sequential leader-lane execution: {arch} has no \
+                     warp-level barrier, so the SIMD state machine is bypassed and each SIMD \
+                     main runs its group's iterations in order (§5.4.1)"
                 ),
             );
         }

@@ -284,6 +284,50 @@ fn arch_barrier_error_pairs_with_runtime_divergence() {
     );
 }
 
+/// The same generic-mode simd shape *without* a declared barrier is
+/// legalizable: simtlint demotes the would-be E-ARCH to an R-SEQ-SIMD
+/// remark on mi100 and the runtime executes it end-to-end through the
+/// sequential-fallback path (counted, sanitizer-clean).
+#[test]
+fn barrier_free_generic_simd_legalizes_with_remark() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(64);
+    let rows = b.trip_const(2);
+    let inner = b.trip_const(8);
+    let k = b.build(|t| {
+        t.distribute_parallel_for_with_mode(
+            rows,
+            Schedule::Static,
+            8,
+            ExecMode::Generic,
+            |p, _row| {
+                p.simd_footprint(inner, Footprint::new(), |lane, _, _| {
+                    lane.work(1);
+                });
+            },
+        );
+    });
+
+    // a100: the state machine runs; no remark, no error.
+    let report = k.lint(&DeviceArch::a100(), 0);
+    assert_eq!(report.with_code("R-SEQ-SIMD").count(), 0, "{}", report.render("kernel"));
+    assert!(!report.has_errors(), "{}", report.render("kernel"));
+
+    // mi100: legalized, remarked, not rejected.
+    let report = k.lint(&DeviceArch::mi100(), 0);
+    assert_eq!(report.with_code("E-ARCH").count(), 0, "{}", report.render("kernel"));
+    assert_eq!(report.with_code("R-SEQ-SIMD").count(), 1, "{}", report.render("kernel"));
+    assert!(!report.has_errors(), "{}", report.render("kernel"));
+
+    let mut dev = Device::new(DeviceArch::mi100());
+    dev.enable_sanitizer();
+    let stats = k.run(&mut dev, &[]);
+    assert!(stats.violations.is_empty(), "{:#?}", stats.violations);
+    assert!(
+        stats.counters.sequential_simd_fallbacks > 0,
+        "legalized launch must count its sequential-simd rewrites"
+    );
+}
+
 /// W-DEAD-STAGE verdicts, the builder's dead-stage shrink pass, and the
 /// runtime staging counters must agree on seeded random plans: the staged
 /// prefix is `max(declared read) + 1`, the warning fires exactly when that
@@ -531,4 +575,42 @@ fn lint_verdicts_agree_with_runtime() {
             }
         }
     });
+}
+
+/// Regression: the R-SEQ-SIMD remark must not depend on a *declared*
+/// footprint. Plain-closure `simd` / `simd_reduce` bodies (the common
+/// case — no `simd_footprint`) legalize on mi100 exactly like declared
+/// ones, so they must carry the remark too; only the barrier *error*
+/// needs a footprint (barriers can only be declared through one).
+#[test]
+fn footprint_less_simd_bodies_still_get_legalization_remark() {
+    let mut b = TargetBuilder::new().num_teams(1).threads(64);
+    let rows = b.trip_const(2);
+    let inner = b.trip_const(8);
+    let k = b.build(|t| {
+        t.distribute_parallel_for_with_mode(
+            rows,
+            Schedule::Static,
+            8,
+            ExecMode::Generic,
+            |p, _row| {
+                p.simd(inner, |lane, _, _| lane.work(1));
+                let x = p.simd_reduce(inner, |_, iv, _| iv as f64);
+                let _ = x;
+            },
+        );
+    });
+
+    let report = k.lint(&DeviceArch::a100(), 0);
+    assert_eq!(report.with_code("R-SEQ-SIMD").count(), 0, "{}", report.render("kernel"));
+
+    let report = k.lint(&DeviceArch::mi100(), 0);
+    assert_eq!(
+        report.with_code("R-SEQ-SIMD").count(),
+        2,
+        "one remark per legalized region: {}",
+        report.render("kernel")
+    );
+    assert_eq!(report.with_code("E-ARCH").count(), 0, "{}", report.render("kernel"));
+    assert!(!report.has_errors(), "{}", report.render("kernel"));
 }

@@ -100,6 +100,25 @@ impl ParallelDesc {
         ParallelDesc { mode: ExecMode::Generic, simdlen }
     }
 
+    /// Sequential-simd legalization predicate (§5.4.1).
+    ///
+    /// Generic-mode SIMD regions drive the Fig 6 state machine with
+    /// wavefront-level barriers. On architectures whose ISA does not expose
+    /// such a barrier (`!warp_sync_supported` — AMD wave64 in the paper),
+    /// the region is *legalized* instead of rejected: every simd loop runs
+    /// sequentially on its SIMD main, workers never enter the state
+    /// machine, and no warp barrier is ever issued. Both engines — the
+    /// tree walker and the flat-bytecode lowering — key the rewrite off
+    /// this one predicate so their stats stay bit-identical under the
+    /// oracle.
+    ///
+    /// SPMD regions and `simdlen == 1` regions never legalize: they are
+    /// already barrier-free at the wavefront level (or degenerate).
+    #[inline]
+    pub fn sequential_simd(&self, arch: &DeviceArch) -> bool {
+        self.mode == ExecMode::Generic && self.simdlen > 1 && !arch.warp_sync_supported
+    }
+
     /// Normalize against the architecture: group size must divide the warp
     /// size (groups never span warps, §5.1), and a group size of 1 forces
     /// SPMD mode (§5.4).
@@ -161,5 +180,30 @@ mod tests {
         let arch = DeviceArch::mi100();
         let d = ParallelDesc::spmd(64).normalized(&arch);
         assert_eq!(d.simdlen, 64);
+    }
+
+    #[test]
+    fn worker_warps_follow_the_arch_width() {
+        // Wave64 audit: warp counts and the generic-mode extra warp are
+        // derived from the arch width, never a baked-in 32.
+        let cfg = KernelConfig { threads_per_team: 128, ..Default::default() };
+        assert_eq!(cfg.worker_warps(&DeviceArch::a100()), 4);
+        assert_eq!(cfg.worker_warps(&DeviceArch::mi100()), 2);
+        let generic = KernelConfig { teams_mode: ExecMode::Generic, ..cfg };
+        assert_eq!(generic.launch_config(&DeviceArch::a100()).threads_per_block, 160);
+        assert_eq!(generic.launch_config(&DeviceArch::mi100()).threads_per_block, 192);
+    }
+
+    #[test]
+    fn sequential_simd_only_for_generic_groups_without_warp_sync() {
+        let a100 = DeviceArch::a100();
+        let mi100 = DeviceArch::mi100();
+        // Generic + groups + no wavefront barrier → legalize.
+        assert!(ParallelDesc::generic(8).sequential_simd(&mi100));
+        // Same region on hardware with warp barriers runs the state machine.
+        assert!(!ParallelDesc::generic(8).sequential_simd(&a100));
+        // SPMD and degenerate group sizes never legalize.
+        assert!(!ParallelDesc::spmd(8).sequential_simd(&mi100));
+        assert!(!ParallelDesc::generic(1).sequential_simd(&mi100));
     }
 }

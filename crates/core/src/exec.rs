@@ -360,8 +360,9 @@ impl<'a, 'g> Interp<'a, 'g> {
         // End of the parallel region. Generic SIMD mode: every SIMD main
         // posts the termination signal (null function pointer) and
         // synchronizes its group so workers exit the SIMD state machine
-        // (Fig 3 / Fig 6).
-        if desc.mode == ExecMode::Generic && self.tc.arch().warp_sync_supported {
+        // (Fig 3 / Fig 6). Legalized regions never started the state
+        // machine, so there is nothing to terminate.
+        if desc.mode == ExecMode::Generic && !desc.sequential_simd(self.tc.arch()) {
             for w in 0..self.worker_warps {
                 self.tc.charge_smem_ops(w, 1);
                 self.tc.warp_sync(w);
@@ -723,9 +724,10 @@ impl<'a, 'g> Interp<'a, 'g> {
                     let mask = self.simd_sync_mask(m, &wg);
                     self.tc.warp_sync_masked(w, mask, mask);
                 }
-                ExecMode::Generic if !self.tc.arch().warp_sync_supported => {
-                    // AMD fallback (§5.4.1): no wavefront-level barrier, so
-                    // the simd loop runs sequentially on each SIMD main.
+                ExecMode::Generic if desc.sequential_simd(self.tc.arch()) => {
+                    // Sequential-simd legalization (§5.4.1): no
+                    // wavefront-level barrier on this arch, so the simd
+                    // loop runs sequentially on each SIMD main.
                     self.tc.counters.sequential_simd_fallbacks += wg.len() as u64;
                     let leaders: Vec<u32> =
                         wg.iter().map(|&g| m.lane_of(m.leader_tid(g))).collect();
@@ -753,14 +755,24 @@ impl<'a, 'g> Interp<'a, 'g> {
                             missing,
                         });
                     }
+                    // The leader replays the iterations in the order the
+                    // state machine would have issued them (each virtual
+                    // lane's strided walk, lanes in ascending order), so
+                    // floating-point accumulation — and therefore the
+                    // host-visible bits — match the warp-synchronous
+                    // backends exactly.
                     match body {
                         SimdBody::Plain(b) => {
                             let (f, _) = self.reg.get_body(b);
                             self.tc.run_lanes(w, &leaders, |lane, l| {
                                 let g = m.simd_group(w * ws + l) as usize;
                                 let vars = Vars { args, outer: team_regs, regs: &regs[g] };
-                                for iv in 0..trips[g] {
-                                    f(lane, iv, &vars);
+                                for gid in 0..gs {
+                                    let mut iv = gid;
+                                    while iv < trips[g] {
+                                        f(lane, iv, &vars);
+                                        iv += gs;
+                                    }
                                 }
                             });
                         }
@@ -769,8 +781,12 @@ impl<'a, 'g> Interp<'a, 'g> {
                             self.tc.run_lanes(w, &leaders, |lane, l| {
                                 let g = m.simd_group(w * ws + l) as usize;
                                 let vars = Vars { args, outer: team_regs, regs: &regs[g] };
-                                for iv in 0..trips[g] {
-                                    partials[g] += f(lane, iv, &vars);
+                                for gid in 0..gs {
+                                    let mut iv = gid;
+                                    while iv < trips[g] {
+                                        partials[g] += f(lane, iv, &vars);
+                                        iv += gs;
+                                    }
                                 }
                             });
                         }

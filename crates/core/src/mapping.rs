@@ -189,4 +189,43 @@ mod tests {
     fn rejects_groups_spanning_warps() {
         SimdMapping::new(128, 48, 32);
     }
+
+    #[test]
+    fn geometry_is_width_parameterized() {
+        // Wave64 audit: the same 128-thread team on 32- and 64-lane warps.
+        // Every mapping function must follow the width parameter — a
+        // baked-in 32 anywhere breaks one of these identities.
+        for &(ws, gs) in &[(32u32, 8u32), (64, 8), (64, 16), (64, 64)] {
+            let m = SimdMapping::new(128, gs, ws);
+            assert_eq!(m.num_warps(), 128 / ws);
+            assert_eq!(m.groups_per_warp(), ws / gs);
+            assert_eq!(m.num_groups(), 128 / gs);
+            for tid in 0..128 {
+                assert_eq!(m.warp_of(tid), tid / ws);
+                assert_eq!(m.lane_of(tid), tid % ws);
+                assert_eq!(m.simd_group(tid), tid / gs);
+                assert_eq!(m.is_simd_group_leader(tid), tid % gs == 0);
+                let mask = m.simdmask(tid);
+                assert_eq!(mask.count(), gs);
+                assert!(mask.contains(m.lane_of(tid)));
+                assert!(mask.iter().all(|l| l < ws), "mask crossed the warp");
+            }
+            for g in 0..m.num_groups() {
+                assert_eq!(m.simd_group(m.leader_tid(g)), g);
+                assert!(m.is_simd_group_leader(m.leader_tid(g)));
+            }
+        }
+    }
+
+    #[test]
+    fn full_wavefront_groups_on_wave64() {
+        // A 64-wide group is one whole wavefront: a single group per warp
+        // whose mask is all 64 lanes (the `LaneMask::full(64)` edge where
+        // `1 << 64` would overflow a shifted-ones implementation).
+        let m = SimdMapping::new(128, 64, 64);
+        assert_eq!(m.groups_per_warp(), 1);
+        assert_eq!(m.simdmask(100), LaneMask::full(64));
+        assert_eq!(m.warp_of(100), 1);
+        assert_eq!(m.lane_of(100), 36);
+    }
 }

@@ -1,11 +1,18 @@
-//! Device architecture descriptors.
+//! Device architecture descriptors and the multi-backend registry.
 //!
 //! The paper evaluates on NVIDIA A100 (40 GB) GPUs and discusses, in §5.4.1,
 //! the gap towards AMD GPUs: LLVM/OpenMP provides no wavefront-level barrier
 //! there, so the generic-SIMD execution mode is unavailable and `simd` loops
 //! fall back to sequential execution. Both device families are modeled here;
 //! the `warp_sync_supported` capability bit is what the OpenMP runtime keys
-//! its fallback on.
+//! its legalization on.
+//!
+//! Architectures are **registered**, not ad-hoc: [`ArchId`] names every
+//! backend the simulator ships, [`ArchRegistry`] resolves names (including
+//! the `SIMT_SIM_ARCH` environment selection every harness honors), and the
+//! same `ArchId` keys the serve layer's warm-plan cache so one fleet can mix
+//! backends. Tests may still construct custom [`DeviceArch`] values directly
+//! — the registry is the named surface, not a straitjacket.
 
 /// GPU vendor family; selects warp width conventions and capability defaults.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +88,12 @@ pub struct DeviceArch {
     /// Whether a warp-level barrier over a lane mask exists. The generic
     /// SIMD execution mode requires it (paper §5.4.1).
     pub warp_sync_supported: bool,
+    /// Independent shared-memory banks. Successive 8-byte slots hash to
+    /// successive banks; distinct slots landing in one bank serialize into
+    /// wavefronts ([`crate::exec::BankAcc`]). NVIDIA SMs expose 32 banks;
+    /// the wave64 LDS is modeled as one bank per lane (64), so a stride-1
+    /// full-wavefront access is conflict-free on both families.
+    pub smem_banks: u32,
     /// Memory-hierarchy geometry for the hierarchical cost model.
     pub cache: CacheGeom,
 }
@@ -100,6 +113,7 @@ impl DeviceArch {
             smem_per_block: 96 * 1024,
             smem_per_sm: 164 * 1024,
             warp_sync_supported: true,
+            smem_banks: 32,
             // 40 L2 slices × 2 sectors/cycle = the flat model's 80
             // aggregate; ~400-cycle DRAM round trip per published A100
             // microbenchmarks.
@@ -128,6 +142,12 @@ impl DeviceArch {
             smem_per_block: 64 * 1024,
             smem_per_sm: 64 * 1024,
             warp_sync_supported: false,
+            // One LDS bank per wavefront lane: a stride-1 access by all 64
+            // lanes is conflict-free, exactly like 32 lanes over 32 banks
+            // on the NVIDIA side. Folding 64 lanes into a 32-bank hash
+            // (the old hard-coded model) manufactured 2-deep conflicts for
+            // every dense access — the bug the `smem_banks` field fixes.
+            smem_banks: 64,
             cache: CacheGeom {
                 l2_banks: 32,
                 l2_bank_sectors_per_cycle: 2,
@@ -153,6 +173,7 @@ impl DeviceArch {
             smem_per_block: 8 * 1024,
             smem_per_sm: 16 * 1024,
             warp_sync_supported: true,
+            smem_banks: 32,
             // Scaled-down hierarchy so occupancy and banking effects stay
             // visible with tiny launches.
             cache: CacheGeom {
@@ -170,6 +191,102 @@ impl DeviceArch {
     #[inline]
     pub fn warps_for(&self, threads: u32) -> u32 {
         threads.div_ceil(self.warp_size)
+    }
+
+    /// The architecture `SIMT_SIM_ARCH` selects (default: `a100`).
+    /// Shorthand for [`ArchRegistry::from_env`]`.arch()`.
+    pub fn from_env() -> DeviceArch {
+        ArchRegistry::from_env().arch()
+    }
+}
+
+/// Key of one registered backend — `Copy + Eq + Hash`, so callers that
+/// must content-address on an architecture (the serve layer's `PlanKey`
+/// warm-plan cache) embed the id rather than the full descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArchId {
+    /// NVIDIA A100-like (32-lane warps, warp barriers available).
+    A100,
+    /// AMD MI100-like (64-lane wavefronts, no wavefront barrier —
+    /// generic simd legalizes to leader-lane sequential execution).
+    Mi100,
+    /// Scaled-down test device (32-lane warps).
+    Tiny,
+}
+
+impl ArchId {
+    /// Registry name (what `SIMT_SIM_ARCH` matches).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchId::A100 => "a100",
+            ArchId::Mi100 => "mi100",
+            ArchId::Tiny => "tiny",
+        }
+    }
+
+    /// Materialize the full descriptor.
+    pub fn arch(self) -> DeviceArch {
+        match self {
+            ArchId::A100 => DeviceArch::a100(),
+            ArchId::Mi100 => DeviceArch::mi100(),
+            ArchId::Tiny => DeviceArch::tiny(),
+        }
+    }
+
+    /// Lanes per warp of this backend (without materializing the
+    /// descriptor — the field plan keys used to carry directly).
+    pub fn warp_size(self) -> u32 {
+        match self {
+            ArchId::A100 | ArchId::Tiny => 32,
+            ArchId::Mi100 => 64,
+        }
+    }
+}
+
+impl std::fmt::Display for ArchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The named backend registry: every architecture the simulator ships,
+/// resolvable by name (registry key or the descriptor's display name,
+/// case-insensitively) and via the `SIMT_SIM_ARCH` environment variable.
+pub struct ArchRegistry;
+
+impl ArchRegistry {
+    /// Every registered backend, in presentation order.
+    pub const ALL: [ArchId; 3] = [ArchId::A100, ArchId::Mi100, ArchId::Tiny];
+
+    /// Registry names, aligned with [`ArchRegistry::ALL`].
+    pub fn names() -> impl Iterator<Item = &'static str> {
+        Self::ALL.iter().map(|id| id.name())
+    }
+
+    /// Resolve a name to its registry id. Accepts the registry key
+    /// (`"mi100"`) or the descriptor name (`"sim-MI100"`), either case.
+    pub fn lookup(name: &str) -> Option<ArchId> {
+        let want = name.to_ascii_lowercase();
+        Self::ALL
+            .into_iter()
+            .find(|id| id.name() == want || id.arch().name.to_ascii_lowercase() == want)
+    }
+
+    /// The backend `SIMT_SIM_ARCH` names, defaulting to [`ArchId::A100`]
+    /// (the paper's test bed). An unknown name panics with the registry
+    /// listing — a silently substituted architecture would invalidate
+    /// every number a run produces.
+    pub fn from_env() -> ArchId {
+        match std::env::var("SIMT_SIM_ARCH") {
+            Ok(v) if !v.is_empty() => Self::lookup(&v).unwrap_or_else(|| {
+                panic!(
+                    "SIMT_SIM_ARCH={v:?} names no registered architecture \
+                     (known: {})",
+                    Self::names().collect::<Vec<_>>().join(", ")
+                )
+            }),
+            _ => ArchId::A100,
+        }
     }
 }
 
@@ -192,6 +309,28 @@ mod tests {
         assert_eq!(a.vendor, Vendor::Amd);
         assert_eq!(a.warp_size, 64);
         assert!(!a.warp_sync_supported);
+    }
+
+    #[test]
+    fn registry_resolves_names_and_aliases() {
+        assert_eq!(ArchRegistry::lookup("a100"), Some(ArchId::A100));
+        assert_eq!(ArchRegistry::lookup("MI100"), Some(ArchId::Mi100));
+        assert_eq!(ArchRegistry::lookup("sim-MI100"), Some(ArchId::Mi100));
+        assert_eq!(ArchRegistry::lookup("tiny"), Some(ArchId::Tiny));
+        assert_eq!(ArchRegistry::lookup("h100"), None);
+        for id in ArchRegistry::ALL {
+            assert_eq!(ArchRegistry::lookup(id.name()), Some(id));
+            assert_eq!(id.arch().warp_size, id.warp_size());
+        }
+    }
+
+    #[test]
+    fn bank_counts_match_lane_counts() {
+        // One bank per lane on both families: a dense stride-1 access by a
+        // full warp/wavefront must be conflict-free.
+        assert_eq!(DeviceArch::a100().smem_banks, 32);
+        assert_eq!(DeviceArch::mi100().smem_banks, 64);
+        assert_eq!(DeviceArch::tiny().smem_banks, 32);
     }
 
     #[test]

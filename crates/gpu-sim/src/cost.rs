@@ -54,9 +54,10 @@ pub struct CostModel {
     /// the paper's `simd` mapping removes.
     pub l1_lines: u32,
     /// Warp-visible cycles per shared-memory access wavefront. Shared
-    /// memory has 32 banks (8-byte slots map to `slot % 32`); lanes of one
-    /// instruction hitting *different* slots in the same bank serialize
-    /// into that many wavefronts, while same-slot accesses broadcast.
+    /// memory has [`crate::arch::DeviceArch::smem_banks`] banks (8-byte
+    /// slots map to `slot % banks`); lanes of one instruction hitting
+    /// *different* slots in the same bank serialize into that many
+    /// wavefronts, while same-slot accesses broadcast.
     pub smem_cycles: u64,
     /// Cost of a masked warp-level barrier (`synchronizeWarp`).
     pub warp_sync_cycles: u64,

@@ -160,20 +160,62 @@ impl OrdAcc {
     }
 }
 
-/// One shared-memory ordinal: the same last-slot-per-bank conflict walk
-/// [`TeamCtx::commit`] performs, folded in online. Lanes run sequentially
-/// in ascending order, so the accumulation order matches the trace walk.
-struct SmemOrdAcc {
-    bank_slots: [u32; 32],
-    bank_waves: [u8; 32],
-    worst: u8,
+/// Shared-memory bank-conflict accumulator for one ordinal (the k-th smem
+/// access of every lane in a super-step), parameterized by the device's
+/// bank count ([`crate::arch::DeviceArch::smem_banks`]). Distinct slots
+/// landing in one bank serialize into wavefronts; same-slot accesses
+/// broadcast. This is the **single** implementation of the conflict walk —
+/// the trace path ([`TeamCtx::commit`]) and the flat path
+/// ([`TeamCtx::run_lanes_flat`]) both fold through it, which is what keeps
+/// their wavefront counts bit-identical by construction. (The old code
+/// duplicated the walk in three places over hard-coded `[_; 32]` arrays,
+/// folding wave64 archs into a 32-bank hash, and capped the per-bank depth
+/// at 255 via a `u8` `saturating_add`.)
+#[derive(Clone, Debug, Default)]
+pub struct BankAcc {
+    /// Last slot seen per bank (`u32::MAX` = none) — the broadcast filter.
+    bank_slots: Vec<u32>,
+    /// Serialized wavefronts per bank. `u32`: a deep conflict (every lane
+    /// of a wide warp on one bank, ordinal after ordinal) must count
+    /// fully, not saturate at 255.
+    bank_waves: Vec<u32>,
+    worst: u32,
 }
 
-impl SmemOrdAcc {
-    fn clear(&mut self) {
-        self.bank_slots = [u32::MAX; 32];
-        self.bank_waves = [0; 32];
+impl BankAcc {
+    /// Accumulator over `banks` independent banks.
+    pub fn new(banks: u32) -> BankAcc {
+        assert!(banks >= 1, "a device needs at least one shared-memory bank");
+        BankAcc {
+            bank_slots: vec![u32::MAX; banks as usize],
+            bank_waves: vec![0; banks as usize],
+            worst: 0,
+        }
+    }
+
+    /// Reset for the next ordinal, keeping the bank count.
+    pub fn clear(&mut self) {
+        self.bank_slots.fill(u32::MAX);
+        self.bank_waves.fill(0);
         self.worst = 0;
+    }
+
+    /// Fold in one lane's access to an 8-byte slot.
+    #[inline]
+    pub fn visit(&mut self, slot: u32) {
+        let b = (slot as usize) % self.bank_slots.len();
+        if self.bank_slots[b] != slot {
+            // New distinct slot in this bank: one more wavefront
+            // (approximate: tracks the last slot seen per bank).
+            self.bank_slots[b] = slot;
+            self.bank_waves[b] += 1;
+            self.worst = self.worst.max(self.bank_waves[b]);
+        }
+    }
+
+    /// Wavefronts the deepest bank serializes into (0 if nothing visited).
+    pub fn worst(&self) -> u32 {
+        self.worst
     }
 }
 
@@ -183,7 +225,7 @@ impl SmemOrdAcc {
 #[derive(Default)]
 struct FlatAcc {
     ords: Vec<OrdAcc>,
-    smem_ords: Vec<SmemOrdAcc>,
+    smem_ords: Vec<BankAcc>,
     max_alu: u64,
     max_smem_ops: u64,
     max_ord: usize,
@@ -194,12 +236,15 @@ struct FlatAcc {
     lane_smem_ord: usize,
     /// `log2(sector_bytes)` — the flat path requires a power-of-two sector.
     sector_shift: u32,
+    /// Shared-memory bank count new ordinal accumulators are sized to
+    /// ([`crate::arch::DeviceArch::smem_banks`]).
+    smem_banks: u32,
 }
 
 impl FlatAcc {
     /// Prepare for a new super-step: clear the ordinals the previous step
     /// used (untouched entries are already clear) and reset the maxima.
-    fn reset(&mut self, sector_shift: u32) {
+    fn reset(&mut self, sector_shift: u32, smem_banks: u32) {
         for o in &mut self.ords[..self.max_ord] {
             o.sectors.clear();
             o.atomics.clear();
@@ -213,6 +258,7 @@ impl FlatAcc {
         self.max_ord = 0;
         self.max_smem_ord = 0;
         self.sector_shift = sector_shift;
+        self.smem_banks = smem_banks;
     }
 
     fn begin_lane(&mut self) {
@@ -259,19 +305,9 @@ impl FlatAcc {
         let k = self.lane_smem_ord;
         self.lane_smem_ord += 1;
         if k >= self.smem_ords.len() {
-            self.smem_ords.push(SmemOrdAcc {
-                bank_slots: [u32::MAX; 32],
-                bank_waves: [0; 32],
-                worst: 0,
-            });
+            self.smem_ords.push(BankAcc::new(self.smem_banks));
         }
-        let a = &mut self.smem_ords[k];
-        let b = (slot % 32) as usize;
-        if a.bank_slots[b] != slot {
-            a.bank_slots[b] = slot;
-            a.bank_waves[b] = a.bank_waves[b].saturating_add(1);
-            a.worst = a.worst.max(a.bank_waves[b]);
-        }
+        self.smem_ords[k].visit(slot);
     }
 }
 
@@ -466,6 +502,9 @@ pub struct TeamCtx<'g> {
     /// Line-visit log for the launch's deterministic first-touch replay.
     visits: VisitLog,
     flat_acc: FlatAcc,
+    /// Reusable bank-conflict accumulator for the trace commit path, sized
+    /// to `arch.smem_banks` once at construction.
+    smem_bank_acc: BankAcc,
     event_trace: Option<crate::trace::Trace>,
     sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
     observed: ObservedEffects,
@@ -500,6 +539,7 @@ impl<'g> TeamCtx<'g> {
             l2_bank_sectors: vec![0; arch.cache.l2_banks as usize],
             visits: VisitLog::default(),
             flat_acc: FlatAcc::default(),
+            smem_bank_acc: BankAcc::new(arch.smem_banks),
             event_trace: None,
             sanitizer: None,
             observed: ObservedEffects::default(),
@@ -671,7 +711,7 @@ impl<'g> TeamCtx<'g> {
             return;
         }
         let shift = self.cost.sector_bytes.trailing_zeros();
-        self.flat_acc.reset(shift);
+        self.flat_acc.reset(shift, self.arch.smem_banks);
         for &lane_id in lanes {
             debug_assert!(lane_id < self.arch.warp_size);
             self.flat_acc.begin_lane();
@@ -698,27 +738,22 @@ impl<'g> TeamCtx<'g> {
         let max_ord = traces.iter().map(|t| t.accesses.len()).max().unwrap_or(0);
 
         // Shared memory: the k-th smem access of all lanes is one
-        // instruction; distinct slots landing in the same of the 32 banks
-        // serialize into wavefronts, same-slot accesses broadcast.
+        // instruction; distinct slots landing in the same bank (of the
+        // arch's `smem_banks`) serialize into wavefronts, same-slot
+        // accesses broadcast — the [`BankAcc`] walk, shared with the flat
+        // path.
         let max_smem_ord = traces.iter().map(|t| t.smem_slots.len()).max().unwrap_or(0);
+        let mut bank_acc = std::mem::take(&mut self.smem_bank_acc);
         let mut smem_wavefronts = 0u64;
         for k in 0..max_smem_ord {
-            let mut bank_slots: [u32; 32] = [u32::MAX; 32];
-            let mut bank_waves: [u8; 32] = [0; 32];
-            let mut worst = 0u8;
+            bank_acc.clear();
             for t in traces {
                 let Some(&(slot, _)) = t.smem_slots.get(k) else { continue };
-                let b = (slot % 32) as usize;
-                if bank_slots[b] != slot {
-                    // New distinct slot in this bank: one more wavefront
-                    // (approximate: tracks the last slot seen per bank).
-                    bank_slots[b] = slot;
-                    bank_waves[b] = bank_waves[b].saturating_add(1);
-                    worst = worst.max(bank_waves[b]);
-                }
+                bank_acc.visit(slot);
             }
-            smem_wavefronts += worst.max(1) as u64;
+            smem_wavefronts += bank_acc.worst().max(1) as u64;
         }
+        self.smem_bank_acc = bank_acc;
 
         let mut clock_add = max_alu + smem_wavefronts * cost.smem_cycles;
         let mut issue_add = clock_add;
@@ -833,7 +868,7 @@ impl<'g> TeamCtx<'g> {
 
         let mut smem_wavefronts = 0u64;
         for s in &acc.smem_ords[..acc.max_smem_ord] {
-            smem_wavefronts += s.worst.max(1) as u64;
+            smem_wavefronts += s.worst().max(1) as u64;
         }
 
         let mut clock_add = acc.max_alu + smem_wavefronts * cost.smem_cycles;
@@ -1589,6 +1624,70 @@ mod tests {
             lane.write(p, id as u64, 1.0);
         });
         assert!(t.take_observed().global_writes, "sanitizer observers must still fire");
+    }
+
+    #[test]
+    fn bank_acc_counts_deep_conflicts_without_saturating() {
+        // Regression: the accumulator once tracked per-bank wavefronts in a
+        // `u8` with `saturating_add`, silently capping conflict depth at
+        // 255 and under-charging pathologically strided access patterns.
+        let mut acc = BankAcc::new(32);
+        for i in 0..300u32 {
+            acc.visit(i * 32); // all distinct slots, all in bank 0
+        }
+        assert_eq!(acc.worst(), 300, "deep conflicts must count fully");
+        // Same-slot accesses broadcast: one wavefront no matter the count.
+        acc.clear();
+        for _ in 0..300 {
+            acc.visit(7);
+        }
+        assert_eq!(acc.worst(), 1);
+    }
+
+    #[test]
+    fn bank_count_changes_conflict_wavefronts() {
+        // A 64-lane stride-1 access is conflict-free on a 64-bank LDS but
+        // folds into a 2-way conflict on 32 banks.
+        let mut lds64 = BankAcc::new(64);
+        let mut lds32 = BankAcc::new(32);
+        for slot in 0..64u32 {
+            lds64.visit(slot);
+            lds32.visit(slot);
+        }
+        assert_eq!(lds64.worst(), 1);
+        assert_eq!(lds32.worst(), 2);
+    }
+
+    #[test]
+    fn wave64_stride1_smem_is_conflict_free_end_to_end() {
+        // mi100 models the LDS with one bank per wavefront lane, so a dense
+        // 64-lane stride-1 shared-memory instruction costs a single
+        // wavefront — the old hard-coded 32-bank fold double-charged it.
+        // Both engines must agree.
+        let c = CostModel::default();
+        let run = |arch: &DeviceArch, flat: bool| {
+            let g = GlobalMem::new();
+            let mut t = TeamCtx::new(0, 1, 1, 4096, &g, &c, arch);
+            let off = t.smem.alloc(64 * 8).unwrap();
+            let lanes: Vec<u32> = (0..arch.warp_size).collect();
+            let body = |lane: &mut Lane<'_, '_>, id: u32| {
+                lane.smem_write_f64(off, id, id as f64);
+            };
+            if flat {
+                t.run_lanes_flat(0, &lanes, body);
+            } else {
+                t.run_lanes(0, &lanes, body);
+            }
+            t.warp_clock(0)
+        };
+        let mi = DeviceArch::mi100();
+        assert_eq!(run(&mi, false), c.smem_cycles);
+        assert_eq!(run(&mi, true), c.smem_cycles);
+        // Folding the same access onto 32 banks serializes into 2 waves.
+        let mut folded = DeviceArch::mi100();
+        folded.smem_banks = 32;
+        assert_eq!(run(&folded, false), 2 * c.smem_cycles);
+        assert_eq!(run(&folded, true), 2 * c.smem_cycles);
     }
 
     #[test]

@@ -196,6 +196,14 @@ impl Device {
         Device::new(DeviceArch::a100())
     }
 
+    /// Device on the architecture `SIMT_SIM_ARCH` names (default `a100`;
+    /// see [`crate::arch::ArchRegistry::from_env`]). Harnesses that should
+    /// participate in the CI arch axis construct their devices here; tests
+    /// pinning backend-specific numbers keep naming the arch explicitly.
+    pub fn from_env() -> Device {
+        Device::new(DeviceArch::from_env())
+    }
+
     /// Validate a launch configuration against this device.
     pub fn validate(&self, cfg: &LaunchConfig) -> Result<u32, LaunchError> {
         if cfg.num_blocks == 0 {

@@ -46,8 +46,8 @@ pub mod sched;
 pub mod stats;
 pub mod trace;
 
-pub use arch::{CacheGeom, DeviceArch, Vendor};
-pub use exec::{DispatchKind, Lane, ObservedEffects, TeamCtx};
+pub use arch::{ArchId, ArchRegistry, CacheGeom, DeviceArch, Vendor};
+pub use exec::{BankAcc, DispatchKind, Lane, ObservedEffects, TeamCtx};
 pub use launch::{Device, LaunchConfig, LaunchError};
 pub use mask::LaneMask;
 pub use mem::global::{FallbackRange, GlobalMem, GlobalView, MemCheckpoint};

@@ -48,8 +48,23 @@ pub fn random_kernel(rng: &mut SimRng) -> (CompiledKernel, DeviceArch) {
     };
     let ws = arch.warp_size;
     let threads = ws * rng.range_u32(1, 3);
-    let teams = rng.range_u32(1, 4);
     let simdlen = *rng.pick(&[1u32, 2, 4, 8, ws]);
+    (random_kernel_geom(rng, threads, simdlen), arch)
+}
+
+/// Like [`random_kernel`], but with **portable geometry**: the thread
+/// count is a whole number of 64-lane wavefronts and the group size
+/// divides 32 (and therefore also 64), so the same compiled plan is
+/// launchable on every registered backend. The cross-backend differential
+/// matrix builds one plan here and runs it on each architecture.
+pub fn random_portable_kernel(rng: &mut SimRng) -> CompiledKernel {
+    let threads = 64 * rng.range_u32(1, 3);
+    let simdlen = *rng.pick(&[1u32, 2, 4, 8, 32]);
+    random_kernel_geom(rng, threads, simdlen)
+}
+
+fn random_kernel_geom(rng: &mut SimRng, threads: u32, simdlen: u32) -> CompiledKernel {
+    let teams = rng.range_u32(1, 4);
     let sharing = *rng.pick(&[0u32, 64, 256, 2048]);
     let sched = match rng.range_u32(0, 4) {
         0 => Schedule::Static,
@@ -90,7 +105,7 @@ pub fn random_kernel(rng: &mut SimRng) -> (CompiledKernel, DeviceArch) {
     };
 
     let shape = rng.range_u32(0, 5);
-    let k = match shape {
+    match shape {
         // Tight 3-level: distribute parallel for + simd (SPMD-eligible).
         0 => b.build(|t| {
             t.distribute_parallel_for(outer, sched, simdlen, move |p, _row| {
@@ -149,6 +164,5 @@ pub fn random_kernel(rng: &mut SimRng) -> (CompiledKernel, DeviceArch) {
                 },
             );
         }),
-    };
-    (k, arch)
+    }
 }

@@ -83,7 +83,14 @@ const FMA_CYCLES: u64 = 4;
 /// The two-level baseline: `teams distribute` (generic teams) +
 /// `parallel for` (group size 1). 32 threads per team, as in the paper.
 pub fn build_two_level(num_teams: u32) -> CompiledKernel {
-    let mut b = TargetBuilder::new().num_teams(num_teams).threads(32);
+    build_two_level_on(num_teams, 32)
+}
+
+/// Width-parameterized two-level baseline: wave64 backends need the team
+/// to be a whole number of 64-lane wavefronts, so portability runs pass
+/// `threads = 64` while the paper-faithful a100 baseline keeps 32.
+pub fn build_two_level_on(num_teams: u32, threads: u32) -> CompiledKernel {
+    let mut b = TargetBuilder::new().num_teams(num_teams).threads(threads);
     let rows = b.trip_uniform(|v| v.args[A_NROWS].as_u64());
     // Per-row non-zero count, computed at thread scope from the team's
     // current row (outer register 0).

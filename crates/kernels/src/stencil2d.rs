@@ -285,9 +285,10 @@ pub fn run(
 }
 
 /// Hand-rolled single-warp halo staging against the raw device runtime:
-/// four SIMD groups of 8 lanes, each group's main posting its tile's
-/// left/right halo cells into the group's sharing-space slice, the lanes
-/// consuming them for a 2-point blend.
+/// SIMD groups of 8 lanes across one full warp of the device's native
+/// width, each group's main posting its tile's left/right halo cells into
+/// the group's sharing-space slice, the lanes consuming them for a
+/// 2-point blend.
 ///
 /// With `sync = true` a full masked warp sync orders the post before the
 /// reads — the protocol of Fig 4, sanitizer-clean. With `sync = false` the
@@ -295,16 +296,17 @@ pub fn run(
 /// as [`gpu_sim::Violation::SharedMemRace`] on the halo slots.
 pub fn demo_halo_staging(dev: &mut Device, sync: bool) -> LaunchStats {
     const GS: u32 = 8;
-    const GROUPS: u32 = 4;
-    let row: Vec<f64> = (0..64).map(|x| (x * x % 29) as f64).collect();
+    let ws = dev.arch.warp_size;
+    let groups = ws / GS;
+    let row: Vec<f64> = (0..2 * ws as usize).map(|x| (x * x % 29) as f64).collect();
     let u = dev.global.alloc_from(&row);
-    let out = dev.global.alloc_zeroed::<f64>(32);
-    let cfg = LaunchConfig { num_blocks: 1, threads_per_block: 32, smem_bytes: 2048 };
+    let out = dev.global.alloc_zeroed::<f64>(ws as usize);
+    let cfg = LaunchConfig { num_blocks: 1, threads_per_block: ws, smem_bytes: 2048 };
     dev.launch(&cfg, |team| {
         let mut sharing = SharingSpace::reserve(&mut team.smem, 1024);
-        sharing.configure_groups(GROUPS);
-        let slices: Vec<_> = (0..GROUPS).map(|g| sharing.group_slice(g).0).collect();
-        let leaders: Vec<u32> = (0..GROUPS).map(|g| g * GS).collect();
+        sharing.configure_groups(groups);
+        let slices: Vec<_> = (0..groups).map(|g| sharing.group_slice(g).0).collect();
+        let leaders: Vec<u32> = (0..groups).map(|g| g * GS).collect();
         // SIMD mains post the halo pair for their group's tile.
         team.run_lanes(0, &leaders, |lane, l| {
             let g = (l / GS) as usize;
@@ -315,11 +317,11 @@ pub fn demo_halo_staging(dev: &mut Device, sync: bool) -> LaunchStats {
             lane.smem_write_f64(slices[g], 1, right);
         });
         if sync {
-            let all = LaneMask::contiguous(0, 32);
+            let all = LaneMask::contiguous(0, ws);
             team.warp_sync_masked(0, all, all);
         }
         // Every lane blends its point, edge lanes consuming the staged halo.
-        let lanes: Vec<u32> = (0..32).collect();
+        let lanes: Vec<u32> = (0..ws).collect();
         team.run_lanes(0, &lanes, |lane, l| {
             let g = (l / GS) as usize;
             let k = (l % GS) as u64;

@@ -1,5 +1,9 @@
 //! The paper's benchmark kernels run simtcheck-clean: every launch of the
 //! §6 workloads reports zero protocol violations with the sanitizer on.
+//!
+//! Devices come from [`Device::from_env`] (64-thread teams throughout),
+//! so CI's `SIMT_SIM_ARCH=mi100` cell re-proves cleanliness where
+//! generic-simd regions run through sequential-simd legalization.
 
 use gpu_sim::{Device, Violation};
 use omp_kernels::harness::{max_abs_err, Fig10Variant};
@@ -7,7 +11,7 @@ use omp_kernels::matrix::{CsrMatrix, RowProfile};
 use omp_kernels::{batched, ideal, laplace3d, muram, spmv, stencil2d, su3};
 
 fn sanitized() -> Device {
-    let mut d = Device::a100();
+    let mut d = Device::from_env();
     d.enable_sanitizer();
     d
 }

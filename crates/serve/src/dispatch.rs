@@ -9,16 +9,19 @@
 //! cache-warm.
 //!
 //! **Why stealing cannot perturb stats.** A unit executes on a **fresh
-//! scratch [`Device`]** — device construction is cheap in this simulator,
-//! and the fleet is homogeneous (one [`DeviceArch`]), so a unit's
-//! [`LaunchStats`] is a pure function of (plan, workload, arch,
-//! `SIMT_SIM_THREADS`) no matter which worker runs it, in which order,
-//! concurrently with what. The fleet's *devices* exist as virtual-timeline
-//! accounting streams only (see the fold in `service.rs`); they own no
-//! mutable execution state a steal could disturb. This is DESIGN §11's
-//! isolate-then-fold discipline lifted to the service layer.
+//! scratch [`Device`]** whose architecture comes from the unit's own plan
+//! key (`unit.key.arch`) — never from the worker that runs it. Device
+//! construction is cheap in this simulator, so a unit's [`LaunchStats`]
+//! is a pure function of (plan, workload, key arch, `SIMT_SIM_THREADS`)
+//! no matter which worker runs it, in which order, concurrently with
+//! what — which is why stealing stays stats-neutral even on a
+//! **heterogeneous fleet** mixing backends. The fleet's *devices* exist
+//! as virtual-timeline accounting streams only (see the fold in
+//! `service.rs`); they own no mutable execution state a steal could
+//! disturb. This is DESIGN §11's isolate-then-fold discipline lifted to
+//! the service layer.
 
-use gpu_sim::{Device, DeviceArch, LaunchStats};
+use gpu_sim::{Device, LaunchStats};
 use omp_codegen::launch_flat;
 use omp_kernels::harness::max_abs_err;
 use omp_kernels::{batched, ideal};
@@ -45,16 +48,16 @@ pub struct UnitOutcome {
     pub stolen: bool,
 }
 
-/// Execute one unit on a fresh scratch device and return its outcome
-/// fields (stats + optional verification).
+/// Execute one unit on a fresh scratch device of the unit's keyed
+/// architecture and return its outcome fields (stats + optional
+/// verification).
 pub fn execute_unit(
     unit: &Unit,
     plan: &WarmPlan,
-    arch: &DeviceArch,
     sim_threads: Option<usize>,
     verify: bool,
 ) -> (LaunchStats, Option<f64>) {
-    let mut dev = Device::new(arch.clone());
+    let mut dev = Device::new(unit.key.arch.arch());
     dev.set_sim_threads(sim_threads);
     match unit.kind {
         UnitKind::Ideal { outer, seed } => {
@@ -94,12 +97,13 @@ mod tests {
     use crate::plan::build_warm_plan;
     use crate::queue::Member;
     use crate::spec::{PlanKernel, PlanKey, NARGS};
+    use gpu_sim::ArchId;
 
-    fn unit(kind: UnitKind, members: usize, kernel: PlanKernel) -> Unit {
+    fn unit_on(kind: UnitKind, members: usize, kernel: PlanKernel, arch: ArchId) -> Unit {
         Unit {
             device: 0,
             kind,
-            key: PlanKey { kernel, warp_size: 32, nargs: NARGS, lint: true },
+            key: PlanKey { kernel, arch, nargs: NARGS, lint: true },
             members: (0..members)
                 .map(|i| Member { job_id: i as u64, tenant: 0, arrival_vt: 0 })
                 .collect(),
@@ -108,26 +112,28 @@ mod tests {
         }
     }
 
+    fn unit(kind: UnitKind, members: usize, kernel: PlanKernel) -> Unit {
+        unit_on(kind, members, kernel, ArchId::A100)
+    }
+
     #[test]
     fn ideal_unit_executes_and_verifies() {
-        let arch = DeviceArch::a100();
         let u = unit(
             UnitKind::Ideal { outer: 4, seed: 3 },
             1,
             PlanKernel::Ideal { teams: 1, threads: 32, simdlen: 8 },
         );
-        let plan = build_warm_plan(&u.key, &arch);
-        let (stats, err) = execute_unit(&u, &plan, &arch, Some(1), true);
+        let plan = build_warm_plan(&u.key);
+        let (stats, err) = execute_unit(&u, &plan, Some(1), true);
         assert!(stats.cycles > 0);
         assert_eq!(err, Some(0.0));
     }
 
     #[test]
     fn micro_batch_executes_all_members_in_one_launch() {
-        let arch = DeviceArch::a100();
         let u = unit(UnitKind::Micro { rows: 2, inner: 8 }, 3, PlanKernel::MicroBatch { k: 3 });
-        let plan = build_warm_plan(&u.key, &arch);
-        let (stats, err) = execute_unit(&u, &plan, &arch, Some(1), true);
+        let plan = build_warm_plan(&u.key);
+        let (stats, err) = execute_unit(&u, &plan, Some(1), true);
         assert!(stats.cycles > 0);
         assert_eq!(err, Some(0.0));
         // One launch dispatched all three bodies.
@@ -136,15 +142,37 @@ mod tests {
 
     #[test]
     fn repeated_execution_is_bit_identical() {
-        let arch = DeviceArch::a100();
         let u = unit(
             UnitKind::Ideal { outer: 2, seed: 9 },
             1,
             PlanKernel::Ideal { teams: 1, threads: 32, simdlen: 8 },
         );
-        let plan = build_warm_plan(&u.key, &arch);
-        let (a, _) = execute_unit(&u, &plan, &arch, Some(1), false);
-        let (b, _) = execute_unit(&u, &plan, &arch, Some(1), false);
+        let plan = build_warm_plan(&u.key);
+        let (a, _) = execute_unit(&u, &plan, Some(1), false);
+        let (b, _) = execute_unit(&u, &plan, Some(1), false);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wave64_unit_legalizes_and_verifies() {
+        // A micro batch keyed to the mi100 backend. The batched kernel's
+        // parallel region stays generic (its seq step declares no
+        // footprint), so the wave64 lowering bakes in sequential-simd
+        // legalization; execution on a wave64 scratch device must still
+        // match the host reference.
+        let u = unit_on(
+            UnitKind::Micro { rows: 2, inner: 8 },
+            3,
+            PlanKernel::MicroBatch { k: 3 },
+            ArchId::Mi100,
+        );
+        let plan = build_warm_plan(&u.key);
+        let (stats, err) = execute_unit(&u, &plan, Some(1), true);
+        assert!(stats.cycles > 0);
+        assert_eq!(err, Some(0.0));
+        assert!(
+            stats.counters.sequential_simd_fallbacks > 0,
+            "mi100 generic simd must run through the legalized path"
+        );
     }
 }

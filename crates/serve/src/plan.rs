@@ -5,18 +5,20 @@
 //! of the paper's runtime doing its setup once per kernel): a cold submit
 //! pays the full builder + lint fixpoint + lowering + verifier pipeline,
 //! a warm submit pays a sharded read-lock and an `Arc` clone. The cache is
-//! **content-addressed** on [`PlanKey`] — kernel identity, warp size,
+//! **content-addressed** on [`PlanKey`] — kernel identity, target arch,
 //! argument count, lint configuration — and stores nothing derived from
 //! input data, so it is a pure memoization: evicting and rebuilding any
 //! entry mid-stream must (and, per the differential test, does) reproduce
-//! bit-identical launches.
+//! bit-identical launches. Because the arch is part of the key, one cache
+//! serves a heterogeneous fleet: an a100 worker and an mi100 worker
+//! requesting the same kernel fill two independent entries whose lowered
+//! bytecode differs (warp width, sequential-simd legalization).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use gpu_sim::DeviceArch;
 use omp_codegen::{CompiledKernel, FlatProgram};
 
 use crate::spec::PlanKey;
@@ -27,7 +29,7 @@ use crate::spec::PlanKey;
 pub struct WarmPlan {
     /// Compiled kernel (plan + registry + config + analysis).
     pub kernel: Arc<CompiledKernel>,
-    /// Flat-bytecode program lowered for `(warp_size, nargs)`.
+    /// Flat-bytecode program lowered for the keyed arch and `nargs`.
     pub flat: Arc<FlatProgram>,
     /// Content fingerprint of the compiled kernel
     /// ([`CompiledKernel::plan_hash`]); folded into every job report so
@@ -36,23 +38,26 @@ pub struct WarmPlan {
 }
 
 /// Build a plan from scratch — the cold path, and the cache's fill
-/// function. Runs the simtlint gate when `key.lint` is set; a lint error
-/// is a panic, not a job failure: every kernel the service can name is
-/// in-tree and lint-clean, so a rejection here is a build bug.
-pub fn build_warm_plan(key: &PlanKey, arch: &DeviceArch) -> WarmPlan {
-    assert_eq!(key.warp_size, arch.warp_size, "plan key was built for a different architecture");
+/// function. The target architecture comes from the key itself
+/// (`key.arch`). Runs the simtlint gate when `key.lint` is set; a lint
+/// error is a panic, not a job failure: every kernel the service can name
+/// is in-tree and lint-clean (legalization remarks are fine), so a
+/// rejection here is a build bug.
+pub fn build_warm_plan(key: &PlanKey) -> WarmPlan {
+    let arch = key.arch.arch();
     let kernel = key.kernel.build();
     if key.lint {
-        let report = kernel.lint(arch, key.nargs);
+        let report = kernel.lint(&arch, key.nargs);
         if report.has_errors() {
             panic!(
-                "simtlint rejected a service kernel {:?}:\n{}",
+                "simtlint rejected a service kernel {:?} on {}:\n{}",
                 key.kernel,
+                key.arch,
                 report.render("serve")
             );
         }
     }
-    let flat = kernel.flat_program(arch, key.nargs);
+    let flat = kernel.flat_program(&arch, key.nargs);
     let plan_hash = kernel.plan_hash();
     WarmPlan { kernel: Arc::new(kernel), flat, plan_hash }
 }
@@ -95,14 +100,14 @@ impl PlanCache {
     }
 
     /// Look the key up; on a miss, build (outside the lock) and publish.
-    pub fn get_or_build(&self, key: &PlanKey, arch: &DeviceArch) -> Arc<WarmPlan> {
+    pub fn get_or_build(&self, key: &PlanKey) -> Arc<WarmPlan> {
         let shard = self.shard(key);
         if let Some(plan) = shard.read().unwrap().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(plan);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(build_warm_plan(key, arch));
+        let plan = Arc::new(build_warm_plan(key));
         Arc::clone(shard.write().unwrap().entry(*key).or_insert(plan))
     }
 
@@ -145,11 +150,16 @@ impl PlanCache {
 mod tests {
     use super::*;
     use crate::spec::{PlanKernel, NARGS};
+    use gpu_sim::ArchId;
 
     fn key(simdlen: u32) -> PlanKey {
+        key_on(simdlen, ArchId::A100)
+    }
+
+    fn key_on(simdlen: u32, arch: ArchId) -> PlanKey {
         PlanKey {
-            kernel: PlanKernel::Ideal { teams: 1, threads: 32, simdlen },
-            warp_size: 32,
+            kernel: PlanKernel::Ideal { teams: 1, threads: 64, simdlen },
+            arch,
             nargs: NARGS,
             lint: true,
         }
@@ -157,10 +167,9 @@ mod tests {
 
     #[test]
     fn hit_returns_the_same_arc() {
-        let arch = DeviceArch::a100();
         let cache = PlanCache::new();
-        let a = cache.get_or_build(&key(8), &arch);
-        let b = cache.get_or_build(&key(8), &arch);
+        let a = cache.get_or_build(&key(8));
+        let b = cache.get_or_build(&key(8));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
@@ -168,26 +177,37 @@ mod tests {
 
     #[test]
     fn distinct_keys_coexist() {
-        let arch = DeviceArch::a100();
         let cache = PlanCache::new();
-        let a = cache.get_or_build(&key(8), &arch);
-        let b = cache.get_or_build(&key(16), &arch);
+        let a = cache.get_or_build(&key(8));
+        let b = cache.get_or_build(&key(16));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 2);
         // Both stay resident: re-lookups are hits.
-        cache.get_or_build(&key(8), &arch);
-        cache.get_or_build(&key(16), &arch);
+        cache.get_or_build(&key(8));
+        cache.get_or_build(&key(16));
         assert_eq!(cache.hits(), 2);
     }
 
     #[test]
-    fn evict_rebuilds_identically() {
-        let arch = DeviceArch::a100();
+    fn backends_fill_independent_entries() {
+        // One cache, two archs: same kernel, two warm plans whose lowered
+        // bytecode differs (warp width + legalization) but whose plan hash
+        // — a pure function of the plan tree — agrees.
         let cache = PlanCache::new();
-        let a = cache.get_or_build(&key(8), &arch);
+        let nv = cache.get_or_build(&key_on(8, ArchId::A100));
+        let amd = cache.get_or_build(&key_on(8, ArchId::Mi100));
+        assert!(!Arc::ptr_eq(&nv, &amd));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(nv.plan_hash, amd.plan_hash);
+    }
+
+    #[test]
+    fn evict_rebuilds_identically() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(&key(8));
         assert!(cache.evict(&key(8)));
         assert!(!cache.evict(&key(8)));
-        let b = cache.get_or_build(&key(8), &arch);
+        let b = cache.get_or_build(&key(8));
         assert!(!Arc::ptr_eq(&a, &b), "evicted entry must be rebuilt");
         assert_eq!(a.plan_hash, b.plan_hash, "rebuild must produce the identical plan");
         assert_eq!(cache.misses(), 2);
@@ -195,14 +215,12 @@ mod tests {
 
     #[test]
     fn concurrent_warm_lookups_share_one_plan() {
-        let arch = DeviceArch::a100();
         let cache = Arc::new(PlanCache::new());
-        let first = cache.get_or_build(&key(8), &arch);
+        let first = cache.get_or_build(&key(8));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let cache = Arc::clone(&cache);
-                let arch = arch.clone();
-                std::thread::spawn(move || cache.get_or_build(&key(8), &arch))
+                std::thread::spawn(move || cache.get_or_build(&key(8)))
             })
             .collect();
         for h in handles {

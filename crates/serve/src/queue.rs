@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use gpu_sim::ArchId;
 use omp_kernels::harness::JobIdLane;
 
 use crate::spec::{JobKind, JobSpec, PlanKernel, PlanKey, SubmitError, NARGS};
@@ -110,8 +111,10 @@ struct Tenant {
 /// Shared admission state, held under the service's one admission lock.
 pub struct Admission {
     tenants: Vec<Tenant>,
-    devices: u32,
-    warp_size: u32,
+    /// Architecture of each fleet device (`archs.len()` = device count).
+    /// Plan keys are minted per home device, so a heterogeneous fleet
+    /// content-addresses one warm plan per backend.
+    archs: Vec<ArchId>,
     lint: bool,
     tenant_queue_cap: usize,
     batch_max: usize,
@@ -124,23 +127,21 @@ pub struct Admission {
 }
 
 impl Admission {
-    /// Fresh admission state for a fleet of `devices` same-arch devices.
+    /// Fresh admission state for a fleet with one [`ArchId`] per device.
     pub fn new(
-        devices: u32,
-        warp_size: u32,
+        archs: Vec<ArchId>,
         lint: bool,
         tenant_queue_cap: usize,
         batch_max: usize,
         drr_quantum: u64,
     ) -> Admission {
-        assert!(devices >= 1, "a fleet needs at least one device");
+        assert!(!archs.is_empty(), "a fleet needs at least one device");
         assert!(tenant_queue_cap >= 1, "queue capacity must admit at least one job");
         assert!(batch_max >= 1, "batch_max must be at least 1");
         assert!(drr_quantum >= 1, "a zero quantum would never release work");
         Admission {
             tenants: Vec::new(),
-            devices,
-            warp_size,
+            archs,
             lint,
             tenant_queue_cap,
             batch_max,
@@ -151,6 +152,10 @@ impl Admission {
             paused: false,
             rejected: 0,
         }
+    }
+
+    fn devices(&self) -> u32 {
+        self.archs.len() as u32
     }
 
     /// Pause or resume draining. While paused, submissions queue normally
@@ -193,6 +198,10 @@ impl Admission {
     }
 
     fn seal_open(&mut self, tenant: usize) {
+        let arch = match &self.tenants[tenant].open {
+            Some(open) => self.archs[open.device as usize],
+            None => return,
+        };
         let t = &mut self.tenants[tenant];
         if let Some(open) = t.open.take() {
             let k = open.members.len();
@@ -201,7 +210,7 @@ impl Admission {
                 kind: UnitKind::Micro { rows: open.rows, inner: open.inner },
                 key: PlanKey {
                     kernel: PlanKernel::MicroBatch { k },
-                    warp_size: self.warp_size,
+                    arch,
                     nargs: NARGS,
                     lint: self.lint,
                 },
@@ -223,7 +232,7 @@ impl Admission {
             self.rejected += 1;
             return Err(SubmitError::QueueFull { tenant, cap: self.tenant_queue_cap });
         }
-        let device = spec.affinity.unwrap_or(tenant % self.devices) % self.devices;
+        let device = spec.affinity.unwrap_or(tenant % self.devices()) % self.devices();
         let job_id = self.tenants[ti].ids.next();
         let member = Member { job_id, tenant, arrival_vt: spec.arrival_vt };
         match spec.kind {
@@ -233,7 +242,7 @@ impl Admission {
                 self.seal_open(ti);
                 let key = PlanKey {
                     kernel: PlanKernel::Ideal { teams, threads, simdlen },
-                    warp_size: self.warp_size,
+                    arch: self.archs[device as usize],
                     nargs: NARGS,
                     lint: self.lint,
                 };
@@ -343,7 +352,7 @@ mod tests {
     }
 
     fn adm() -> Admission {
-        Admission::new(2, 32, true, 16, 4, 1_000_000)
+        Admission::new(vec![ArchId::A100; 2], true, 16, 4, 1_000_000)
     }
 
     #[test]
@@ -358,7 +367,7 @@ mod tests {
 
     #[test]
     fn queue_cap_backpressures() {
-        let mut a = Admission::new(1, 32, true, 2, 4, 1_000_000);
+        let mut a = Admission::new(vec![ArchId::A100], true, 2, 4, 1_000_000);
         let t = a.register("t");
         a.submit(t, &ideal(0)).unwrap();
         a.submit(t, &ideal(0)).unwrap();
@@ -423,7 +432,7 @@ mod tests {
         // Heavy floods 32 units; light has 2. With quantum = one unit's
         // weight, each round releases one unit per tenant — light's two
         // units are out within the first two rounds.
-        let mut a = Admission::new(1, 32, true, 1024, 1, 32);
+        let mut a = Admission::new(vec![ArchId::A100], true, 1024, 1, 32);
         let heavy = a.register("heavy");
         let light = a.register("light");
         for i in 0..32 {

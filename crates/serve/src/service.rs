@@ -3,7 +3,9 @@
 //! ## Lifecycle
 //!
 //! [`LaunchService::start`] spawns `workers` OS threads over a fleet of
-//! `devices` homogeneous virtual devices. [`LaunchService::client`]
+//! `devices` virtual devices, each running a registered backend
+//! ([`ServiceConfig::arch`], or per-device via
+//! [`ServiceConfig::device_archs`]). [`LaunchService::client`]
 //! registers a tenant and returns a cloneable submit handle;
 //! [`Client::submit`] admits a job (or returns typed backpressure).
 //! [`LaunchService::shutdown`] closes admission, lets the fleet run dry,
@@ -31,7 +33,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use gpu_sim::{DeviceArch, LaunchStats, Resource};
+use gpu_sim::{ArchId, LaunchStats, Resource};
 use omp_host::sync::{Condvar, Mutex};
 use omp_host::{Timeline, TimelineStats};
 
@@ -43,9 +45,15 @@ use crate::spec::{JobSpec, SubmitError};
 /// Service-wide configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Architecture of every fleet device (the fleet is homogeneous, which
-    /// is what makes stealing across devices stats-neutral).
-    pub arch: DeviceArch,
+    /// Default backend of every fleet device (registry id). Stealing
+    /// across devices stays stats-neutral even when backends differ,
+    /// because a unit's execution architecture rides its plan key — never
+    /// the worker that happens to run it.
+    pub arch: ArchId,
+    /// Per-device backend override for a **heterogeneous fleet**. Empty
+    /// means every device runs `arch`; otherwise it must name exactly one
+    /// backend per device (`len() == devices`).
+    pub device_archs: Vec<ArchId>,
     /// Virtual devices in the fleet.
     pub devices: u32,
     /// Worker threads executing units.
@@ -78,7 +86,8 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
-            arch: DeviceArch::a100(),
+            arch: ArchId::A100,
+            device_archs: Vec::new(),
             devices: 2,
             workers: 4,
             tenant_queue_cap: 4096,
@@ -273,14 +282,18 @@ impl LaunchService {
     /// Start the fleet.
     pub fn start(cfg: ServiceConfig) -> LaunchService {
         assert!(cfg.workers >= 1, "the service needs at least one worker");
-        let mut admission = Admission::new(
-            cfg.devices,
-            cfg.arch.warp_size,
-            cfg.lint,
-            cfg.tenant_queue_cap,
-            cfg.batch_max,
-            cfg.drr_quantum,
-        );
+        let archs: Vec<ArchId> = if cfg.device_archs.is_empty() {
+            vec![cfg.arch; cfg.devices as usize]
+        } else {
+            assert_eq!(
+                cfg.device_archs.len(),
+                cfg.devices as usize,
+                "device_archs must name exactly one backend per device"
+            );
+            cfg.device_archs.clone()
+        };
+        let mut admission =
+            Admission::new(archs, cfg.lint, cfg.tenant_queue_cap, cfg.batch_max, cfg.drr_quantum);
         admission.set_paused(cfg.start_paused);
         let shared = Arc::new(Shared {
             deques: (0..cfg.devices).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -407,18 +420,13 @@ fn worker_loop(shared: &Shared, worker: u32) {
                 shared.steals.fetch_add(1, Ordering::Relaxed);
             }
             let plan = if shared.cfg.warm_cache {
-                shared.cache.get_or_build(&unit.key, &shared.cfg.arch)
+                shared.cache.get_or_build(&unit.key)
             } else {
                 // Cold leg of the ablation: full rebuild per launch.
-                Arc::new(crate::plan::build_warm_plan(&unit.key, &shared.cfg.arch))
+                Arc::new(crate::plan::build_warm_plan(&unit.key))
             };
-            let (stats, max_abs_err) = execute_unit(
-                &unit,
-                &plan,
-                &shared.cfg.arch,
-                shared.cfg.sim_threads,
-                shared.cfg.verify,
-            );
+            let (stats, max_abs_err) =
+                execute_unit(&unit, &plan, shared.cfg.sim_threads, shared.cfg.verify);
             local.push(UnitOutcome {
                 unit,
                 stats,

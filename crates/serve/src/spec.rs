@@ -1,6 +1,7 @@
 //! Job specifications: what a tenant submits, and how it maps onto the
 //! warm-plan cache's content addressing.
 
+use gpu_sim::ArchId;
 use omp_codegen::CompiledKernel;
 use omp_kernels::{batched, ideal};
 
@@ -132,15 +133,18 @@ impl PlanKernel {
     }
 }
 
-/// Content address of one warm plan: the kernel identity plus the launch
-/// geometry and lint configuration the lowering bakes in.
+/// Content address of one warm plan: the kernel identity plus the target
+/// architecture and lint configuration the lowering bakes in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Which kernel, at which plan-level geometry.
     pub kernel: PlanKernel,
-    /// Warp width of the target architecture (the flat lowering is
-    /// warp-size specific).
-    pub warp_size: u32,
+    /// Target architecture (registry id). The flat lowering bakes in the
+    /// warp width *and* the sequential-simd legalization decision
+    /// (§5.4.1), so plans for different backends never alias even at
+    /// equal warp width — this is what lets one fleet serve a
+    /// heterogeneous device mix from a single cache.
+    pub arch: ArchId,
     /// Argument-slot count the lowering was specialized for.
     pub nargs: usize,
     /// Whether the simtlint gate ran as part of plan preparation.
@@ -192,12 +196,23 @@ mod tests {
     fn plan_keys_ignore_data_but_not_geometry() {
         let k = |simdlen| PlanKey {
             kernel: PlanKernel::Ideal { teams: 1, threads: 32, simdlen },
-            warp_size: 32,
+            arch: ArchId::A100,
             nargs: NARGS,
             lint: true,
         };
         assert_eq!(k(8), k(8));
         assert_ne!(k(8), k(16));
+    }
+
+    #[test]
+    fn plan_keys_separate_backends() {
+        let k = |arch| PlanKey {
+            kernel: PlanKernel::Ideal { teams: 1, threads: 64, simdlen: 8 },
+            arch,
+            nargs: NARGS,
+            lint: true,
+        };
+        assert_ne!(k(ArchId::A100), k(ArchId::Mi100));
     }
 
     #[test]

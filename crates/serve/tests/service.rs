@@ -2,6 +2,7 @@
 //! references, typed backpressure and shutdown behave, stealing happens
 //! under skewed affinity without perturbing the deterministic report.
 
+use gpu_sim::ArchId;
 use omp_serve::{JobKind, JobSpec, LaunchService, ServiceConfig, SubmitError};
 
 fn ideal(outer: usize, seed: u64, arrival_vt: u64) -> JobSpec {
@@ -140,6 +141,64 @@ fn skewed_affinity_steals_without_changing_the_digest() {
     // worker 0 wins every race; just require the counter is consistent.
     assert_eq!(solo.steals, 0, "a single worker homed on device 0 never steals");
     assert!(wide.steals <= wide.launches);
+}
+
+#[test]
+fn heterogeneous_fleet_verifies_on_both_backends() {
+    // One fleet, two backends: device 0 is an a100, device 1 an mi100.
+    // Launch geometry must suit both (wave64 needs whole 64-lane warps),
+    // so use 64 threads; micro batches already use MICRO_THREADS = 64.
+    let svc = LaunchService::start(ServiceConfig {
+        devices: 2,
+        device_archs: vec![ArchId::A100, ArchId::Mi100],
+        workers: 2,
+        verify: true,
+        sim_threads: Some(1),
+        ..ServiceConfig::default()
+    });
+    let c = svc.client("mixed");
+    let mut submitted = 0usize;
+    for dev in 0..2u32 {
+        for i in 0..6u64 {
+            c.submit(&JobSpec {
+                kind: JobKind::Ideal { teams: 1, threads: 64, simdlen: 8, outer: 2, seed: i },
+                arrival_vt: i,
+                affinity: Some(dev),
+            })
+            .unwrap();
+            c.submit(&JobSpec {
+                kind: JobKind::Micro { rows: 1, inner: 8 },
+                arrival_vt: i,
+                affinity: Some(dev),
+            })
+            .unwrap();
+            submitted += 2;
+        }
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.jobs.len(), submitted);
+    for j in &report.jobs {
+        assert_eq!(
+            j.max_abs_err,
+            Some(0.0),
+            "job {:#x} on device {} diverged from its host reference",
+            j.job_id,
+            j.device
+        );
+    }
+    // The generic micro kernel legalizes on the wave64 device only.
+    let fallbacks = |dev: u32| {
+        report
+            .jobs
+            .iter()
+            .filter(|j| j.device == dev)
+            .map(|j| j.stats.counters.sequential_simd_fallbacks)
+            .sum::<u64>()
+    };
+    assert_eq!(fallbacks(0), 0, "a100 runs the warp-synchronous state machine");
+    assert!(fallbacks(1) > 0, "mi100 must take the sequential-simd path");
+    // Same kernels, two backends → two plan entries per shared geometry.
+    assert!(report.plan_misses >= 2);
 }
 
 #[test]
